@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSeriesPeriod(t *testing.T) {
+	if p := seriesPeriod("", 1000); p != 0 {
+		t.Errorf("disabled series period = %v", p)
+	}
+	if p := seriesPeriod("out.csv", 2000); p != 1 {
+		t.Errorf("period = %v, want 1", p)
+	}
+}
+
+func TestWriteSeries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.csv")
+	pts := []sim.SeriesPoint{
+		{T: 0, Admissible: 10.5, Flows: 10, Load: 9.9},
+		{T: 1, Admissible: 11, Flows: 11, Load: 12},
+	}
+	if err := writeSeries(path, pts); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "t,admissible,flows,load" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0,10.5,10,9.9" {
+		t.Errorf("row = %q", lines[1])
+	}
+	if err := writeSeries(filepath.Join(t.TempDir(), "no", "dir", "s.csv"), pts); err == nil {
+		t.Error("unwritable path should fail")
+	}
+}

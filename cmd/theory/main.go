@@ -1,0 +1,80 @@
+// Command theory evaluates the paper's analytical results for a given
+// parameter set: admissible flow counts, the sqrt-2 law, sensitivities,
+// the continuous-load overflow formulas, the regime classification, and
+// the robust plan (memory window + adjusted certainty-equivalent target).
+//
+// Example:
+//
+//	theory -n 100 -svr 0.3 -th 1000 -tc 1 -tm 100 -pq 1e-3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gauss"
+	"repro/internal/theory"
+)
+
+func main() {
+	var (
+		n   = flag.Float64("n", 100, "system size n = c/mu")
+		svr = flag.Float64("svr", 0.3, "sigma/mu")
+		th  = flag.Float64("th", 1000, "mean holding time")
+		tc  = flag.Float64("tc", 1, "correlation time-scale")
+		tm  = flag.Float64("tm", 0, "estimator memory window")
+		pq  = flag.Float64("pq", 1e-3, "QoS target overflow probability")
+	)
+	flag.Parse()
+
+	sys := theory.System{Capacity: *n, Mu: 1, Sigma: *svr, Th: *th, Tc: *tc, Tm: *tm}
+	if err := sys.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "theory:", err)
+		os.Exit(1)
+	}
+	alpha := gauss.Qinv(*pq)
+
+	fmt.Printf("derived scales: n=%g  T~h=%.4g  beta=%.4g  gamma=%.4g  alpha_q=%.4g\n",
+		sys.N(), sys.ThTilde(), sys.Beta(), sys.Gamma(), alpha)
+	fmt.Printf("regime (at Tm=T~h): %s\n", theory.ClassifyRegime(sys))
+
+	fmt.Println("\n-- perfect knowledge (Section 3.1) --")
+	mstar := theory.AdmissibleFlows(sys.Capacity, sys.Mu, sys.Sigma, *pq)
+	fmt.Printf("m* exact      = %.4f   (heavy-traffic approx %.4f)\n", mstar, theory.MStarApprox(sys, *pq))
+	fmt.Printf("safety margin = %.4f flows (%.2f%% of capacity)\n", sys.N()-mstar, 100*(sys.N()-mstar)/sys.N())
+	fmt.Printf("sensitivities: s_mu = %.4g (grows as sqrt(n)), s_sigma = %.4g (size-free)\n",
+		theory.SensitivityMu(sys, *pq), theory.SensitivitySigma(sys, *pq))
+
+	fmt.Println("\n-- impulsive load (Section 3) --")
+	fmt.Printf("certainty-equivalent pf  = %.4g  (sqrt-2 law; target %.4g, miss factor %.3g)\n",
+		theory.ImpulsiveOverflow(*pq), *pq, theory.ImpulsiveOverflow(*pq) / *pq)
+	pceImp := theory.ImpulsiveAdjustedTarget(*pq)
+	fmt.Printf("adjusted target (eq. 15) = %.4g  (~ sqrt(pi) alpha pq^2 = %.4g)\n",
+		pceImp, theory.ImpulsiveAdjustedTargetApprox(*pq))
+	fmt.Printf("utilization cost of sqrt2 adjustment = %.4g bandwidth units (eq. 40)\n",
+		theory.UtilizationLossSqrt2(sys, *pq))
+	d := theory.ImpulsiveAdmittedCount(sys, *pq)
+	fmt.Printf("admitted count M0 ~ Normal(%.2f, %.2f^2)\n", d.Mean, d.StdDev)
+
+	fmt.Println("\n-- continuous load (Section 4) --")
+	fmt.Printf("pf at pce=pq: integral (eq. 37) = %.4g, closed form (eq. 38) = %.4g\n",
+		theory.ContinuousOverflowIntegral(sys, *pq),
+		theory.ContinuousOverflowClosedForm(sys, *pq))
+	if sys.Tm == 0 {
+		fmt.Printf("flow-parameter form (eq. 34)    = %.4g\n", theory.MemorylessFlowParamsForm(sys, *pq))
+	}
+
+	fmt.Println("\n-- robust plan (Section 5.3) --")
+	plan, err := theory.PlanRobust(sys, *pq, theory.InvertIntegral)
+	if err != nil {
+		fmt.Printf("no feasible plan: %v\n", err)
+		return
+	}
+	fmt.Printf("memory window Tm = %.4g (= T~h)\n", plan.MemoryTm)
+	fmt.Printf("adjusted pce     = %.4g (alpha_ce %.4g vs alpha_q %.4g)\n",
+		plan.AdjustedPce, plan.AlphaCe, plan.AlphaQ)
+	fmt.Printf("predicted pf     = %.4g\n", plan.PredictedPf)
+	fmt.Printf("utilization cost = %.4g bandwidth units (%.3g%% of capacity)\n",
+		plan.UtilizationCost, 100*plan.UtilizationCost/sys.Capacity)
+}

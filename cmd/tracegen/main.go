@@ -1,0 +1,106 @@
+// Command tracegen synthesizes rate traces for trace-driven simulation and
+// writes them as CSV (readable back by the library and by mbacsim):
+//
+//	tracegen -kind video -n 32768 -hurst 0.8 -cv 0.3 -out starwars-like.csv
+//	tracegen -kind rcbr  -n 100000 -tc 2 -cv 0.3 -out rcbr.csv
+//	tracegen -kind fgn   -n 65536 -hurst 0.75 -out fgn.csv
+//
+// The "video" kind is the substitute for the paper's Starwars MPEG-1 trace
+// (see DESIGN.md): exact fractional Gaussian noise plus scene-change level
+// shifts, rendered piecewise-CBR. Generated traces report their empirical
+// statistics (mean, CV, Hurst, correlation time) on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "video", "video | rcbr | fgn")
+		n        = flag.Int("n", 1<<15, "number of samples")
+		interval = flag.Float64("interval", 1, "sample interval (segment duration)")
+		mean     = flag.Float64("mean", 1, "target mean rate")
+		cv       = flag.Float64("cv", 0.3, "coefficient of variation sigma/mu")
+		hurst    = flag.Float64("hurst", 0.8, "Hurst parameter (video, fgn)")
+		sceneT   = flag.Float64("scene", 50, "mean scene duration (video; 0 disables)")
+		tc       = flag.Float64("tc", 1, "correlation time (rcbr)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		out      = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	r := rng.New(*seed, 0x747267) // stream "trg"
+	var tr *trace.Trace
+	var err error
+	switch *kind {
+	case "video":
+		cfg := trace.VideoConfig{
+			N: *n, Interval: *interval, Mean: *mean, CV: *cv,
+			Hurst: *hurst, SceneMean: *sceneT, SceneFrac: 0.3,
+		}
+		tr, err = trace.SyntheticVideo(cfg, r)
+	case "fgn":
+		var x []float64
+		x, err = trace.FGN(*n, *hurst, r)
+		if err == nil {
+			rates := make([]float64, len(x))
+			for i, v := range x {
+				rate := *mean * (1 + *cv*v)
+				if rate < 0 {
+					rate = 0
+				}
+				rates[i] = rate
+			}
+			tr = &trace.Trace{Interval: *interval, Rates: rates}
+		}
+	case "rcbr":
+		src := traffic.NewRCBR(*mean, *cv, *tc).New(r)
+		rates := make([]float64, 0, *n)
+		// Sample the piecewise-constant RCBR process on the interval grid.
+		var rate, untilNext float64
+		for len(rates) < *n {
+			for untilNext <= 0 {
+				seg := src.Next()
+				rate = seg.Rate
+				untilNext += seg.Duration
+			}
+			rates = append(rates, rate)
+			untilNext -= *interval
+		}
+		tr = &trace.Trace{Interval: *interval, Rates: rates}
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	st := tr.Stats()
+	fmt.Fprintf(os.Stderr, "trace: %d samples, mean=%.4g cv=%.3g hurst=%.3g corrTime=%.4g peak=%.4g\n",
+		len(tr.Rates), st.Mean, st.StdDev()/st.Mean, tr.Hurst(), st.CorrTime, st.Peak)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteCSV(w); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

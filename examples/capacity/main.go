@@ -1,0 +1,62 @@
+// Capacity: a pure-planning example — no simulation. A network operator
+// sizing a link for a new real-time service wants to know, before writing
+// any measurement code:
+//
+//   - how many flows the link can carry at the desired QoS (and how the
+//     statistical multiplexing safety margin shrinks relatively as the link
+//     grows — the sqrt(n) economy of scale);
+//   - what an MBAC must be configured to (memory window, adjusted
+//     certainty-equivalent target) at several candidate link sizes;
+//   - what the robustness costs in carried bandwidth versus a genie that
+//     knows the traffic statistics (eq. 40).
+//
+// Everything here comes from the paper's closed-form results in the theory
+// layer of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mbac "repro"
+)
+
+func main() {
+	const (
+		svr     = 0.3   // flow burstiness sigma/mu
+		holding = 600.0 // expected session length
+		corrT   = 2.0   // burst correlation time
+		targetP = 1e-3  // QoS target
+	)
+
+	fmt.Println("link sizing for sigma/mu = 0.3 flows, pq = 1e-3")
+	fmt.Printf("%-8s %-9s %-9s %-10s %-12s %-12s %-10s\n",
+		"size n", "m*", "margin%", "window Tm", "adjusted pce", "robust cost", "cost%")
+	for _, n := range []float64{50, 100, 200, 400, 800, 1600} {
+		sys := mbac.System{Capacity: n, Mu: 1, Sigma: svr, Th: holding, Tc: corrT}
+		mstar := mbac.AdmissibleFlows(n, 1, svr, targetP)
+		plan, err := mbac.Plan(sys, targetP)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8g %-9.1f %-9.2f %-10.3g %-12.3g %-12.3g %-10.3g\n",
+			n, mstar, 100*(n-mstar)/n,
+			plan.MemoryTm, plan.AdjustedPce, plan.UtilizationCost,
+			100*plan.UtilizationCost/n)
+	}
+
+	fmt.Println("\nwhat certainty equivalence would cost if left unadjusted (sqrt-2 law):")
+	for _, pq := range []float64{1e-3, 1e-5, 1e-7} {
+		fmt.Printf("  target %.0e -> naive impulsive MBAC delivers %.3g (%.0fx worse)\n",
+			pq, mbac.ImpulsiveOverflow(pq), mbac.ImpulsiveOverflow(pq)/pq)
+	}
+
+	fmt.Println("\ncontinuous load makes it worse still (the estimator errs repeatedly")
+	fmt.Println("within each critical time-scale); memoryless pf at pce = pq = 1e-3:")
+	for _, n := range []float64{100, 400, 1600} {
+		sys := mbac.System{Capacity: n, Mu: 1, Sigma: svr, Th: holding, Tc: corrT}
+		fmt.Printf("  n = %-5g -> pf = %.3g\n", n, mbac.OverflowIntegral(sys, targetP))
+	}
+	fmt.Println("\nlesson: the margin shrinks as 1/sqrt(n) (economy of scale), and the robust")
+	fmt.Println("MBAC's price over a genie is well under a percent of capacity at any size.")
+}

@@ -1,0 +1,79 @@
+// Hetero: heterogeneous flow populations (paper Section 5.4). Real links
+// carry a mix — here, thin audio-like flows and fat video-like flows. The
+// MBAC's cross-sectional variance estimator treats every flow as sharing
+// one mean, so population heterogeneity inflates its variance estimate
+// (between-class variance leaks in). The paper's claim: the scheme stays
+// *robust* — the bias is conservative, costing some utilization but never
+// QoS. This example measures exactly that, and also exercises the
+// aggregate-only estimator (Section 7), which infers the variance from the
+// temporal fluctuation of the aggregate and so sees the within-class
+// variance instead.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	mbac "repro"
+)
+
+func main() {
+	const (
+		capacity = 120.0
+		targetP  = 1e-2
+		holding  = 300.0
+		corrT    = 1.0
+		simTime  = 5e4
+	)
+
+	thin := mbac.RCBR(0.5, 0.3, corrT) // audio-ish: mean 0.5
+	fat := mbac.RCBR(2.0, 0.3, corrT)  // video-ish: mean 2.0
+	mixed, err := mbac.NewMixture([]mbac.TrafficModel{thin, fat}, []float64{0.7, 0.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := mixed.Stats()
+	n := capacity / st.Mean
+	thTilde := holding / math.Sqrt(n)
+	fmt.Printf("population: mean %.3g, sigma %.3g (cv %.2f) — between-class variance dominates\n\n",
+		st.Mean, st.StdDev(), st.StdDev()/st.Mean)
+
+	run := func(name string, est mbac.Estimator, tm float64) {
+		ctrl, err := mbac.NewCertaintyEquivalent(targetP, st.Mean, st.StdDev())
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := mbac.Simulate(mbac.SimConfig{
+			Capacity:    capacity,
+			Model:       mixed,
+			Controller:  ctrl,
+			Estimator:   est,
+			HoldingTime: holding,
+			Seed:        5,
+			Warmup:      20 * math.Max(tm, thTilde),
+			MaxTime:     simTime,
+			Tc:          corrT,
+			Tm:          tm,
+			TargetP:     targetP,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s pf = %-10.3g utilization = %.3f  mean flows = %.1f\n",
+			name, res.Pf, res.Utilization, res.MeanFlows)
+	}
+
+	fmt.Println("all at certainty-equivalent target = QoS target, memory window = T~h:")
+	run("cross-sectional var", mbac.NewExponentialEstimator(thTilde), thTilde)
+	run("aggregate-only var", mbac.NewAggregateOnlyEstimator(thTilde, 10*corrT), thTilde)
+
+	fmt.Println("\nreading the result (Section 5.4 / Section 7):")
+	fmt.Println(" - the class-blind cross-sectional estimator over-estimates sigma (between-")
+	fmt.Println("   class variance leaks in), so it admits fewer flows: conservative on QoS,")
+	fmt.Println("   pays with utilization — robust exactly as the paper claims;")
+	fmt.Println(" - the aggregate-only estimator sees only burst-scale fluctuation, missing")
+	fmt.Println("   the slower class-composition churn: it recovers the utilization but can")
+	fmt.Println("   overshoot the QoS target — the variance time-scale Tv must cover the")
+	fmt.Println("   churn dynamics to be safe.")
+}

@@ -1,0 +1,87 @@
+// Peakhour: the scenario that motivates the paper's continuous-load model —
+// "a well-designed robust MBAC should work well even for very high flow
+// arrival rates, to cater for times when there is a surge in user demand".
+//
+// A link serves calls arriving as a Poisson stream. Off-peak the controller
+// is rarely binding; during a surge it decides constantly, and every
+// decision carries estimation risk. This example ramps the arrival rate
+// from light load to far beyond capacity (and finally to the infinite-
+// backlog worst case) and shows that:
+//
+//   - the naive memoryless MBAC degrades as the surge grows: its overflow
+//     probability climbs toward the continuous-load ceiling;
+//   - the robust configuration (memory = critical time-scale, adjusted
+//     target) holds the QoS at every load, trading the surge into clean
+//     call blocking instead of degraded service for admitted calls.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	mbac "repro"
+)
+
+func main() {
+	const (
+		capacity = 100.0
+		svr      = 0.3
+		holding  = 300.0 // call duration
+		corrT    = 1.0
+		targetP  = 1e-2
+		simTime  = 3e4
+	)
+	sys := mbac.System{Capacity: capacity, Mu: 1, Sigma: svr, Th: holding, Tc: corrT}
+	plan, err := mbac.Plan(sys, targetP)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(lambda float64, robust bool) mbac.SimResult {
+		pce, tm := targetP, 0.0
+		var est mbac.Estimator = mbac.NewMemorylessEstimator()
+		if robust {
+			pce, tm = plan.AdjustedPce, plan.MemoryTm
+			est = mbac.NewExponentialEstimator(tm)
+		}
+		ctrl, err := mbac.NewCertaintyEquivalent(pce, 1, svr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := mbac.Simulate(mbac.SimConfig{
+			Capacity:    capacity,
+			Model:       mbac.RCBR(1, svr, corrT),
+			Controller:  ctrl,
+			Estimator:   est,
+			HoldingTime: holding,
+			ArrivalRate: lambda,
+			Seed:        9,
+			Warmup:      20 * math.Max(tm, sys.ThTilde()),
+			MaxTime:     simTime,
+			Tc:          corrT,
+			Tm:          tm,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	fmt.Printf("QoS target %g; robust plan: Tm = %.3g, pce = %.3g\n\n", targetP, plan.MemoryTm, plan.AdjustedPce)
+	fmt.Printf("%-14s %-22s %-22s\n", "", "naive (memoryless)", "robust (Tm = T~h)")
+	fmt.Printf("%-14s %-10s %-11s %-10s %-11s\n", "arrival rate", "pf", "blocking", "pf", "blocking")
+	for _, lambda := range []float64{0.2, 0.35, 0.5, 1.0, 3.0, 0} {
+		a := run(lambda, false)
+		b := run(lambda, true)
+		label := fmt.Sprintf("%.2g/s", lambda)
+		if lambda == 0 {
+			label = "infinite"
+		}
+		fmt.Printf("%-14s %-10.3g %-11.3g %-10.3g %-11.3g\n",
+			label, a.Pf, a.BlockingProb, b.Pf, b.BlockingProb)
+	}
+	fmt.Println("\nlesson: under surge the naive controller converts demand into QoS violations")
+	fmt.Println("for everyone already admitted; the robust controller converts it into blocking")
+	fmt.Println("of new calls — the correct failure mode for an admission-controlled service.")
+}

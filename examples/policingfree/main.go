@@ -1,0 +1,100 @@
+// Policingfree: the scenario that motivates measurement-based admission
+// control in the first place (paper Section 1). Users must declare their
+// traffic to get admitted, but declarations are loose — "it is usually
+// difficult for the user to tightly characterize his traffic in advance" —
+// and statistical models cannot be policed, so a parameter-based admission
+// controller can be fooled in both directions:
+//
+//   - under-declaration (selfish or mistaken): flows send more than they
+//     said; a static controller admits too many and *everyone's* QoS is
+//     destroyed — permanently, because nothing re-checks;
+//   - over-declaration (cautious users): a static controller strands
+//     capacity that could have carried revenue traffic.
+//
+// The MBAC needs only a trivial declaration to bootstrap and then believes
+// the measurements, so it neither melts down nor strands capacity.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	mbac "repro"
+)
+
+func main() {
+	const (
+		capacity = 100.0
+		declMu   = 1.0 // what users claim
+		declSig  = 0.3
+		holding  = 300.0
+		corrT    = 1.0
+		targetP  = 1e-2
+		simTime  = 3e4
+	)
+	plan, err := mbac.Plan(mbac.System{
+		Capacity: capacity, Mu: declMu, Sigma: declSig, Th: holding, Tc: corrT,
+	}, targetP)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(model mbac.TrafficModel, static bool) mbac.SimResult {
+		var ctrl mbac.Controller
+		var est mbac.Estimator = mbac.NewMemorylessEstimator()
+		tm := 0.0
+		if static {
+			c, err := mbac.NewPerfectKnowledge(capacity, declMu, declSig, targetP)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ctrl = c
+		} else {
+			c, err := mbac.NewCertaintyEquivalent(plan.AdjustedPce, declMu, declSig)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ctrl = c
+			est = mbac.NewExponentialEstimator(plan.MemoryTm)
+			tm = plan.MemoryTm
+		}
+		res, err := mbac.Simulate(mbac.SimConfig{
+			Capacity:    capacity,
+			Model:       model,
+			Controller:  ctrl,
+			Estimator:   est,
+			HoldingTime: holding,
+			Seed:        17,
+			Warmup:      20 * math.Max(tm, holding/math.Sqrt(capacity)),
+			MaxTime:     simTime,
+			Tc:          corrT,
+			Tm:          tm,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	scenarios := []struct {
+		name  string
+		model mbac.TrafficModel
+	}{
+		{"honest (as declared)", mbac.RCBR(1.0, 0.3, corrT)},
+		{"under-declared +25%", mbac.RCBR(1.25, 0.4, corrT)},
+		{"over-declared -20%", mbac.RCBR(0.8, 0.2, corrT)},
+	}
+	fmt.Printf("declared: mean %g, sigma %g; QoS target %g\n\n", declMu, declSig, targetP)
+	fmt.Printf("%-22s %-26s %-26s\n", "", "declaration-based AC", "robust MBAC")
+	fmt.Printf("%-22s %-10s %-15s %-10s %-15s\n", "actual traffic", "pf", "utilization", "pf", "utilization")
+	for _, sc := range scenarios {
+		a := run(sc.model, true)
+		b := run(sc.model, false)
+		fmt.Printf("%-22s %-10.3g %-15.3f %-10.3g %-15.3f\n",
+			sc.name, a.Pf, a.Utilization, b.Pf, b.Utilization)
+	}
+	fmt.Println("\nlesson: a static controller is hostage to its users' honesty and accuracy;")
+	fmt.Println("the MBAC trusts measurements instead of declarations and survives both")
+	fmt.Println("directions of mis-declaration — the paper's case for MBAC, quantified.")
+}

@@ -1,0 +1,87 @@
+// Videogateway: a video-on-demand gateway multiplexes long-range-dependent
+// VBR video flows (a synthetic stand-in for the MPEG-1 "Star Wars" trace —
+// Hurst ~ 0.8 with scene-change level shifts, delivered as piecewise CBR)
+// onto a fixed uplink using measurement-based admission control.
+//
+// This is the scenario of the paper's Figures 11-12: no parametric traffic
+// model fits this source, and its correlation structure extends across all
+// time-scales, so a-priori traffic specification is hopeless — exactly
+// where MBAC earns its keep. The example shows that the memoryless
+// estimator is destroyed by the long-range dependence while the single
+// prescription "memory window = critical time-scale T~h" stays robust
+// across a 100x range of session lifetimes, with no knowledge of the
+// traffic's correlation structure at all.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	mbac "repro"
+)
+
+func main() {
+	const (
+		capacity = 100.0
+		targetP  = 1e-2
+		simTime  = 4e4
+	)
+
+	// Synthesize the movie library's rate trace once; every admitted
+	// session plays it from a random offset.
+	cfg := mbac.DefaultVideoConfig()
+	tr, err := mbac.SyntheticVideo(cfg, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := tr.Stats()
+	fmt.Printf("video trace: mean %.3g, cv %.2f, Hurst %.2f (long-range dependent), corr time %.3g\n\n",
+		st.Mean, st.StdDev()/st.Mean, tr.Hurst(), st.CorrTime)
+
+	model := mbac.TraceModel{Trace: tr}
+
+	fmt.Printf("%-12s %-12s %-10s %-10s %-10s\n", "session Th", "window Tm", "pf", "target ok", "utilization")
+	for _, th := range []float64{100, 1000, 10000} {
+		thTilde := th / math.Sqrt(capacity/st.Mean)
+		for _, tm := range []float64{0, thTilde} {
+			var est mbac.Estimator
+			if tm > 0 {
+				est = mbac.NewExponentialEstimator(tm)
+			} else {
+				est = mbac.NewMemorylessEstimator()
+			}
+			ctrl, err := mbac.NewCertaintyEquivalent(targetP, st.Mean, st.StdDev())
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := mbac.Simulate(mbac.SimConfig{
+				Capacity:    capacity,
+				Model:       model,
+				Controller:  ctrl,
+				Estimator:   est,
+				HoldingTime: th,
+				Seed:        21,
+				Warmup:      20 * math.Max(thTilde, st.CorrTime),
+				MaxTime:     simTime,
+				Tc:          st.CorrTime,
+				Tm:          tm,
+				TargetP:     targetP,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ok := "yes"
+			if res.Pf > 2*targetP { // allow CI slack at this run length
+				ok = fmt.Sprintf("NO (%.0fx)", res.Pf/targetP)
+			}
+			window := "memoryless"
+			if tm > 0 {
+				window = fmt.Sprintf("T~h = %.3g", tm)
+			}
+			fmt.Printf("%-12g %-12s %-10.3g %-10s %.3f\n", th, window, res.Pf, ok, res.Utilization)
+		}
+	}
+	fmt.Println("\nlesson: the memory window masks even long-range correlation — only the")
+	fmt.Println("critical time-scale T~h = Th/sqrt(n) matters (paper Sections 5.3, Figs 11-12).")
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/theory"
+)
+
+// BayesianCE is a certainty-equivalent controller whose estimates are
+// smoothed toward a fixed prior before use — the first of the two
+// mechanisms in Gibbens, Kelly & Key's decision-theoretic admission control
+// (the paper's Section 6 comparison point). The prior acts as Weight
+// pseudo-observations of a flow with mean PriorMean and standard deviation
+// PriorSigma:
+//
+//	mu'  = (W·mu0 + n·mu^) / (W + n)
+//	m2'  = (W·(sigma0²+mu0²) + n·(sigma^²+mu^²)) / (W + n)
+//	var' = m2' − mu'²
+//
+// With W = 0 this is exactly CertaintyEquivalent; as W grows the controller
+// approaches a static scheme that ignores measurements. Grossglauser & Tse
+// argue that estimator *memory* achieves the same smoothing without needing
+// a trustworthy prior; the "bayes" experiment quantifies the comparison.
+type BayesianCE struct {
+	alpha float64
+	pce   float64
+
+	Weight     float64 // prior strength in pseudo-flows (>= 0)
+	PriorMean  float64 // must be positive
+	PriorSigma float64 // >= 0
+}
+
+// NewBayesianCE validates and returns a prior-smoothed certainty-equivalent
+// controller.
+func NewBayesianCE(pce, weight, priorMean, priorSigma float64) (*BayesianCE, error) {
+	if pce <= 0 || pce >= 1 {
+		return nil, fmt.Errorf("core: certainty-equivalent target %g out of (0,1)", pce)
+	}
+	if weight < 0 {
+		return nil, fmt.Errorf("core: prior weight %g must be non-negative", weight)
+	}
+	if priorMean <= 0 {
+		return nil, fmt.Errorf("core: prior mean %g must be positive", priorMean)
+	}
+	if priorSigma < 0 {
+		return nil, fmt.Errorf("core: prior sigma %g must be non-negative", priorSigma)
+	}
+	return &BayesianCE{
+		alpha:      qinvCached(pce),
+		pce:        pce,
+		Weight:     weight,
+		PriorMean:  priorMean,
+		PriorSigma: priorSigma,
+	}, nil
+}
+
+// Name implements Controller.
+func (c *BayesianCE) Name() string { return "bayesian-ce" }
+
+// Target returns the certainty-equivalent target p_ce.
+func (c *BayesianCE) Target() float64 { return c.pce }
+
+// Admissible implements Controller.
+func (c *BayesianCE) Admissible(m Measurement) float64 {
+	w := c.Weight
+	nf := float64(m.Flows)
+	mu, sigma := m.Mu, m.Sigma
+	if !m.OK || mu <= 0 {
+		// No usable measurement: pure prior.
+		nf = 0
+	}
+	var muB, varB float64
+	if w+nf <= 0 {
+		muB, varB = c.PriorMean, c.PriorSigma*c.PriorSigma
+	} else {
+		muB = (w*c.PriorMean + nf*mu) / (w + nf)
+		m2 := (w*(c.PriorSigma*c.PriorSigma+c.PriorMean*c.PriorMean) +
+			nf*(sigma*sigma+mu*mu)) / (w + nf)
+		varB = m2 - muB*muB
+		if varB < 0 {
+			varB = 0
+		}
+	}
+	if muB <= 0 {
+		return 0
+	}
+	return theory.AdmissibleFlowsAlpha(m.Capacity, muB, sqrt(varB), c.alpha)
+}

@@ -1,0 +1,216 @@
+// Package core implements the admission controllers studied in the paper:
+// the certainty-equivalent measurement-based controller (with any estimator
+// from internal/estimator behind it), the perfect-knowledge controller used
+// as the baseline, and two simpler comparison schemes (peak-rate allocation
+// and a Jamin-style measured-sum rule).
+//
+// A controller answers one question: given the current state of the link
+// and the current measurements, how many flows may be in the system right
+// now? The simulator admits waiting flows while the actual flow count is
+// below that limit; flows are never ejected.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gauss"
+	"repro/internal/theory"
+)
+
+// Measurement is the controller's view of the link at a decision instant.
+type Measurement struct {
+	Capacity      float64 // link capacity c
+	Flows         int     // number of flows currently in the system
+	AggregateRate float64 // current total measured rate of those flows
+	Mu            float64 // estimated per-flow mean rate
+	Sigma         float64 // estimated per-flow rate standard deviation
+	OK            bool    // Mu/Sigma are valid (estimator warmed up)
+}
+
+// Controller decides the admissible number of flows.
+type Controller interface {
+	// Admissible returns the maximum (real-valued) number of flows that may
+	// be in the system given m. The simulator admits while
+	// float64(m.Flows) < Admissible(m).
+	Admissible(m Measurement) float64
+	// Name identifies the controller in reports.
+	Name() string
+}
+
+// ---------------------------------------------------------------------------
+// Certainty-equivalent MBAC (eqs. 6/22, closed form eq. 42).
+
+// CertaintyEquivalent is the paper's measurement-based admission
+// controller: it admits the largest M satisfying
+//
+//	Q[ (c − M·mu^) / (sigma^·sqrt(M)) ] <= p_ce,
+//
+// treating the estimates as if they were the true parameters. The
+// conservatism of the scheme is set by the certainty-equivalent target
+// p_ce (equivalently the safety factor alpha_ce = Q^-1(p_ce)).
+type CertaintyEquivalent struct {
+	alpha float64 // Q^-1(p_ce), precomputed
+	pce   float64
+
+	// Bootstrap parameters used while measurements are not yet valid
+	// (fewer than two flows ever observed). DeclaredMean must be positive;
+	// DeclaredSigma may be zero for a peak/mean-style declaration.
+	DeclaredMean  float64
+	DeclaredSigma float64
+}
+
+// NewCertaintyEquivalent returns a certainty-equivalent controller with
+// target overflow probability pce (0 < pce < 1) and the given bootstrap
+// declaration. It returns an error for invalid parameters.
+func NewCertaintyEquivalent(pce, declaredMean, declaredSigma float64) (*CertaintyEquivalent, error) {
+	if pce <= 0 || pce >= 1 {
+		return nil, fmt.Errorf("core: certainty-equivalent target %g out of (0,1)", pce)
+	}
+	if declaredMean <= 0 {
+		return nil, fmt.Errorf("core: declared mean %g must be positive", declaredMean)
+	}
+	if declaredSigma < 0 {
+		return nil, fmt.Errorf("core: declared sigma %g must be non-negative", declaredSigma)
+	}
+	return &CertaintyEquivalent{
+		alpha:         gauss.Qinv(pce),
+		pce:           pce,
+		DeclaredMean:  declaredMean,
+		DeclaredSigma: declaredSigma,
+	}, nil
+}
+
+// Target returns the certainty-equivalent target p_ce.
+func (c *CertaintyEquivalent) Target() float64 { return c.pce }
+
+// Alpha returns the safety factor Q^-1(p_ce).
+func (c *CertaintyEquivalent) Alpha() float64 { return c.alpha }
+
+// Name implements Controller.
+func (c *CertaintyEquivalent) Name() string { return "certainty-equivalent" }
+
+// Admissible implements Controller.
+func (c *CertaintyEquivalent) Admissible(m Measurement) float64 {
+	mu, sigma := m.Mu, m.Sigma
+	if !m.OK {
+		mu, sigma = c.DeclaredMean, c.DeclaredSigma
+	}
+	if mu <= 0 {
+		// Measured mean collapsed to zero (e.g. all flows momentarily
+		// silent): fall back to the declaration rather than admitting
+		// unboundedly.
+		mu, sigma = c.DeclaredMean, c.DeclaredSigma
+	}
+	return theory.AdmissibleFlowsAlpha(m.Capacity, mu, sigma, c.alpha)
+}
+
+// ---------------------------------------------------------------------------
+// Perfect-knowledge controller (Section 3.1 baseline).
+
+// PerfectKnowledge admits the fixed m* computed from the true flow
+// statistics — the genie-aided baseline whose achieved overflow probability
+// equals the target exactly (in the heavy-traffic limit).
+type PerfectKnowledge struct {
+	mstar float64
+	pq    float64
+}
+
+// NewPerfectKnowledge returns the baseline controller for target pq and
+// true statistics (mu, sigma) on capacity c.
+func NewPerfectKnowledge(c, mu, sigma, pq float64) (*PerfectKnowledge, error) {
+	if pq <= 0 || pq >= 1 {
+		return nil, fmt.Errorf("core: target %g out of (0,1)", pq)
+	}
+	if c <= 0 || mu <= 0 || sigma < 0 {
+		return nil, fmt.Errorf("core: invalid parameters c=%g mu=%g sigma=%g", c, mu, sigma)
+	}
+	return &PerfectKnowledge{mstar: theory.AdmissibleFlows(c, mu, sigma, pq), pq: pq}, nil
+}
+
+// MStar returns the precomputed admissible flow count m*.
+func (c *PerfectKnowledge) MStar() float64 { return c.mstar }
+
+// Name implements Controller.
+func (c *PerfectKnowledge) Name() string { return "perfect-knowledge" }
+
+// Admissible implements Controller.
+func (c *PerfectKnowledge) Admissible(Measurement) float64 { return c.mstar }
+
+// ---------------------------------------------------------------------------
+// Peak-rate allocation.
+
+// PeakRate admits floor(c/peak) flows: the zero-multiplexing baseline that
+// a-priori traffic specification with peak-rate policing yields. It never
+// overflows (for sources honoring the peak) and wastes the statistical
+// multiplexing gain — the inefficiency motivating MBAC in the first place.
+type PeakRate struct {
+	Peak float64
+}
+
+// Name implements Controller.
+func (c PeakRate) Name() string { return "peak-rate" }
+
+// Admissible implements Controller.
+func (c PeakRate) Admissible(m Measurement) float64 {
+	if c.Peak <= 0 {
+		return 0
+	}
+	return m.Capacity / c.Peak
+}
+
+// ---------------------------------------------------------------------------
+// Measured-sum controller (Jamin et al. style).
+
+// MeasuredSum admits a new flow while the measured aggregate load plus the
+// newcomer's declared rate stays below a utilization target eta·c — the
+// simple admission rule of Jamin, Danzig, Shenker & Zhang (SIGCOMM'95),
+// included as a comparison point (Section 6 of the paper relates eta to
+// the certainty-equivalent conservatism).
+type MeasuredSum struct {
+	Eta          float64 // utilization target in (0, 1]
+	DeclaredRate float64 // rate attributed to an arriving flow
+}
+
+// NewMeasuredSum validates and returns a measured-sum controller.
+func NewMeasuredSum(eta, declaredRate float64) (*MeasuredSum, error) {
+	if eta <= 0 || eta > 1 {
+		return nil, fmt.Errorf("core: utilization target %g out of (0,1]", eta)
+	}
+	if declaredRate <= 0 {
+		return nil, fmt.Errorf("core: declared rate %g must be positive", declaredRate)
+	}
+	return &MeasuredSum{Eta: eta, DeclaredRate: declaredRate}, nil
+}
+
+// Name implements Controller.
+func (c *MeasuredSum) Name() string { return "measured-sum" }
+
+// Admissible implements Controller. The headroom (eta·c − measured load)
+// divided by the declared rate bounds how many more flows fit; the rule
+// never ejects, so the result is at least the current flow count.
+func (c *MeasuredSum) Admissible(m Measurement) float64 {
+	headroom := c.Eta*m.Capacity - m.AggregateRate
+	extra := math.Max(0, headroom/c.DeclaredRate)
+	return float64(m.Flows) + extra
+}
+
+// ---------------------------------------------------------------------------
+// Hard limit wrapper.
+
+// WithFlowCap wraps a controller with an absolute upper bound on the flow
+// count, e.g. a port limit; useful for failure-injection tests.
+func WithFlowCap(inner Controller, cap float64) Controller {
+	return flowCap{inner: inner, cap: cap}
+}
+
+type flowCap struct {
+	inner Controller
+	cap   float64
+}
+
+func (f flowCap) Name() string { return f.inner.Name() + "+cap" }
+
+func (f flowCap) Admissible(m Measurement) float64 {
+	return math.Min(f.cap, f.inner.Admissible(m))
+}

@@ -1,0 +1,16 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/gauss"
+)
+
+// qinvCached wraps gauss.Qinv; a named helper keeps the controller
+// constructors uniform and gives one place to add memoization if profiles
+// ever show quantile inversion in a hot path (today it runs once per
+// controller construction).
+func qinvCached(p float64) float64 { return gauss.Qinv(p) }
+
+// sqrt is a local alias keeping the controller arithmetic compact.
+func sqrt(x float64) float64 { return math.Sqrt(x) }

@@ -1,0 +1,420 @@
+// Package estimator implements the measurement side of MBAC: estimators of
+// the per-flow mean and standard deviation of the bandwidth demand, driven
+// by the cross-sectional aggregates that the simulator observes.
+//
+// The paper studies two estimators:
+//
+//   - the memoryless estimator (eq. 7/23), which uses only the flows'
+//     current bandwidths; and
+//   - the estimator with memory (Section 4.3), which convolves the
+//     cross-sectional estimates with the first-order autoregressive kernel
+//     h(t) = exp(-t/T_m)/T_m.
+//
+// Because traffic is piecewise constant between simulation events, the
+// exponential filter is integrated exactly: over an interval of length dt
+// with constant input x, y <- e^(-dt/Tm)·y + (1-e^(-dt/Tm))·x.
+//
+// Additional estimators (sliding window, aggregate-only) support the
+// ablation studies and the paper's Section 7 discussion of aggregate-only
+// measurement.
+package estimator
+
+import "math"
+
+// Estimator turns cross-sectional aggregates into per-flow mean/stddev
+// estimates. The simulator drives it with the protocol:
+//
+//	Advance(t)  — integrate the unchanged aggregates up to time t
+//	Update(...) — replace the instantaneous aggregates after an event at t
+//	Estimate()  — read the current estimates
+//
+// Implementations are not safe for concurrent use.
+type Estimator interface {
+	// Reset puts the estimator in its initial state at time t.
+	Reset(t float64)
+	// Advance integrates the current (constant) aggregates up to time t,
+	// which must be >= the last time seen.
+	Advance(t float64)
+	// Update replaces the instantaneous cross-sectional aggregates at the
+	// current time: the sum of flow rates, the sum of squared flow rates,
+	// and the number of flows.
+	Update(sumRate, sumSq float64, n int)
+	// Estimate returns the current per-flow mean and standard deviation
+	// estimates. ok is false while the estimator has insufficient data
+	// (fewer than two flows ever observed).
+	Estimate() (mu, sigma float64, ok bool)
+	// Name identifies the estimator in reports.
+	Name() string
+}
+
+// crossSection converts instantaneous aggregates into the paper's
+// cross-sectional estimates: mu-hat = sumRate/n and the unbiased
+// sigma-hat^2 = (sumSq - sumRate^2/n)/(n-1).
+func crossSection(sumRate, sumSq float64, n int) (mu, variance float64, ok bool) {
+	if n < 2 {
+		if n == 1 {
+			return sumRate, 0, false
+		}
+		return 0, 0, false
+	}
+	mu = sumRate / float64(n)
+	variance = (sumSq - sumRate*mu) / float64(n-1)
+	if variance < 0 { // numerical noise
+		variance = 0
+	}
+	return mu, variance, true
+}
+
+// ---------------------------------------------------------------------------
+// Memoryless estimator (eq. 7/23).
+
+// Memoryless estimates mu and sigma from the flows' current bandwidths
+// only. This is the estimator whose certainty-equivalent use the paper
+// shows to be non-robust.
+type Memoryless struct {
+	sumRate, sumSq float64
+	n              int
+}
+
+// NewMemoryless returns a memoryless estimator.
+func NewMemoryless() *Memoryless { return &Memoryless{} }
+
+// Name implements Estimator.
+func (e *Memoryless) Name() string { return "memoryless" }
+
+// Reset implements Estimator.
+func (e *Memoryless) Reset(float64) { *e = Memoryless{} }
+
+// Advance implements Estimator. The memoryless estimator has no temporal
+// state, so this is a no-op.
+func (e *Memoryless) Advance(float64) {}
+
+// Update implements Estimator.
+func (e *Memoryless) Update(sumRate, sumSq float64, n int) {
+	e.sumRate, e.sumSq, e.n = sumRate, sumSq, n
+}
+
+// Estimate implements Estimator.
+func (e *Memoryless) Estimate() (mu, sigma float64, ok bool) {
+	mu, variance, ok := crossSection(e.sumRate, e.sumSq, e.n)
+	return mu, math.Sqrt(variance), ok
+}
+
+// ---------------------------------------------------------------------------
+// Exponentially-weighted estimator with memory T_m (Section 4.3).
+
+// Exponential filters the normalized cross-sectional aggregates with the
+// first-order autoregressive kernel h(t) = exp(-t/Tm)/Tm. Filtering the
+// per-flow normalized quantities u1 = (1/n)ΣX_i and u2 = (1/n)ΣX_i² keeps
+// the estimates continuous across flow arrivals and departures; the
+// variance estimate (n/(n-1))(u2 - u1²) reduces exactly to the paper's
+// definition when the flow population is fixed.
+type Exponential struct {
+	Tm float64 // memory window size
+
+	t           float64 // time of last integration
+	u1, u2      float64 // filtered (1/n)ΣX and (1/n)ΣX²
+	cur1, cur2  float64 // current instantaneous normalized aggregates
+	n           int
+	initialized bool
+	aged        bool // time has advanced since initialization
+}
+
+// NewExponential returns an estimator with memory window tm. tm must be
+// positive; use Memoryless for tm = 0.
+func NewExponential(tm float64) *Exponential {
+	if tm <= 0 {
+		panic("estimator: Exponential requires Tm > 0; use Memoryless for Tm = 0")
+	}
+	return &Exponential{Tm: tm}
+}
+
+// Name implements Estimator.
+func (e *Exponential) Name() string { return "exponential" }
+
+// Reset implements Estimator.
+func (e *Exponential) Reset(t float64) {
+	*e = Exponential{Tm: e.Tm, t: t}
+}
+
+// Advance implements Estimator.
+func (e *Exponential) Advance(t float64) {
+	dt := t - e.t
+	e.t = t
+	if dt <= 0 || !e.initialized || e.n == 0 {
+		return
+	}
+	e.aged = true
+	a := math.Exp(-dt / e.Tm)
+	e.u1 = a*e.u1 + (1-a)*e.cur1
+	e.u2 = a*e.u2 + (1-a)*e.cur2
+}
+
+// Update implements Estimator.
+func (e *Exponential) Update(sumRate, sumSq float64, n int) {
+	e.n = n
+	if n == 0 {
+		// No flows: hold the filtered state (nothing to measure).
+		return
+	}
+	e.cur1 = sumRate / float64(n)
+	e.cur2 = sumSq / float64(n)
+	if !e.aged {
+		// Until time first advances, the filter has integrated no history:
+		// track the running instantaneous cross-section instead of
+		// freezing on the very first observation. Without this, a
+		// zero-elapsed-time admission burst (the t=0 fill of the
+		// continuous-load model) is admitted against the cross-section of
+		// the first flow alone (sigma-hat = 0), over-admitting by O(n)
+		// flows that then take a full holding time to drain.
+		e.u1, e.u2 = e.cur1, e.cur2
+		e.initialized = true
+	}
+}
+
+// Estimate implements Estimator.
+func (e *Exponential) Estimate() (mu, sigma float64, ok bool) {
+	if !e.initialized || e.n < 2 {
+		return e.u1, 0, false
+	}
+	variance := (e.u2 - e.u1*e.u1) * float64(e.n) / float64(e.n-1)
+	if variance < 0 {
+		variance = 0
+	}
+	return e.u1, math.Sqrt(variance), true
+}
+
+// ---------------------------------------------------------------------------
+// Sliding-window estimator (ablation alternative to the exponential filter).
+
+// Window estimates mu and sigma as uniform time averages of the normalized
+// cross-sectional aggregates over the trailing window [t-W, t]. It is the
+// boxcar counterpart to Exponential and is used in the filter ablation.
+type Window struct {
+	W float64 // window length
+
+	t           float64
+	segs        []winSeg // trailing segments, oldest first
+	int1, int2  float64  // integrals of u1, u2 over the buffered span
+	cur1, cur2  float64
+	n           int
+	initialized bool
+}
+
+type winSeg struct {
+	start, end float64
+	u1, u2     float64
+}
+
+// NewWindow returns a sliding-window estimator over window w > 0.
+func NewWindow(w float64) *Window {
+	if w <= 0 {
+		panic("estimator: Window requires W > 0")
+	}
+	return &Window{W: w}
+}
+
+// Name implements Estimator.
+func (e *Window) Name() string { return "window" }
+
+// Reset implements Estimator.
+func (e *Window) Reset(t float64) {
+	*e = Window{W: e.W, t: t}
+}
+
+// Advance implements Estimator.
+func (e *Window) Advance(t float64) {
+	dt := t - e.t
+	if dt <= 0 {
+		e.t = t
+		return
+	}
+	if e.initialized && e.n > 0 {
+		e.segs = append(e.segs, winSeg{start: e.t, end: t, u1: e.cur1, u2: e.cur2})
+		e.int1 += e.cur1 * dt
+		e.int2 += e.cur2 * dt
+	}
+	e.t = t
+	e.evict()
+}
+
+// evict trims segments that fall wholly or partially outside [t-W, t].
+func (e *Window) evict() {
+	cutoff := e.t - e.W
+	for len(e.segs) > 0 {
+		s := &e.segs[0]
+		if s.end <= cutoff {
+			e.int1 -= s.u1 * (s.end - s.start)
+			e.int2 -= s.u2 * (s.end - s.start)
+			e.segs = e.segs[1:]
+			continue
+		}
+		if s.start < cutoff {
+			trim := cutoff - s.start
+			e.int1 -= s.u1 * trim
+			e.int2 -= s.u2 * trim
+			s.start = cutoff
+		}
+		break
+	}
+}
+
+// Update implements Estimator.
+func (e *Window) Update(sumRate, sumSq float64, n int) {
+	e.n = n
+	if n == 0 {
+		return
+	}
+	e.cur1 = sumRate / float64(n)
+	e.cur2 = sumSq / float64(n)
+	e.initialized = true
+}
+
+// Estimate implements Estimator.
+func (e *Window) Estimate() (mu, sigma float64, ok bool) {
+	if !e.initialized || e.n < 2 {
+		return 0, 0, false
+	}
+	span := 0.0
+	if len(e.segs) > 0 {
+		span = e.t - e.segs[0].start
+	}
+	var u1, u2 float64
+	if span > 0 {
+		u1, u2 = e.int1/span, e.int2/span
+	} else {
+		u1, u2 = e.cur1, e.cur2
+	}
+	variance := (u2 - u1*u1) * float64(e.n) / float64(e.n-1)
+	if variance < 0 {
+		variance = 0
+	}
+	return u1, math.Sqrt(variance), true
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate-only estimator (Section 7 future work).
+
+// AggregateOnly estimates the per-flow mean from the aggregate rate alone
+// (which the paper notes is unaffected) and the per-flow variance from the
+// temporal fluctuation of the aggregate: Var(ΣX_i) = n·sigma², estimated by
+// exponential smoothing of the aggregate's first two moments with time
+// constant Tv. It requires no per-flow state at all.
+//
+// The flow count is filtered with the same kernel as the aggregate, so the
+// per-flow mean is (filtered ΣX)/(filtered n). Dividing a lagged aggregate
+// by the instantaneous count would under-estimate the mean during admission
+// bursts, and since the controller admits *because* the mean looks low,
+// that lag closes a positive feedback loop that can run the link far past
+// capacity.
+type AggregateOnly struct {
+	Tm float64 // memory for the mean estimate (0 = memoryless mean)
+	Tv float64 // memory for the temporal variance estimate (> 0)
+
+	t           float64
+	mean        float64 // filtered aggregate rate (or instantaneous if Tm=0)
+	fn          float64 // flow count filtered with the Tm kernel
+	m1, m2      float64 // filtered aggregate first and second moments for variance
+	curAgg      float64
+	n           int
+	initialized bool
+	aged        bool // time has advanced since initialization
+}
+
+// NewAggregateOnly returns an aggregate-only estimator. tv must be positive.
+func NewAggregateOnly(tm, tv float64) *AggregateOnly {
+	if tv <= 0 {
+		panic("estimator: AggregateOnly requires Tv > 0")
+	}
+	return &AggregateOnly{Tm: tm, Tv: tv}
+}
+
+// Name implements Estimator.
+func (e *AggregateOnly) Name() string { return "aggregate-only" }
+
+// Reset implements Estimator.
+func (e *AggregateOnly) Reset(t float64) {
+	*e = AggregateOnly{Tm: e.Tm, Tv: e.Tv, t: t}
+}
+
+// Advance implements Estimator.
+func (e *AggregateOnly) Advance(t float64) {
+	dt := t - e.t
+	e.t = t
+	if dt <= 0 || !e.initialized {
+		return
+	}
+	e.aged = true
+	if e.Tm > 0 {
+		a := math.Exp(-dt / e.Tm)
+		e.mean = a*e.mean + (1-a)*e.curAgg
+		e.fn = a*e.fn + (1-a)*float64(e.n)
+	} else {
+		e.mean = e.curAgg
+		e.fn = float64(e.n)
+	}
+	av := math.Exp(-dt / e.Tv)
+	e.m1 = av*e.m1 + (1-av)*e.curAgg
+	e.m2 = av*e.m2 + (1-av)*e.curAgg*e.curAgg
+}
+
+// Update implements Estimator. sumSq is ignored: this estimator sees only
+// the aggregate.
+func (e *AggregateOnly) Update(sumRate, _ float64, n int) {
+	e.n = n
+	if n == 0 {
+		return
+	}
+	e.curAgg = sumRate
+	if !e.aged {
+		// Track the running instantaneous aggregates until time first
+		// advances (see Exponential.Update for why).
+		e.mean = sumRate
+		e.fn = float64(n)
+		e.m1, e.m2 = sumRate, sumRate*sumRate
+		e.initialized = true
+	}
+}
+
+// Estimate implements Estimator.
+func (e *AggregateOnly) Estimate() (mu, sigma float64, ok bool) {
+	if !e.initialized || e.n < 2 {
+		return 0, 0, false
+	}
+	nf := e.fn
+	if nf < 1 {
+		nf = float64(e.n)
+	}
+	mu = e.mean / nf
+	aggVar := e.m2 - e.m1*e.m1
+	if aggVar < 0 {
+		aggVar = 0
+	}
+	return mu, math.Sqrt(aggVar / nf), true
+}
+
+// ---------------------------------------------------------------------------
+// Oracle estimator.
+
+// Oracle always reports the configured true parameters; it backs the
+// perfect-knowledge admission controller used as the paper's baseline.
+type Oracle struct {
+	Mu, Sigma float64
+}
+
+// Name implements Estimator.
+func (e *Oracle) Name() string { return "oracle" }
+
+// Reset implements Estimator.
+func (e *Oracle) Reset(float64) {}
+
+// Advance implements Estimator.
+func (e *Oracle) Advance(float64) {}
+
+// Update implements Estimator.
+func (e *Oracle) Update(float64, float64, int) {}
+
+// Estimate implements Estimator.
+func (e *Oracle) Estimate() (mu, sigma float64, ok bool) {
+	return e.Mu, e.Sigma, true
+}

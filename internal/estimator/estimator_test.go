@@ -1,0 +1,393 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// feed drives an estimator with a sequence of cross-sections held for dt.
+type obs struct {
+	sumRate, sumSq float64
+	n              int
+	dt             float64
+}
+
+func drive(e Estimator, seq []obs) {
+	t := 0.0
+	e.Reset(t)
+	for _, o := range seq {
+		e.Advance(t)
+		e.Update(o.sumRate, o.sumSq, o.n)
+		t += o.dt
+	}
+	e.Advance(t)
+}
+
+func TestMemorylessExactCrossSection(t *testing.T) {
+	e := NewMemoryless()
+	// Flows with rates 1, 2, 3: sum=6 sumSq=14; mu=2 var=(14-12)/2=1.
+	drive(e, []obs{{6, 14, 3, 1}})
+	mu, sigma, ok := e.Estimate()
+	if !ok {
+		t.Fatal("estimate should be valid with 3 flows")
+	}
+	if math.Abs(mu-2) > 1e-12 || math.Abs(sigma-1) > 1e-12 {
+		t.Errorf("mu=%v sigma=%v, want 2, 1", mu, sigma)
+	}
+}
+
+func TestMemorylessInsufficientFlows(t *testing.T) {
+	e := NewMemoryless()
+	if _, _, ok := e.Estimate(); ok {
+		t.Error("empty estimator should not be ok")
+	}
+	e.Update(5, 25, 1)
+	if mu, _, ok := e.Estimate(); ok || mu != 5 {
+		t.Errorf("single flow: ok=%v mu=%v", ok, mu)
+	}
+}
+
+func TestMemorylessNegativeVarianceClamped(t *testing.T) {
+	e := NewMemoryless()
+	// Slightly inconsistent aggregates (floating point): sumSq just below
+	// sumRate^2/n.
+	e.Update(2, 2-1e-13, 2)
+	_, sigma, ok := e.Estimate()
+	if !ok || sigma != 0 {
+		t.Errorf("variance should clamp to 0, got sigma=%v ok=%v", sigma, ok)
+	}
+}
+
+func TestExponentialPanicsOnZeroTm(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewExponential(0) should panic")
+		}
+	}()
+	NewExponential(0)
+}
+
+func TestExponentialConvergesToConstantInput(t *testing.T) {
+	e := NewExponential(2)
+	// Constant cross-section (rates 1 and 3): sum=4 sumSq=10 n=2:
+	// mu=2, var = (10/2 - 4)*2 = 2.
+	var seq []obs
+	for i := 0; i < 100; i++ {
+		seq = append(seq, obs{4, 10, 2, 1})
+	}
+	drive(e, seq)
+	mu, sigma, ok := e.Estimate()
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if math.Abs(mu-2) > 1e-9 {
+		t.Errorf("mu = %v, want 2", mu)
+	}
+	if math.Abs(sigma-math.Sqrt2) > 1e-9 {
+		t.Errorf("sigma = %v, want sqrt(2)", sigma)
+	}
+}
+
+func TestExponentialExactDecay(t *testing.T) {
+	// Step input: u1 holds at 1 while the input is 1 (filter fixed point),
+	// then the input drops to 0; after a further time dt the filtered value
+	// must be exactly exp(-dt/Tm).
+	e := NewExponential(3)
+	e.Reset(0)
+	e.Update(2, 2, 2) // cross-section mean 1
+	e.Advance(1)      // ages the filter; u1 stays exactly 1 (input == state)
+	e.Update(0, 0, 2) // input drops to 0
+	e.Advance(5.5)
+	mu, _, _ := e.Estimate()
+	want := math.Exp(-4.5 / 3)
+	if math.Abs(mu-want) > 1e-12 {
+		t.Errorf("filtered mu = %v, want %v", mu, want)
+	}
+}
+
+func TestExponentialTracksCrossSectionBeforeTimeAdvances(t *testing.T) {
+	// Regression for the t=0 admission-burst pathology: while no time has
+	// elapsed, successive Updates at the same instant must be reflected in
+	// the estimate (memoryless behavior), not frozen at the first flow's
+	// rate. Otherwise a controller filling an empty system admits O(n)
+	// extra flows against a single-flow estimate with sigma-hat = 0.
+	e := NewExponential(10)
+	e.Reset(0)
+	e.Update(0.9, 0.81, 1) // first admitted flow, rate 0.9
+	e.Advance(0)
+	e.Update(2.9, 4.81, 2) // second flow, rate 2.0, still at t=0
+	mu, sigma, ok := e.Estimate()
+	if !ok {
+		t.Fatal("two flows should be enough")
+	}
+	if math.Abs(mu-1.45) > 1e-12 {
+		t.Errorf("mu = %v, want running cross-section 1.45", mu)
+	}
+	if sigma < 0.5 {
+		t.Errorf("sigma = %v should reflect the 0.9/2.0 spread", sigma)
+	}
+	// Once time advances, memory engages: the estimate stops jumping with
+	// same-instant updates.
+	e.Advance(1)
+	before, _, _ := e.Estimate()
+	e.Update(100, 5000, 2)
+	after, _, _ := e.Estimate()
+	if before != after {
+		t.Errorf("aged filter moved within a single instant: %v -> %v", before, after)
+	}
+}
+
+func TestAggregateOnlyTracksCrossSectionBeforeTimeAdvances(t *testing.T) {
+	e := NewAggregateOnly(10, 10)
+	e.Reset(0)
+	e.Update(0.9, 0, 1)
+	e.Advance(0)
+	e.Update(1000, 0, 1000) // burst fills the system at the same instant
+	mu, _, ok := e.Estimate()
+	if !ok || math.Abs(mu-1) > 1e-12 {
+		t.Errorf("mu = %v ok=%v, want running aggregate mean 1", mu, ok)
+	}
+}
+
+func TestExponentialSplitAdvanceEquivalence(t *testing.T) {
+	// Advancing in two steps must equal advancing once (exact integration).
+	mk := func() *Exponential {
+		e := NewExponential(1.5)
+		e.Reset(0)
+		e.Update(10, 60, 2)
+		e.Advance(0)
+		e.Update(4, 10, 2)
+		return e
+	}
+	a := mk()
+	a.Advance(2.0)
+	b := mk()
+	b.Advance(0.7)
+	b.Advance(2.0)
+	muA, sA, _ := a.Estimate()
+	muB, sB, _ := b.Estimate()
+	if math.Abs(muA-muB) > 1e-12 || math.Abs(sA-sB) > 1e-12 {
+		t.Errorf("split advance mismatch: (%v,%v) vs (%v,%v)", muA, sA, muB, sB)
+	}
+}
+
+func TestExponentialReducesEstimatorVariance(t *testing.T) {
+	// The paper's core claim about memory: E[Z^2] = Tc/(Tc+Tm) shrinks with
+	// Tm. Feed both estimators the same noisy cross-section stream and
+	// compare the variance of their mu estimates.
+	r := rng.New(42, 0)
+	const n, tc = 50, 1.0
+	mem := NewMemoryless()
+	exp4 := NewExponential(4 * tc)
+	mem.Reset(0)
+	exp4.Reset(0)
+	tNow := 0.0
+	var varMem, varExp float64
+	var count int
+	// Simulate n independent OU-ish flows crudely: each redraws at exp(tc).
+	rates := make([]float64, n)
+	for i := range rates {
+		rates[i] = r.NormalMS(1, 0.3)
+	}
+	for step := 0; step < 20000; step++ {
+		dt := r.Exp(tc / n) // one flow redraws at a time
+		tNow += dt
+		mem.Advance(tNow)
+		exp4.Advance(tNow)
+		rates[r.Intn(n)] = r.NormalMS(1, 0.3)
+		var s, ss float64
+		for _, x := range rates {
+			s += x
+			ss += x * x
+		}
+		mem.Update(s, ss, n)
+		exp4.Update(s, ss, n)
+		if step > 2000 && step%10 == 0 {
+			m1, _, _ := mem.Estimate()
+			m2, _, _ := exp4.Estimate()
+			varMem += (m1 - 1) * (m1 - 1)
+			varExp += (m2 - 1) * (m2 - 1)
+			count++
+		}
+	}
+	if varExp >= varMem*0.6 {
+		t.Errorf("memory should materially reduce estimator variance: mem=%v exp=%v",
+			varMem/float64(count), varExp/float64(count))
+	}
+}
+
+func TestExponentialHoldsDuringZeroFlows(t *testing.T) {
+	e := NewExponential(1)
+	e.Reset(0)
+	e.Update(4, 10, 2)
+	e.Advance(1)
+	muBefore, _, _ := e.Estimate()
+	e.Update(0, 0, 0) // all flows gone
+	e.Advance(5)
+	e.Update(4, 10, 2) // flows return
+	mu, _, _ := e.Estimate()
+	if math.Abs(mu-muBefore) > 1e-12 {
+		t.Errorf("estimate should hold across empty period: %v vs %v", mu, muBefore)
+	}
+}
+
+func TestWindowMatchesMemorylessForConstantInput(t *testing.T) {
+	w := NewWindow(5)
+	var seq []obs
+	for i := 0; i < 20; i++ {
+		seq = append(seq, obs{6, 14, 3, 0.5})
+	}
+	drive(w, seq)
+	mu, sigma, ok := w.Estimate()
+	if !ok || math.Abs(mu-2) > 1e-9 || math.Abs(sigma-1) > 1e-9 {
+		t.Errorf("window constant input: mu=%v sigma=%v ok=%v", mu, sigma, ok)
+	}
+}
+
+func TestWindowAveragesOverWindowOnly(t *testing.T) {
+	w := NewWindow(2)
+	w.Reset(0)
+	w.Update(0, 0, 2) // u1 = 0
+	w.Advance(10)     // 10 time units of zeros (only last 2 retained)
+	w.Update(4, 8, 2) // u1 = 2
+	w.Advance(11)     // 1 unit of twos
+	// Window now spans [9, 11]: half zeros, half twos -> mean 1.
+	mu, _, ok := w.Estimate()
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if math.Abs(mu-1) > 1e-9 {
+		t.Errorf("windowed mu = %v, want 1", mu)
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	w := NewWindow(1)
+	w.Reset(0)
+	w.Update(2, 2, 2)
+	w.Advance(0.5)
+	w.Update(4, 8, 2)
+	w.Advance(10) // old segment fully evicted
+	mu, _, _ := w.Estimate()
+	if math.Abs(mu-2) > 1e-9 {
+		t.Errorf("after eviction mu = %v, want 2", mu)
+	}
+	if len(w.segs) > 2 {
+		t.Errorf("segment buffer not trimmed: %d", len(w.segs))
+	}
+}
+
+func TestAggregateOnlyMean(t *testing.T) {
+	e := NewAggregateOnly(0, 1)
+	e.Reset(0)
+	e.Update(50, 0, 25) // aggregate 50 over 25 flows
+	e.Advance(1)
+	mu, _, ok := e.Estimate()
+	if !ok || math.Abs(mu-2) > 1e-12 {
+		t.Errorf("aggregate-only mu = %v ok=%v, want 2", mu, ok)
+	}
+}
+
+func TestAggregateOnlyVarianceRecovery(t *testing.T) {
+	// n flows each redrawing N(1, 0.09): aggregate variance = 0.09 n, so the
+	// per-flow sigma estimate should approach 0.3.
+	r := rng.New(9, 0)
+	const n = 100
+	e := NewAggregateOnly(0, 50)
+	e.Reset(0)
+	rates := make([]float64, n)
+	for i := range rates {
+		rates[i] = r.NormalMS(1, 0.3)
+	}
+	tNow := 0.0
+	for step := 0; step < 200000; step++ {
+		tNow += r.Exp(1.0 / n)
+		e.Advance(tNow)
+		rates[r.Intn(n)] = r.NormalMS(1, 0.3)
+		var s float64
+		for _, x := range rates {
+			s += x
+		}
+		e.Update(s, 0, n)
+	}
+	_, sigma, ok := e.Estimate()
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if math.Abs(sigma-0.3) > 0.06 {
+		t.Errorf("aggregate-only sigma = %v, want ~0.3", sigma)
+	}
+}
+
+func TestAggregateOnlyNoAdmissionLagBias(t *testing.T) {
+	// Regression: with memory in the mean, suddenly doubling the flow
+	// population must not depress the per-flow mean estimate (the filtered
+	// aggregate must be divided by an equally filtered count, or the
+	// controller sees a phantom drop in mu and over-admits).
+	e := NewAggregateOnly(10, 10)
+	e.Reset(0)
+	e.Update(50, 0, 50) // 50 flows at rate 1
+	e.Advance(100)      // settle
+	muBefore, _, _ := e.Estimate()
+	e.Update(100, 0, 100) // population doubles instantaneously
+	e.Advance(100.001)    // a blink later
+	muAfter, _, _ := e.Estimate()
+	if math.Abs(muBefore-1) > 1e-9 {
+		t.Fatalf("settled mu = %v", muBefore)
+	}
+	if math.Abs(muAfter-1) > 0.02 {
+		t.Errorf("mu dipped to %v right after an admission burst", muAfter)
+	}
+}
+
+func TestOracle(t *testing.T) {
+	e := &Oracle{Mu: 1.5, Sigma: 0.45}
+	e.Reset(0)
+	e.Update(0, 0, 0)
+	e.Advance(100)
+	mu, sigma, ok := e.Estimate()
+	if !ok || mu != 1.5 || sigma != 0.45 {
+		t.Errorf("oracle: %v %v %v", mu, sigma, ok)
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, pair := range []struct {
+		e    Estimator
+		want string
+	}{
+		{NewMemoryless(), "memoryless"},
+		{NewExponential(1), "exponential"},
+		{NewWindow(1), "window"},
+		{NewAggregateOnly(0, 1), "aggregate-only"},
+		{&Oracle{}, "oracle"},
+	} {
+		if pair.e.Name() != pair.want {
+			t.Errorf("name = %q, want %q", pair.e.Name(), pair.want)
+		}
+	}
+}
+
+func BenchmarkExponentialAdvanceUpdate(b *testing.B) {
+	e := NewExponential(10)
+	e.Reset(0)
+	t := 0.0
+	for i := 0; i < b.N; i++ {
+		t += 0.01
+		e.Advance(t)
+		e.Update(100, 110, 100)
+	}
+}
+
+func BenchmarkWindowAdvanceUpdate(b *testing.B) {
+	e := NewWindow(10)
+	e.Reset(0)
+	t := 0.0
+	for i := 0; i < b.N; i++ {
+		t += 0.01
+		e.Advance(t)
+		e.Update(100, 110, 100)
+	}
+}

@@ -1,0 +1,163 @@
+package estimator
+
+import "math"
+
+// FlowAware is implemented by estimators that maintain per-flow filtered
+// state. The simulator feeds them flow-level events (admission, rate
+// change, departure) in addition to the aggregate Advance/Update protocol;
+// ids are the simulator's flow slots and may be recycled after departure.
+type FlowAware interface {
+	Estimator
+	// FlowAdmitted introduces a flow at the current time with its initial
+	// rate.
+	FlowAdmitted(id int, rate float64)
+	// FlowRateChanged records flow id renegotiating to rate at the current
+	// time.
+	FlowRateChanged(id int, rate float64)
+	// FlowDeparted removes flow id at the current time.
+	FlowDeparted(id int)
+}
+
+// PerFlowExponential implements the paper's Section 4.3 estimator exactly:
+// each flow's bandwidth and squared bandwidth are filtered individually
+// with the kernel h(t) = exp(-t/Tm)/Tm, and
+//
+//	mu-hat_m(t)     = (1/n)   Σ_i F[X_i](t)
+//	sigma-hat²_m(t) = (1/(n-1)) ( Σ_i F[X_i²](t) − n·mu-hat_m(t)² )
+//
+// (the expansion of eq. §4.3's integral with the filtered mean pulled out).
+//
+// Because all flows share one time constant, the sums Σ F[X_i] and
+// Σ F[X_i²] obey the same exponential recursion as a single filter driven
+// by the instantaneous aggregates, so advancing time is O(1); per-flow
+// state is only touched on that flow's own events, lazily, to know exactly
+// what to add or subtract when its rate changes or it departs. On a fixed
+// population this estimator coincides with Exponential to rounding; they
+// differ only in how flow churn enters the filters (exact bookkeeping here
+// versus the normalized-ratio approximation there).
+type PerFlowExponential struct {
+	Tm float64
+
+	t      float64 // current time (last Advance)
+	s1, s2 float64 // Σ F[X_i], Σ F[X_i²] at time t
+	cur1   float64 // current Σ X_i (filter drive)
+	cur2   float64 // current Σ X_i²
+	n      int
+
+	flows map[int]*perFlowState
+}
+
+// perFlowState is one flow's lazily-updated filter.
+type perFlowState struct {
+	f1, f2 float64 // filtered rate and squared rate at time tLast
+	x      float64 // rate held since tLast
+	tLast  float64
+}
+
+// NewPerFlowExponential returns the exact per-flow filtered estimator with
+// memory window tm > 0.
+func NewPerFlowExponential(tm float64) *PerFlowExponential {
+	if tm <= 0 {
+		panic("estimator: PerFlowExponential requires Tm > 0")
+	}
+	return &PerFlowExponential{Tm: tm, flows: make(map[int]*perFlowState)}
+}
+
+// Name implements Estimator.
+func (e *PerFlowExponential) Name() string { return "per-flow-exponential" }
+
+// Reset implements Estimator.
+func (e *PerFlowExponential) Reset(t float64) {
+	*e = PerFlowExponential{Tm: e.Tm, t: t, flows: make(map[int]*perFlowState)}
+}
+
+// Advance implements Estimator: the filtered sums decay toward the current
+// instantaneous aggregates exactly as a single filter would.
+func (e *PerFlowExponential) Advance(t float64) {
+	dt := t - e.t
+	e.t = t
+	if dt <= 0 || e.n == 0 {
+		return
+	}
+
+	a := math.Exp(-dt / e.Tm)
+	e.s1 = a*e.s1 + (1-a)*e.cur1
+	e.s2 = a*e.s2 + (1-a)*e.cur2
+}
+
+// Update implements Estimator. For this estimator the aggregates are
+// redundant with the flow events (they drive the O(1) sum recursion); the
+// flow count is authoritative from the events.
+func (e *PerFlowExponential) Update(sumRate, sumSq float64, _ int) {
+	e.cur1, e.cur2 = sumRate, sumSq
+}
+
+// syncFlow brings a flow's lazy filter state to the current time.
+func (e *PerFlowExponential) syncFlow(f *perFlowState) {
+	dt := e.t - f.tLast
+	if dt > 0 {
+		a := math.Exp(-dt / e.Tm)
+		f.f1 = a*f.f1 + (1-a)*f.x
+		f.f2 = a*f.f2 + (1-a)*f.x*f.x
+		f.tLast = e.t
+	}
+}
+
+// FlowAdmitted implements FlowAware. The flow's filter is seeded at its
+// initial rate (the impulsive-load measurement semantics: with no history,
+// the current bandwidth is the estimate).
+func (e *PerFlowExponential) FlowAdmitted(id int, rate float64) {
+	f := &perFlowState{f1: rate, f2: rate * rate, x: rate, tLast: e.t}
+	e.flows[id] = f
+	e.s1 += f.f1
+	e.s2 += f.f2
+	e.n++
+}
+
+// FlowRateChanged implements FlowAware. The filter value is continuous
+// across a renegotiation; only the drive changes.
+func (e *PerFlowExponential) FlowRateChanged(id int, rate float64) {
+	f, ok := e.flows[id]
+	if !ok {
+		return
+	}
+	e.syncFlow(f)
+	f.x = rate
+}
+
+// FlowDeparted implements FlowAware: the flow's exact filtered
+// contribution is removed from the sums.
+func (e *PerFlowExponential) FlowDeparted(id int) {
+	f, ok := e.flows[id]
+	if !ok {
+		return
+	}
+	e.syncFlow(f)
+	e.s1 -= f.f1
+	e.s2 -= f.f2
+	delete(e.flows, id)
+	e.n--
+	if e.n == 0 {
+		e.s1, e.s2 = 0, 0
+	}
+}
+
+// Estimate implements Estimator.
+func (e *PerFlowExponential) Estimate() (mu, sigma float64, ok bool) {
+	if e.n < 2 {
+		if e.n == 1 {
+			return e.s1, 0, false
+		}
+		return 0, 0, false
+	}
+	// Before any time elapses the filters hold the seeds (= the current
+	// cross-section), which is exactly the memoryless estimate — no
+	// special casing needed, unlike the aggregate-ratio estimator.
+	nf := float64(e.n)
+	mu = e.s1 / nf
+	variance := (e.s2 - nf*mu*mu) / (nf - 1)
+	if variance < 0 {
+		variance = 0
+	}
+	return mu, math.Sqrt(variance), true
+}

@@ -1,0 +1,174 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestPerFlowPanicsOnZeroTm(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPerFlowExponential(0) should panic")
+		}
+	}()
+	NewPerFlowExponential(0)
+}
+
+func TestPerFlowBasics(t *testing.T) {
+	e := NewPerFlowExponential(5)
+	e.Reset(0)
+	if _, _, ok := e.Estimate(); ok {
+		t.Error("empty estimator should not be ok")
+	}
+	e.FlowAdmitted(0, 1)
+	e.Update(1, 1, 1)
+	if mu, _, ok := e.Estimate(); ok || mu != 1 {
+		t.Errorf("single flow: ok=%v mu=%v", ok, mu)
+	}
+	e.FlowAdmitted(1, 3)
+	e.Update(4, 10, 2)
+	mu, sigma, ok := e.Estimate()
+	if !ok || math.Abs(mu-2) > 1e-12 || math.Abs(sigma-math.Sqrt2) > 1e-12 {
+		t.Errorf("cross-section seed: mu=%v sigma=%v ok=%v", mu, sigma, ok)
+	}
+	if e.Name() != "per-flow-exponential" {
+		t.Error("name")
+	}
+}
+
+func TestPerFlowMatchesExponentialOnFixedPopulation(t *testing.T) {
+	// With no churn the per-flow sums satisfy the same recursion as the
+	// aggregate filter, so the two estimators coincide exactly.
+	pf := NewPerFlowExponential(4)
+	ag := NewExponential(4)
+	pf.Reset(0)
+	ag.Reset(0)
+	const n = 10
+	r := rng.New(8, 0)
+	rates := make([]float64, n)
+	var s1, s2 float64
+	for i := range rates {
+		rates[i] = r.NormalMS(1, 0.3)
+		pf.FlowAdmitted(i, rates[i])
+		s1 += rates[i]
+		s2 += rates[i] * rates[i]
+	}
+	pf.Update(s1, s2, n)
+	ag.Update(s1, s2, n)
+	tNow := 0.0
+	for step := 0; step < 5000; step++ {
+		tNow += r.Exp(0.1)
+		pf.Advance(tNow)
+		ag.Advance(tNow)
+		i := r.Intn(n)
+		old := rates[i]
+		rates[i] = r.NormalMS(1, 0.3)
+		s1 += rates[i] - old
+		s2 += rates[i]*rates[i] - old*old
+		pf.FlowRateChanged(i, rates[i])
+		pf.Update(s1, s2, n)
+		ag.Update(s1, s2, n)
+	}
+	mu1, sig1, _ := pf.Estimate()
+	mu2, sig2, _ := ag.Estimate()
+	if math.Abs(mu1-mu2) > 1e-9 || math.Abs(sig1-sig2) > 1e-9 {
+		t.Errorf("fixed population: per-flow (%v, %v) vs aggregate (%v, %v)", mu1, sig1, mu2, sig2)
+	}
+}
+
+func TestPerFlowDepartureRemovesExactContribution(t *testing.T) {
+	// Admit two flows, let time pass, remove one: the remaining estimate
+	// must equal what a fresh estimator tracking only the survivor would
+	// hold.
+	e := NewPerFlowExponential(2)
+	e.Reset(0)
+	e.FlowAdmitted(0, 1)
+	e.FlowAdmitted(1, 5)
+	e.Update(6, 26, 2)
+	e.Advance(3)
+	e.FlowDeparted(1)
+	e.Update(1, 1, 1)
+	mu, _, _ := e.Estimate()
+	// The survivor held rate 1 the whole time: its filter is exactly 1.
+	if math.Abs(mu-1) > 1e-12 {
+		t.Errorf("survivor mu = %v, want 1", mu)
+	}
+	// Unknown ids are ignored gracefully.
+	e.FlowDeparted(99)
+	e.FlowRateChanged(42, 7)
+}
+
+func TestPerFlowRateChangeContinuity(t *testing.T) {
+	// The filtered value must be continuous across a renegotiation: the
+	// estimate immediately after the change equals the one immediately
+	// before.
+	e := NewPerFlowExponential(2)
+	e.Reset(0)
+	e.FlowAdmitted(0, 1)
+	e.FlowAdmitted(1, 1)
+	e.Update(2, 2, 2)
+	e.Advance(1)
+	before, _, _ := e.Estimate()
+	e.FlowRateChanged(0, 100)
+	e.Update(101, 10001, 2)
+	after, _, _ := e.Estimate()
+	if math.Abs(before-after) > 1e-12 {
+		t.Errorf("estimate jumped across renegotiation: %v -> %v", before, after)
+	}
+	// But the new rate does pull the filter over time.
+	e.Advance(10)
+	later, _, _ := e.Estimate()
+	if later < 10 {
+		t.Errorf("filter should move toward the new rate, got %v", later)
+	}
+}
+
+func TestPerFlowNoZeroTimeBurstPathology(t *testing.T) {
+	// The per-flow estimator is immune to the t=0 burst trap by
+	// construction: seeds are the running cross-section.
+	e := NewPerFlowExponential(10)
+	e.Reset(0)
+	e.FlowAdmitted(0, 0.9)
+	e.Update(0.9, 0.81, 1)
+	e.FlowAdmitted(1, 2.0)
+	e.Update(2.9, 4.81, 2)
+	mu, sigma, ok := e.Estimate()
+	if !ok || math.Abs(mu-1.45) > 1e-12 || sigma < 0.5 {
+		t.Errorf("burst cross-section: mu=%v sigma=%v ok=%v", mu, sigma, ok)
+	}
+}
+
+func TestPerFlowVarianceIncludesFilteredDispersion(t *testing.T) {
+	// Two flows pinned at different constant rates: as Tm-filtering
+	// converges, the variance estimate approaches the cross-sectional
+	// dispersion of the (converged) filtered rates — here (1,3) => sigma^2
+	// = 2 with the unbiased divisor.
+	e := NewPerFlowExponential(0.5)
+	e.Reset(0)
+	e.FlowAdmitted(0, 1)
+	e.FlowAdmitted(1, 3)
+	e.Update(4, 10, 2)
+	e.Advance(50)
+	_, sigma, _ := e.Estimate()
+	if math.Abs(sigma-math.Sqrt2) > 1e-6 {
+		t.Errorf("converged sigma = %v, want sqrt(2)", sigma)
+	}
+}
+
+func BenchmarkPerFlowAdvanceUpdate(b *testing.B) {
+	e := NewPerFlowExponential(10)
+	e.Reset(0)
+	for i := 0; i < 100; i++ {
+		e.FlowAdmitted(i, 1)
+	}
+	e.Update(100, 100, 100)
+	t := 0.0
+	for i := 0; i < b.N; i++ {
+		t += 0.01
+		e.Advance(t)
+		e.FlowRateChanged(i%100, 1.1)
+		e.Update(100.1, 110, 100)
+	}
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRegistryIntegrity(t *testing.T) {
+	rs := Runners()
+	if len(rs) < 12 {
+		t.Fatalf("only %d experiments registered", len(rs))
+	}
+	seen := map[string]bool{}
+	for _, r := range rs {
+		if r.ID == "" || r.Description == "" || r.Run == nil {
+			t.Errorf("incomplete runner %+v", r)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate id %q", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	for _, want := range []string{"prop31", "prop33", "finite", "fig5", "fig6", "fig7",
+		"fig9", "fig10", "fig11", "fig12", "util", "limit", "regimes",
+		"abl-sampling", "abl-filter", "abl-variance", "abl-theory",
+		"arrival", "bayes", "utility", "reneg", "buffer", "transient", "fig2", "holding", "misdecl"} {
+		if !seen[want] {
+			t.Errorf("missing experiment %q", want)
+		}
+	}
+	if _, ok := Lookup("fig5"); !ok {
+		t.Error("Lookup(fig5) failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup(nope) should fail")
+	}
+}
+
+func TestParseFidelity(t *testing.T) {
+	for s, want := range map[string]Fidelity{
+		"quick": Quick, "q": Quick, "standard": Standard, "std": Standard,
+		"full": Full, "F": Full,
+	} {
+		got, err := ParseFidelity(s)
+		if err != nil || got != want {
+			t.Errorf("ParseFidelity(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseFidelity("bogus"); err == nil {
+		t.Error("bogus fidelity should fail")
+	}
+	for _, f := range []Fidelity{Quick, Standard, Full, Fidelity(9)} {
+		if f.String() == "" {
+			t.Error("empty fidelity string")
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Columns: []string{"a", "b"}}
+	tab.AddRow(1, 0.5)
+	tab.AddRow(1e-9, 12345678)
+	tab.Note("note %d", 7)
+	var txt, csv strings.Builder
+	if err := tab.Fprint(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"demo", "a", "b", "note 7", "1.000e-09"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Errorf("text output missing %q:\n%s", want, txt.String())
+		}
+		if !strings.Contains(csv.String(), want) && want != "demo" {
+			if !strings.Contains(csv.String(), want) {
+				t.Errorf("csv output missing %q:\n%s", want, csv.String())
+			}
+		}
+	}
+	if !strings.Contains(csv.String(), "a,b") {
+		t.Errorf("csv header malformed:\n%s", csv.String())
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Columns: []string{"a", "b"}}
+	tab.AddRow(1, 0.5)
+	tab.Note("hello")
+	var sb strings.Builder
+	if err := tab.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"## x — demo", "| a | b |", "| --- | --- |", "| 1 | 0.5 |", "*hello*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableAddRowWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched row width should panic")
+		}
+	}()
+	tab := &Table{ID: "x", Columns: []string{"a", "b"}}
+	tab.AddRow(1)
+}
+
+func TestFormatCell(t *testing.T) {
+	cases := map[float64]string{
+		3:        "3",
+		0.25:     "0.25",
+		1e-9:     "1.000e-09",
+		12345678: "1.235e+07",
+	}
+	for v, want := range cases {
+		if got := formatCell(v); got != want {
+			t.Errorf("formatCell(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if formatCell(math.NaN()) != "NaN" {
+		t.Error("NaN formatting")
+	}
+}
+
+// Pure-theory experiments are cheap: always run them fully.
+func TestTheoryOnlyExperiments(t *testing.T) {
+	for _, id := range []string{"fig6", "fig9", "regimes", "abl-theory"} {
+		r, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		tables, err := r.Run(Quick, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			t.Fatalf("%s produced no data", id)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	r, _ := Lookup("fig6")
+	tables, err := r.Run(Standard, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	// p_ce must be non-decreasing in Tm for each configuration and always
+	// at or below pq = 1e-3.
+	for col := 1; col < len(tab.Columns); col++ {
+		prev := 0.0
+		for _, row := range tab.Rows {
+			v := row[col]
+			if math.IsNaN(v) {
+				continue
+			}
+			if v > 1.001e-3 {
+				t.Errorf("col %d: pce %v exceeds pq", col, v)
+			}
+			if v < prev*(1-1e-9) {
+				t.Errorf("col %d: pce not monotone in Tm (%v after %v)", col, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	r, _ := Lookup("fig9")
+	tables, err := r.Run(Standard, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	// At small Tc (first data column) pf must fall sharply as Tm grows.
+	first := tab.Rows[0][1]
+	last := tab.Rows[len(tab.Rows)-1][1]
+	if last >= first/10 {
+		t.Errorf("memory should slash pf at small Tc: %v -> %v", first, last)
+	}
+	// Large Tc (repair regime) is safe regardless of memory.
+	lastCol := len(tab.Columns) - 1
+	for _, row := range tab.Rows {
+		if row[lastCol] > 1e-3 {
+			t.Errorf("repair regime pf %v too high at Tm/ThTilde=%v", row[lastCol], row[0])
+		}
+	}
+}
+
+// Simulation-backed experiments at Quick fidelity; skipped with -short.
+func TestSimulationExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiments skipped in -short mode")
+	}
+	for _, id := range []string{"prop31", "prop33", "finite", "fig5", "fig7",
+		"fig11", "fig12", "util", "limit", "abl-sampling", "abl-filter", "abl-variance",
+		"arrival", "bayes", "utility", "reneg", "buffer", "transient", "fig2", "holding", "misdecl"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			r, ok := Lookup(id)
+			if !ok {
+				t.Fatalf("missing %s", id)
+			}
+			tables, err := r.Run(Quick, 7)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if len(tables) == 0 || len(tables[0].Rows) == 0 {
+				t.Fatalf("%s produced no data", id)
+			}
+			for _, tab := range tables {
+				var sb strings.Builder
+				if err := tab.Fprint(&sb); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestFig10Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig10 grid skipped in -short mode")
+	}
+	r, _ := Lookup("fig10")
+	tables, err := r.Run(Quick, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Small Tc, no memory: pf should be clearly worse than with full memory.
+	first := tab.Rows[0][1]
+	last := tab.Rows[len(tab.Rows)-1][1]
+	if !(first > last) {
+		t.Errorf("memory should reduce simulated pf at small Tc: %v vs %v", first, last)
+	}
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"repro/internal/gauss"
+	"repro/internal/limitsim"
+	"repro/internal/theory"
+)
+
+func init() {
+	register(Runner{
+		ID:          "util",
+		Description: "Eq. 40: utilization cost of conservative certainty-equivalent targets",
+		Run:         runUtil,
+	})
+	register(Runner{
+		ID:          "limit",
+		Description: "Limit-process simulation vs eq. 37 integral vs eq. 38 closed form",
+		Run:         runLimit,
+	})
+	register(Runner{
+		ID:          "regimes",
+		Description: "Masking and repair regimes (Section 5.3) quantified against eq. 37",
+		Run:         runRegimes,
+	})
+}
+
+func runUtil(f Fidelity, seed uint64) ([]*Table, error) {
+	const n, svr, th, tc, tm = 100.0, 0.3, 1000.0, 1.0, 100.0
+	base := quickTarget(f, 1e-2)
+	t := &Table{
+		ID:      "util",
+		Title:   "Mean carried flows vs certainty-equivalent target: simulation vs eq. 40",
+		Columns: []string{"pce", "mean_flows_sim", "delta_sim", "delta_eq40", "utilization"},
+	}
+	sys := theory.System{Capacity: n, Mu: 1, Sigma: svr, Th: th, Tc: tc, Tm: tm}
+	targets := []float64{base, base / 10, base / 100}
+	var ref float64
+	for i, pce := range targets {
+		res, err := run(spec{
+			N: n, SVR: svr, Th: th, Tc: tc, Tm: tm, Pce: pce,
+			Seed: seed + uint64(i), MaxTime: simBudget(f),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			ref = res.MeanFlows
+		}
+		// eq. 40 predicts the *bandwidth* delta; with mu=1 that equals the
+		// flow-count delta.
+		deltaTheory := theory.UtilizationDelta(sys, targets[0], pce)
+		t.AddRow(pce, res.MeanFlows, ref-res.MeanFlows, deltaTheory, res.Utilization)
+	}
+	t.Note("n=%g sigma/mu=%g Th=%g Tc=%g Tm=%g fidelity=%s", n, svr, th, tc, tm, f)
+	t.Note("delta columns: carried-flow loss relative to the first row; eq. 40 = sigma sqrt(n) [Qinv(pce_i) - Qinv(pce_0)]")
+	return []*Table{t}, nil
+}
+
+func runLimit(f Fidelity, seed uint64) ([]*Table, error) {
+	const n, svr, th = 100.0, 0.3, 1000.0
+	pce := quickTarget(f, 1e-3)
+	dur := map[Fidelity]float64{Quick: 2e4, Standard: 2e5, Full: 4e6}[f]
+	t := &Table{
+		ID:      "limit",
+		Title:   "Hitting probability: limit-process simulation vs Bräker approximations",
+		Columns: []string{"Tc", "Tm", "pf_limit_sim", "pf_eq37", "pf_eq38", "ci_halfwidth"},
+	}
+	cases := []struct{ tc, tm float64 }{
+		{1, 0}, {1, 10}, {1, 100}, {10, 100}, {100, 100},
+	}
+	for i, c := range cases {
+		sys := theory.System{Capacity: n, Mu: 1, Sigma: svr, Th: th, Tc: c.tc, Tm: c.tm}
+		res, err := limitsim.Overflow(sys, pce, limitsim.Options{Seed: seed + uint64(i), Duration: dur})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(c.tc, c.tm, res.Pf,
+			theory.ContinuousOverflowIntegral(sys, pce),
+			theory.ContinuousOverflowClosedForm(sys, pce),
+			res.HalfWidth)
+	}
+	t.Note("n=%g sigma/mu=%g Th=%g (ThTilde=%g) pce=%g fidelity=%s", n, svr, th, sys0(n, th), pce, f)
+	t.Note("isolates the Bräker approximation error from finite-n effects")
+	return []*Table{t}, nil
+}
+
+// sys0 returns ThTilde for the notes above.
+func sys0(n, th float64) float64 {
+	return theory.System{Capacity: n, Mu: 1, Th: th}.ThTilde()
+}
+
+func runRegimes(_ Fidelity, _ uint64) ([]*Table, error) {
+	const n, svr, th, pq = 100.0, 0.3, 1000.0, 1e-3
+	sysBase := theory.System{Capacity: n, Mu: 1, Sigma: svr, Th: th}
+	thTilde := sysBase.ThTilde()
+	t := &Table{
+		ID:      "regimes",
+		Title:   "Masking vs repair (Tm = ThTilde): regime approximations against eq. 37",
+		Columns: []string{"Tc", "regime", "pf_eq37", "pf_regime_approx"},
+	}
+	for _, tc := range []float64{0.01, 0.1, 1, 10, 100, 1000, 10000} {
+		sys := sysBase
+		sys.Tc = tc
+		sys.Tm = thTilde
+		regime := theory.ClassifyRegime(sys)
+		var approx float64
+		switch regime {
+		case theory.RegimeMasking:
+			approx = theory.MaskingOverflow(sys, pq)
+		case theory.RegimeRepair:
+			approx = theory.RepairOverflow(sys, pq)
+		default:
+			approx = theory.ContinuousOverflowIntegral(sys, pq)
+		}
+		t.AddRow(tc, float64(regime), theory.ContinuousOverflowIntegral(sys, pq), approx)
+	}
+	t.Note("regime column: 0=masking 1=repair 2=intermediate; Tm=ThTilde=%g pq=%g", thTilde, pq)
+	t.Note("masking: pf ~ (sigma alpha/mu + 1) pq = %.3g", (svr*gauss.Qinv(pq)+1)*pq)
+	return []*Table{t}, nil
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden experiment tables")
+
+// goldenIDs are the pure-theory experiments: deterministic (no RNG), fast,
+// and exactly reproducible — so their full output is locked against
+// regressions in the numerical stack (quadrature, root finding, Gaussian
+// functions, formula implementations).
+var goldenIDs = []string{"fig6", "fig9", "regimes", "abl-theory"}
+
+func TestGoldenTheoryTables(t *testing.T) {
+	for _, id := range goldenIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			r, ok := Lookup(id)
+			if !ok {
+				t.Fatalf("missing experiment %s", id)
+			}
+			tables, err := r.Run(Standard, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			for _, tab := range tables {
+				if err := tab.WriteCSV(&sb); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := sb.String()
+			path := filepath.Join("testdata", "golden", id+".csv")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden file missing (regenerate with -update-golden): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from golden output.\n--- got ---\n%s\n--- want ---\n%s",
+					id, got, want)
+			}
+		})
+	}
+}

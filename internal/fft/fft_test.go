@@ -1,0 +1,219 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestPowerOfTwoHelpers(t *testing.T) {
+	cases := []struct {
+		n    int
+		is   bool
+		next int
+	}{
+		{0, false, 1}, {1, true, 1}, {2, true, 2}, {3, false, 4},
+		{4, true, 4}, {5, false, 8}, {1023, false, 1024}, {1024, true, 1024},
+	}
+	for _, c := range cases {
+		if IsPowerOfTwo(c.n) != c.is {
+			t.Errorf("IsPowerOfTwo(%d) = %v", c.n, !c.is)
+		}
+		if got := NextPowerOfTwo(c.n); got != c.next {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", c.n, got, c.next)
+		}
+	}
+}
+
+func TestForwardKnownDFT(t *testing.T) {
+	// DFT of [1, 0, 0, 0] is [1, 1, 1, 1].
+	x := []complex128{1, 0, 0, 0}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("X[%d] = %v, want 1", i, v)
+		}
+	}
+	// DFT of a pure tone e^{2πi·j/N} concentrates at bin 1 — but with our
+	// e^{-2πi jk/N} convention the energy lands in bin 1.
+	const n = 16
+	y := make([]complex128, n)
+	for j := range y {
+		arg := 2 * math.Pi * float64(j) / n
+		y[j] = cmplx.Exp(complex(0, arg))
+	}
+	if err := Forward(y); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range y {
+		want := 0.0
+		if k == 1 {
+			want = n
+		}
+		if math.Abs(cmplx.Abs(v)-want) > 1e-9 {
+			t.Errorf("tone bin %d: |X| = %v, want %v", k, cmplx.Abs(v), want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p := rng.New(1, 1)
+	for _, n := range []int{1, 2, 8, 64, 1024} {
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(p.Normal(), p.Normal())
+			orig[i] = x[i]
+		}
+		if err := Forward(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := Inverse(x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				t.Fatalf("n=%d: round trip mismatch at %d: %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestNonPowerOfTwoRejected(t *testing.T) {
+	if err := Forward(make([]complex128, 6)); err != ErrNotPowerOfTwo {
+		t.Errorf("want ErrNotPowerOfTwo, got %v", err)
+	}
+	if err := Inverse(make([]complex128, 0)); err != ErrNotPowerOfTwo {
+		t.Errorf("want ErrNotPowerOfTwo for empty, got %v", err)
+	}
+}
+
+func TestParseval(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := rng.New(seed, 0)
+		const n = 256
+		x := make([]complex128, n)
+		var timeEnergy float64
+		for i := range x {
+			x[i] = complex(p.Normal(), 0)
+			timeEnergy += real(x[i]) * real(x[i])
+		}
+		if err := Forward(x); err != nil {
+			return false
+		}
+		var freqEnergy float64
+		for _, v := range x {
+			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(freqEnergy/float64(n)-timeEnergy) < 1e-6*timeEnergy
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	p := rng.New(3, 3)
+	const n = 64
+	x := make([]complex128, n)
+	y := make([]complex128, n)
+	sum := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		x[i] = complex(p.Normal(), 0)
+		y[i] = complex(p.Normal(), 0)
+		sum[i] = 2*x[i] + 3*y[i]
+	}
+	_ = Forward(x)
+	_ = Forward(y)
+	_ = Forward(sum)
+	for i := 0; i < n; i++ {
+		if cmplx.Abs(sum[i]-(2*x[i]+3*y[i])) > 1e-9 {
+			t.Fatalf("linearity violated at bin %d", i)
+		}
+	}
+}
+
+func TestAutocorrelationWhiteNoise(t *testing.T) {
+	p := rng.New(5, 5)
+	const n = 1 << 14
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = p.Normal()
+	}
+	r := Autocorrelation(x, 10)
+	if math.Abs(r[0]-1) > 1e-12 {
+		t.Errorf("r[0] = %v, want 1", r[0])
+	}
+	for k := 1; k <= 10; k++ {
+		if math.Abs(r[k]) > 4/math.Sqrt(n) {
+			t.Errorf("white noise r[%d] = %v too large", k, r[k])
+		}
+	}
+}
+
+func TestAutocorrelationAR1(t *testing.T) {
+	// AR(1) with coefficient a has r[k] = a^k.
+	p := rng.New(9, 1)
+	const n, a = 1 << 16, 0.8
+	x := make([]float64, n)
+	x[0] = p.Normal()
+	for i := 1; i < n; i++ {
+		x[i] = a*x[i-1] + math.Sqrt(1-a*a)*p.Normal()
+	}
+	r := Autocorrelation(x, 5)
+	for k := 1; k <= 5; k++ {
+		want := math.Pow(a, float64(k))
+		if math.Abs(r[k]-want) > 0.03 {
+			t.Errorf("AR(1) r[%d] = %v, want %v", k, r[k], want)
+		}
+	}
+}
+
+func TestAutocorrelationConstantSeries(t *testing.T) {
+	x := []float64{3, 3, 3, 3, 3, 3, 3, 3}
+	r := Autocorrelation(x, 3)
+	for k, v := range r {
+		if v != 0 {
+			t.Errorf("constant series r[%d] = %v, want 0", k, v)
+		}
+	}
+}
+
+func TestAutocorrelationEdgeCases(t *testing.T) {
+	if r := Autocorrelation(nil, 5); r != nil {
+		t.Errorf("nil input should give nil, got %v", r)
+	}
+	r := Autocorrelation([]float64{1, 2}, 10)
+	if len(r) != 2 {
+		t.Errorf("maxLag clamped to n-1: got len %d", len(r))
+	}
+}
+
+func BenchmarkForward1024(b *testing.B) {
+	p := rng.New(1, 1)
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(p.Normal(), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Forward(x)
+	}
+}
+
+func BenchmarkAutocorrelation16k(b *testing.B) {
+	p := rng.New(1, 1)
+	x := make([]float64, 1<<14)
+	for i := range x {
+		x[i] = p.Normal()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Autocorrelation(x, 100)
+	}
+}

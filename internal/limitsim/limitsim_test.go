@@ -1,0 +1,101 @@
+package limitsim
+
+import (
+	"testing"
+
+	"repro/internal/theory"
+)
+
+func sys(th, tc, tm float64) theory.System {
+	return theory.System{Capacity: 100, Mu: 1, Sigma: 0.3, Th: th, Tc: tc, Tm: tm}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Overflow(theory.System{Capacity: -1, Mu: 1}, 1e-2, Options{}); err == nil {
+		t.Error("invalid system should fail")
+	}
+	if _, err := Overflow(sys(100, 0, 0), 1e-2, Options{}); err == nil {
+		t.Error("Tc=0 should fail")
+	}
+	if _, err := Overflow(sys(0, 1, 0), 1e-2, Options{}); err == nil {
+		t.Error("Th=0 should fail")
+	}
+}
+
+func TestMemorylessMatchesTheoryIntegral(t *testing.T) {
+	// gamma = 3 regime: the limit-process measurement should agree with
+	// Bräker's approximation (eq. 32) within its known accuracy (the
+	// approximation is asymptotic in alpha, so expect tens of percent, not
+	// orders of magnitude).
+	s := sys(100, 1, 0) // ThTilde = 10, gamma = 3
+	pce := 1e-2
+	res, err := Overflow(s, pce, Options{Seed: 1, Duration: 60000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := theory.ContinuousOverflowIntegral(s, pce)
+	if res.Pf <= 0 {
+		t.Fatalf("no overflow measured")
+	}
+	if ratio := res.Pf / pred; ratio < 0.4 || ratio > 1.6 {
+		t.Errorf("limit sim %v vs theory %v (ratio %v)", res.Pf, pred, ratio)
+	}
+}
+
+func TestMemoryMatchesTheoryIntegral(t *testing.T) {
+	s := sys(100, 1, 10) // Tm = ThTilde
+	pce := 1e-2
+	res, err := Overflow(s, pce, Options{Seed: 2, Duration: 120000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := theory.ContinuousOverflowIntegral(s, pce)
+	if res.Pf <= 0 {
+		t.Fatalf("no overflow measured (pred %v)", pred)
+	}
+	if ratio := res.Pf / pred; ratio < 0.3 || ratio > 2.5 {
+		t.Errorf("limit sim %v vs theory %v (ratio %v)", res.Pf, pred, ratio)
+	}
+}
+
+func TestMemoryReducesOverflow(t *testing.T) {
+	pce := 1e-2
+	a, err := Overflow(sys(100, 1, 0), pce, Options{Seed: 3, Duration: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Overflow(sys(100, 1, 10), pce, Options{Seed: 3, Duration: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Pf >= a.Pf {
+		t.Errorf("memory should reduce pf: %v vs %v", a.Pf, b.Pf)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Overflow(sys(100, 1, 5), 1e-2, Options{Seed: 9, Duration: 5000})
+	b, _ := Overflow(sys(100, 1, 5), 1e-2, Options{Seed: 9, Duration: 5000})
+	if a.Pf != b.Pf || a.Steps != b.Steps {
+		t.Error("limit sim not deterministic")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	res, err := Overflow(sys(100, 1, 0), 0.1, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps <= 0 || res.Batches < 2 {
+		t.Errorf("defaults produced empty run: %+v", res)
+	}
+}
+
+func BenchmarkLimitSim(b *testing.B) {
+	s := sys(100, 1, 10)
+	for i := 0; i < b.N; i++ {
+		if _, err := Overflow(s, 1e-2, Options{Seed: uint64(i), Duration: 2000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

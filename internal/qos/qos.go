@@ -1,0 +1,72 @@
+// Package qos provides utility functions for the adaptive-application QoS
+// generalization the paper sketches in Section 7: instead of the binary
+// overflow metric, an application derives utility u(f) from receiving a
+// fraction f of its target bandwidth. The shapes follow Shenker's
+// "Fundamental Design Issues for the Future Internet" taxonomy:
+//
+//   - hard real-time: a step — anything below the target is worthless;
+//   - adaptive/elastic: concave — partial bandwidth retains most value;
+//   - linear: proportional value, the neutral reference.
+//
+// Utility functions map [0, 1] (fraction of demand served) to [0, 1] and
+// are plugged into link accounting via link.Config.Utility.
+package qos
+
+import "math"
+
+// Utility scores the fraction of demand served, mapping [0,1] to [0,1].
+type Utility func(frac float64) float64
+
+// clamp restricts f to [0, 1]; the link only produces values in range, but
+// utilities are safe to call with anything.
+func clamp(f float64) float64 {
+	switch {
+	case f < 0:
+		return 0
+	case f > 1:
+		return 1
+	}
+	return f
+}
+
+// Step returns a hard real-time utility: 1 when at least threshold of the
+// demand is served, 0 below. Step(1) reproduces the paper's overflow metric
+// as 1 − E[u].
+func Step(threshold float64) Utility {
+	return func(f float64) float64 {
+		if clamp(f) >= threshold {
+			return 1
+		}
+		return 0
+	}
+}
+
+// Linear is the proportional utility u(f) = f.
+func Linear() Utility {
+	return func(f float64) float64 { return clamp(f) }
+}
+
+// Concave returns an adaptive-application utility with curvature k > 0:
+//
+//	u(f) = log(1 + k·f) / log(1 + k),
+//
+// which rises steeply at low rates (any bandwidth helps a lot) and
+// saturates near the target. Larger k means more adaptive.
+func Concave(k float64) Utility {
+	if k <= 0 {
+		return Linear()
+	}
+	norm := math.Log1p(k)
+	return func(f float64) float64 {
+		return math.Log1p(k*clamp(f)) / norm
+	}
+}
+
+// Convex returns an inelastic-leaning utility u(f) = f^p with p > 1: value
+// concentrates near full service, intermediate between Linear and a Step.
+func Convex(p float64) Utility {
+	if p <= 1 {
+		return Linear()
+	}
+	return func(f float64) float64 { return math.Pow(clamp(f), p) }
+}

@@ -1,0 +1,87 @@
+package qos
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStep(t *testing.T) {
+	u := Step(0.9)
+	cases := map[float64]float64{0: 0, 0.5: 0, 0.89: 0, 0.9: 1, 1: 1, 2: 1, -1: 0}
+	for f, want := range cases {
+		if got := u(f); got != want {
+			t.Errorf("Step(0.9)(%v) = %v, want %v", f, got, want)
+		}
+	}
+}
+
+func TestStepOneEqualsOverflowComplement(t *testing.T) {
+	u := Step(1)
+	if u(1) != 1 || u(0.999) != 0 {
+		t.Error("Step(1) must be the overflow indicator complement")
+	}
+}
+
+func TestLinear(t *testing.T) {
+	u := Linear()
+	if u(0.25) != 0.25 || u(-1) != 0 || u(2) != 1 {
+		t.Error("linear utility misbehaves")
+	}
+}
+
+func TestConcaveProperties(t *testing.T) {
+	u := Concave(10)
+	if math.Abs(u(0)) > 1e-12 || math.Abs(u(1)-1) > 1e-12 {
+		t.Errorf("endpoints: u(0)=%v u(1)=%v", u(0), u(1))
+	}
+	// Concavity: u(f) >= f for f in (0,1).
+	for _, f := range []float64{0.1, 0.3, 0.5, 0.9} {
+		if u(f) <= f {
+			t.Errorf("concave utility below linear at %v: %v", f, u(f))
+		}
+	}
+	// Monotone.
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		a, b = math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if a > b {
+			a, b = b, a
+		}
+		return u(a) <= u(b)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	// Degenerate curvature falls back to linear.
+	if Concave(0)(0.5) != 0.5 {
+		t.Error("Concave(0) should be linear")
+	}
+}
+
+func TestConvexProperties(t *testing.T) {
+	u := Convex(3)
+	if math.Abs(u(1)-1) > 1e-12 || u(0) != 0 {
+		t.Error("endpoints")
+	}
+	for _, f := range []float64{0.1, 0.5, 0.9} {
+		if u(f) >= f {
+			t.Errorf("convex utility above linear at %v: %v", f, u(f))
+		}
+	}
+	if Convex(0.5)(0.25) != 0.25 {
+		t.Error("Convex(<=1) should be linear")
+	}
+}
+
+func TestOrderingAcrossFamilies(t *testing.T) {
+	// At every interior point: concave >= linear >= convex >= step(1).
+	conc, lin, conv, step := Concave(5), Linear(), Convex(2), Step(1)
+	for _, f := range []float64{0.2, 0.5, 0.8} {
+		if !(conc(f) >= lin(f) && lin(f) >= conv(f) && conv(f) >= step(f)) {
+			t.Errorf("ordering violated at %v: %v %v %v %v", f, conc(f), lin(f), conv(f), step(f))
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package rng implements the reproducible pseudo-random number generation
+// used by every stochastic component in this repository: traffic sources,
+// flow holding times, and Monte Carlo experiments.
+//
+// The core generator is PCG XSL RR 128/64 (O'Neill, 2014): a 128-bit linear
+// congruential state with an output permutation. It is fast, has a period of
+// 2^128, passes BigCrush, and — critically for experiment reproducibility —
+// supports cheap deterministic stream splitting so that every flow, source
+// and replication draws from an independent substream derived from a single
+// experiment seed.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// multiplier for the 128-bit LCG step (PCG's default), split into two
+// 64-bit halves: 0x2360ed051fc65da4_4385df649fccf645.
+const (
+	mulHi = 0x2360ed051fc65da4
+	mulLo = 0x4385df649fccf645
+)
+
+// PCG is a PCG XSL RR 128/64 generator. The zero value is NOT usable;
+// construct with New or Split.
+type PCG struct {
+	hi, lo uint64 // 128-bit state
+	incHi  uint64 // stream selector (must be odd in its 128-bit form)
+	incLo  uint64
+
+	haveSpare bool    // polar method caches the second normal variate
+	spare     float64 // cached N(0,1) sample
+}
+
+// New returns a generator seeded with seed on stream stream. Different
+// (seed, stream) pairs yield statistically independent sequences.
+func New(seed, stream uint64) *PCG {
+	p := &PCG{
+		incHi: stream,
+		incLo: stream*0x9e3779b97f4a7c15 + 0xda3e39cb94b95bdb | 1,
+	}
+	p.hi, p.lo = 0, 0
+	p.step()
+	p.lo += seed
+	p.hi += 0x9e3779b97f4a7c15 ^ seed
+	p.step()
+	p.step()
+	return p
+}
+
+// Split derives a new generator from p whose stream is a deterministic
+// function of p's current state and the given tag. It is used to give every
+// simulated flow its own substream so that changing one component of an
+// experiment does not perturb the random inputs of the others.
+func (p *PCG) Split(tag uint64) *PCG {
+	return New(p.Uint64()^mix(tag), p.Uint64()^mix(tag+0x632be59bd9b4e019))
+}
+
+// mix is SplitMix64's finalizer, used to decorrelate small integer tags.
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// step advances the 128-bit LCG state.
+func (p *PCG) step() {
+	// (hi, lo) = (hi, lo) * mul + inc, in 128-bit arithmetic.
+	lo, carry := mul64(p.lo, mulLo)
+	hi := p.hi*mulLo + p.lo*mulHi + carry
+	lo2 := lo + p.incLo
+	if lo2 < lo {
+		hi++
+	}
+	p.lo = lo2
+	p.hi = hi + p.incHi
+}
+
+// mul64 computes the 128-bit product of a and b, returning (lo, hi).
+func mul64(a, b uint64) (lo, hi uint64) {
+	hi, lo = bits.Mul64(a, b)
+	return lo, hi
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (p *PCG) Uint64() uint64 {
+	p.step()
+	// XSL RR output: xor-fold the 128-bit state and rotate by the top bits.
+	x := p.hi ^ p.lo
+	rot := uint(p.hi >> 58)
+	return x>>rot | x<<((64-rot)&63)
+}
+
+// Float64 returns a uniform sample in [0, 1) with 53 bits of precision.
+func (p *PCG) Float64() float64 {
+	return float64(p.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform sample in (0, 1), never exactly 0; useful
+// for logarithmic transforms.
+func (p *PCG) Float64Open() float64 {
+	for {
+		u := p.Float64()
+		if u > 0 {
+			return u
+		}
+	}
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0. Lemire's
+// nearly-divisionless bounded rejection keeps the distribution exact.
+func (p *PCG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive bound")
+	}
+	bound := uint64(n)
+	for {
+		v := p.Uint64()
+		lo, hi := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// Exp returns an exponential sample with the given mean. Flow holding times
+// in the paper are exponential with mean T_h; RCBR renegotiation intervals
+// are exponential with mean T_c.
+func (p *PCG) Exp(mean float64) float64 {
+	return -mean * math.Log(p.Float64Open())
+}
+
+// Normal returns a standard normal sample via the polar (Marsaglia) method
+// with caching of the second variate.
+func (p *PCG) Normal() float64 {
+	if p.haveSpare {
+		p.haveSpare = false
+		return p.spare
+	}
+	for {
+		u := 2*p.Float64() - 1
+		v := 2*p.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		p.spare = v * f
+		p.haveSpare = true
+		return u * f
+	}
+}
+
+// NormalMS returns a normal sample with mean m and standard deviation s.
+func (p *PCG) NormalMS(m, s float64) float64 {
+	return m + s*p.Normal()
+}
+
+// TruncatedNormal returns a sample from N(m, s^2) conditioned on being >= lo,
+// via simple rejection. It is used for non-negative traffic rates: the
+// paper's RCBR sources have a Gaussian marginal with sigma/mu = 0.3, for
+// which the mass below zero (~Q(3.33) ~ 4e-4) is negligible but must still
+// be excluded to keep rates physical.
+func (p *PCG) TruncatedNormal(m, s, lo float64) float64 {
+	for i := 0; ; i++ {
+		x := p.NormalMS(m, s)
+		if x >= lo {
+			return x
+		}
+		if i == 1000 {
+			// Pathological truncation (lo far above the mean): fall back to
+			// the boundary rather than spinning forever.
+			return lo
+		}
+	}
+}

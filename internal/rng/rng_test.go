@@ -1,0 +1,271 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42, 7)
+	b := New(42, 7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a := New(42, 7)
+	b := New(43, 7)
+	c := New(42, 8)
+	same1, same2 := 0, 0
+	for i := 0; i < 100; i++ {
+		x := a.Uint64()
+		if x == b.Uint64() {
+			same1++
+		}
+		if x == c.Uint64() {
+			same2++
+		}
+	}
+	if same1 > 1 || same2 > 1 {
+		t.Errorf("streams insufficiently distinct: %d %d collisions", same1, same2)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	p := New(1, 1)
+	for i := 0; i < 100000; i++ {
+		u := p.Float64()
+		if u < 0 || u >= 1 {
+			t.Fatalf("Float64 out of range: %v", u)
+		}
+	}
+}
+
+func TestFloat64Moments(t *testing.T) {
+	p := New(2024, 0)
+	n := 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		u := p.Float64()
+		sum += u
+		sumSq += u * u
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.003 {
+		t.Errorf("uniform variance = %v, want ~%v", variance, 1.0/12)
+	}
+}
+
+func TestUniformEquidistribution(t *testing.T) {
+	// Chi-square over 20 bins; 19 dof, 99.9% critical value ~ 43.8.
+	p := New(7, 3)
+	const bins, n = 20, 200000
+	var counts [bins]int
+	for i := 0; i < n; i++ {
+		counts[int(p.Float64()*bins)]++
+	}
+	expected := float64(n) / bins
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 43.8 {
+		t.Errorf("chi-square = %v exceeds 99.9%% critical value", chi2)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	p := New(5, 5)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := p.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	New(1, 1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	p := New(11, 2)
+	const n, trials = 6, 120000
+	var counts [n]int
+	for i := 0; i < trials; i++ {
+		counts[p.Intn(n)]++
+	}
+	expected := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-expected)/expected > 0.05 {
+			t.Errorf("Intn bin %d count %d deviates from %v", i, c, expected)
+		}
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	p := New(3, 9)
+	const mean, n = 4.0, 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := p.Exp(mean)
+		if x < 0 {
+			t.Fatalf("negative exponential sample %v", x)
+		}
+		sum += x
+		sumSq += x * x
+	}
+	m := sum / n
+	v := sumSq/n - m*m
+	if math.Abs(m-mean)/mean > 0.02 {
+		t.Errorf("exp mean = %v, want %v", m, mean)
+	}
+	if math.Abs(v-mean*mean)/(mean*mean) > 0.05 {
+		t.Errorf("exp variance = %v, want %v", v, mean*mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	p := New(17, 1)
+	const n = 300000
+	var sum, sumSq, sum3, sum4 float64
+	for i := 0; i < n; i++ {
+		x := p.Normal()
+		sum += x
+		sumSq += x * x
+		sum3 += x * x * x
+		sum4 += x * x * x * x
+	}
+	mean := sum / n
+	variance := sumSq / n
+	skew := sum3 / n
+	kurt := sum4 / n
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance = %v", variance)
+	}
+	if math.Abs(skew) > 0.03 {
+		t.Errorf("normal skew = %v", skew)
+	}
+	if math.Abs(kurt-3) > 0.1 {
+		t.Errorf("normal kurtosis = %v, want ~3", kurt)
+	}
+}
+
+func TestNormalTailMass(t *testing.T) {
+	p := New(23, 4)
+	const n = 400000
+	beyond2 := 0
+	for i := 0; i < n; i++ {
+		if math.Abs(p.Normal()) > 2 {
+			beyond2++
+		}
+	}
+	frac := float64(beyond2) / n
+	// 2*Q(2) = 0.0455
+	if math.Abs(frac-0.0455) > 0.004 {
+		t.Errorf("P(|N|>2) = %v, want ~0.0455", frac)
+	}
+}
+
+func TestTruncatedNormal(t *testing.T) {
+	p := New(31, 6)
+	for i := 0; i < 50000; i++ {
+		if x := p.TruncatedNormal(1, 0.3, 0); x < 0 {
+			t.Fatalf("truncated sample below bound: %v", x)
+		}
+	}
+	// Extreme truncation falls back to the boundary rather than hanging.
+	if x := p.TruncatedNormal(0, 1e-9, 100); x != 100 {
+		t.Errorf("extreme truncation fallback = %v, want 100", x)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	base := New(99, 0)
+	a := base.Split(1)
+	b := base.Split(2)
+	// Correlation between the two substreams should be ~0.
+	const n = 100000
+	var sa, sb, sab float64
+	for i := 0; i < n; i++ {
+		x, y := a.Float64()-0.5, b.Float64()-0.5
+		sa += x * x
+		sb += y * y
+		sab += x * y
+	}
+	corr := sab / math.Sqrt(sa*sb)
+	if math.Abs(corr) > 0.02 {
+		t.Errorf("split streams correlated: r = %v", corr)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(99, 0).Split(5)
+	b := New(99, 0).Split(5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split not deterministic")
+		}
+	}
+}
+
+func TestFloat64OpenNeverZero(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := New(seed, 0)
+		for i := 0; i < 100; i++ {
+			if p.Float64Open() <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	p := New(1, 1)
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s += p.Uint64()
+	}
+	_ = s
+}
+
+func BenchmarkNormal(b *testing.B) {
+	p := New(1, 1)
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += p.Normal()
+	}
+	_ = s
+}
+
+func BenchmarkExp(b *testing.B) {
+	p := New(1, 1)
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += p.Exp(1)
+	}
+	_ = s
+}

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/estimator"
+	"repro/internal/qos"
+	"repro/internal/traffic"
+)
+
+// arrivalRun runs a finite-arrival-rate simulation with a perfect-knowledge
+// controller and returns the result.
+func arrivalRun(t *testing.T, lambda float64, maxTime float64) Result {
+	t.Helper()
+	pk, err := core.NewPerfectKnowledge(50, 1, 0.3, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{
+		Capacity: 50, Model: traffic.NewRCBR(1, 0.3, 1), Controller: pk,
+		Estimator: estimator.NewMemoryless(), HoldingTime: 20,
+		ArrivalRate: lambda, Seed: 31, Warmup: 100, MaxTime: maxTime, Tc: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFiniteArrivalsErlangSanity(t *testing.T) {
+	// Offered load lambda*Th = 2*20 = 40 Erlangs against a ~46-flow limit:
+	// some blocking, mean flows well below the limit.
+	res := arrivalRun(t, 2, 20000)
+	if res.Arrivals == 0 {
+		t.Fatal("no arrivals recorded")
+	}
+	if res.BlockingProb <= 0 || res.BlockingProb > 0.3 {
+		t.Errorf("blocking prob = %v implausible", res.BlockingProb)
+	}
+	if res.MeanFlows >= 46 || res.MeanFlows < 30 {
+		t.Errorf("mean flows = %v, want ~40 Erlang-ish occupancy", res.MeanFlows)
+	}
+	// Accounting identity: every post-warmup arrival is admitted or blocked.
+	// (Admitted counts the whole run including warm-up, so compare rates.)
+	if res.Blocked > res.Arrivals {
+		t.Errorf("blocked %d > arrivals %d", res.Blocked, res.Arrivals)
+	}
+}
+
+func TestLightLoadNoBlockingNoOverflow(t *testing.T) {
+	// 0.5*20 = 10 Erlangs against a 46-flow limit: essentially no blocking.
+	res := arrivalRun(t, 0.5, 10000)
+	if res.BlockingProb > 0.001 {
+		t.Errorf("blocking prob = %v at light load", res.BlockingProb)
+	}
+	if res.OverflowTimeFraction > 1e-4 {
+		t.Errorf("overflow = %v at light load", res.OverflowTimeFraction)
+	}
+}
+
+func TestInfiniteLoadUpperBoundsFiniteRate(t *testing.T) {
+	// The paper's motivation for the continuous-load model: its overflow
+	// probability upper-bounds any finite arrival rate. Use the memoryless
+	// CE MBAC where overflow is common enough to compare quickly.
+	mk := func(lambda float64) Result {
+		ce, err := core.NewCertaintyEquivalent(1e-2, 1, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(Config{
+			Capacity: 100, Model: traffic.NewRCBR(1, 0.3, 1), Controller: ce,
+			Estimator: estimator.NewMemoryless(), HoldingTime: 100,
+			ArrivalRate: lambda, Seed: 77, Warmup: 300, MaxTime: 20000, Tc: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	infinite := mk(0)
+	moderate := mk(1.2) // 120 Erlangs offered vs ~91 admissible: loaded but finite
+	light := mk(0.5)    // 50 Erlangs: the controller is rarely binding
+	if !(light.OverflowTimeFraction < moderate.OverflowTimeFraction) {
+		t.Errorf("overflow should grow with arrival rate: %v vs %v",
+			light.OverflowTimeFraction, moderate.OverflowTimeFraction)
+	}
+	if !(moderate.OverflowTimeFraction <= infinite.OverflowTimeFraction*1.2) {
+		t.Errorf("infinite load should (roughly) upper-bound finite rate: %v vs %v",
+			moderate.OverflowTimeFraction, infinite.OverflowTimeFraction)
+	}
+}
+
+func TestRenegotiationAccounting(t *testing.T) {
+	// Continuous-load run: renegotiation failures should track the overflow
+	// fraction in order of magnitude (an increase request is a biased
+	// sample of instants, so only rough agreement is expected).
+	ce, _ := core.NewCertaintyEquivalent(1e-2, 1, 0.3)
+	e, err := New(Config{
+		Capacity: 100, Model: traffic.NewRCBR(1, 0.3, 1), Controller: ce,
+		Estimator: estimator.NewMemoryless(), HoldingTime: 100,
+		Seed: 13, Warmup: 200, MaxTime: 15000, Tc: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RenegRequests == 0 {
+		t.Fatal("no renegotiation requests recorded")
+	}
+	if res.RenegFailures == 0 {
+		t.Fatal("expected some renegotiation failures under the naive MBAC")
+	}
+	ratio := res.RenegFailureProb / res.OverflowTimeFraction
+	if ratio < 0.3 || ratio > 10 {
+		t.Errorf("reneg failure prob %v vs overflow %v: ratio %v out of band",
+			res.RenegFailureProb, res.OverflowTimeFraction, ratio)
+	}
+}
+
+func TestUtilityAccounting(t *testing.T) {
+	// With a step-at-1 utility, 1 - MeanUtility equals the overflow time
+	// fraction exactly.
+	ce, _ := core.NewCertaintyEquivalent(1e-2, 1, 0.3)
+	e, err := New(Config{
+		Capacity: 100, Model: traffic.NewRCBR(1, 0.3, 1), Controller: ce,
+		Estimator: estimator.NewMemoryless(), HoldingTime: 100,
+		Utility: qos.Step(1),
+		Seed:    19, Warmup: 200, MaxTime: 10000, Tc: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs((1-res.MeanUtility)-res.OverflowTimeFraction) > 1e-9 {
+		t.Errorf("step utility: 1-u = %v vs overflow %v",
+			1-res.MeanUtility, res.OverflowTimeFraction)
+	}
+	// A concave (adaptive) utility must score at least as high as the step.
+	e2, err := New(Config{
+		Capacity: 100, Model: traffic.NewRCBR(1, 0.3, 1), Controller: ce,
+		Estimator: estimator.NewMemoryless(), HoldingTime: 100,
+		Utility: qos.Concave(10),
+		Seed:    19, Warmup: 200, MaxTime: 10000, Tc: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := e2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.MeanUtility < res.MeanUtility {
+		t.Errorf("adaptive utility %v below hard-real-time %v", res2.MeanUtility, res.MeanUtility)
+	}
+}
+
+func TestArrivalDeterminism(t *testing.T) {
+	a := arrivalRun(t, 2, 2000)
+	b := arrivalRun(t, 2, 2000)
+	if a.Blocked != b.Blocked || a.Arrivals != b.Arrivals || a.Events != b.Events {
+		t.Error("finite-arrival runs not deterministic")
+	}
+}

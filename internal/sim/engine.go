@@ -1,0 +1,611 @@
+// Package sim is the continuous-time discrete-event simulator behind every
+// measured number in this reproduction. It multiplexes piecewise-constant
+// traffic sources (internal/traffic) onto a bufferless link (internal/link)
+// under an admission controller (internal/core) fed by a measurement
+// estimator (internal/estimator).
+//
+// Two load models from the paper are provided:
+//
+//   - the continuous-load model (Section 4): an infinite backlog of flows
+//     waits for admission, so the system always runs at the limit the MBAC
+//     currently believes admissible — the engine in this file;
+//   - the impulsive-load model (Section 3): a single burst of admissions at
+//     time zero followed by pure departure dynamics — the ensemble runner
+//     in ensemble.go.
+//
+// The engine implements the paper's Section 5.2 measurement methodology:
+// warm-up, point samples spaced 2·max(T~h, T_m, T_c) apart, the ±20%
+// confidence-interval stopping rule, and the Gaussian extrapolation for
+// targets too small to observe directly. A time-weighted overflow estimator
+// (with batch-means confidence intervals) is kept alongside as the more
+// sample-efficient default; the ablation bench compares the two.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/estimator"
+	"repro/internal/link"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// Config parameterizes a continuous-load simulation run.
+type Config struct {
+	Capacity    float64             // link capacity c
+	Model       traffic.Model       // per-flow traffic model
+	Controller  core.Controller     // admission controller
+	Estimator   estimator.Estimator // measurement process feeding the controller
+	HoldingTime float64             // mean exponential holding time T_h; <= 0 means flows never depart
+
+	// HoldingSampler, if non-nil, draws each flow's holding time instead
+	// of the exponential(HoldingTime) default — e.g. hyperexponential
+	// mixes for the paper's Section 5.4 heterogeneous-holding-time
+	// discussion, or deterministic durations. HoldingTime should still be
+	// set to the sampler's mean: it feeds the default warm-up and batch
+	// spacing computation. Samples must be positive.
+	HoldingSampler func(r *rng.PCG) float64
+
+	// ArrivalRate is the Poisson flow arrival rate. Zero (the default)
+	// selects the paper's continuous-load model: an infinite backlog, so
+	// the system always sits at the controller's limit. A positive rate
+	// makes arrivals discrete events; a flow arriving when the controller
+	// refuses is lost (blocked) — the classical loss model. The paper
+	// argues the infinite-rate case upper-bounds the overflow probability
+	// of any finite rate; the "arrival" experiment quantifies that.
+	ArrivalRate float64
+
+	// Utility, if non-nil, is time-averaged over the served fraction
+	// (Section 7's adaptive-application QoS); reported as MeanUtility.
+	Utility func(servedFraction float64) float64
+
+	// BufferSize, if positive (or +Inf), additionally drives the same
+	// aggregate through a fluid buffer of that size served at Capacity and
+	// reports loss/backlog/delay in Result.Buffer — quantifying the
+	// paper's Section 2 claim that the bufferless model is a conservative
+	// bound for buffered systems. Zero disables buffered accounting.
+	BufferSize float64
+
+	Seed uint64 // master seed; every flow gets an independent substream
+
+	Warmup  float64 // simulated time discarded before statistics start
+	MaxTime float64 // measured simulation time budget (post warm-up)
+
+	// TargetP is the QoS target used by the stopping rule's
+	// "two-orders-below" branch; 0 disables that branch.
+	TargetP float64
+	// RelCI is the relative confidence-interval stopping threshold
+	// (default 0.2, the paper's ±20%).
+	RelCI float64
+	// CheckEvery is the spacing of stopping-rule checks (default
+	// MaxTime/64).
+	CheckEvery float64
+
+	// BatchLen overrides the batch length for the time-weighted CI
+	// (default 2·max(T~h, T_m, T_c)).
+	BatchLen float64
+	// SamplePeriod overrides the paper's point-sample spacing (default
+	// 2·max(T~h, T_m, T_c)).
+	SamplePeriod float64
+	// Tm and Tc inform the default spacing above (the engine cannot see
+	// inside the estimator or the model); set them to the values used to
+	// build the estimator/model, or leave 0.
+	Tm, Tc float64
+
+	// MaxEvents caps the total number of processed events as a safety
+	// valve (default 2e9).
+	MaxEvents int64
+	// MaxAdmitPerInstant caps how many flows can be admitted at a single
+	// event time (default 4·capacity/meanRate + 64), guarding against a
+	// degenerate estimator reporting a near-zero mean.
+	MaxAdmitPerInstant int
+
+	// TrackAdmissible, if set, records the time average and variance of
+	// the controller's admissible count M_t (Figure 2's upper process).
+	TrackAdmissible bool
+
+	// SeriesPeriod, if positive, records a (time, load, flows, admissible)
+	// sample every SeriesPeriod time units after warm-up into
+	// Result.Series — the raw material for Figure 2-style plots of M_t
+	// versus N_t and for autocorrelation checks. SeriesLimit caps the
+	// number of points (default 1<<20).
+	SeriesPeriod float64
+	SeriesLimit  int
+
+	// HistogramBins, if positive, enables a sampled load histogram.
+	HistogramBins int
+}
+
+// Result reports everything a run measured.
+type Result struct {
+	link.Report
+
+	// Pf is the overflow probability selected by the paper's reporting
+	// rule (direct estimate if resolved, Gaussian extrapolation if far
+	// below target); Resolved says whether either criterion was met before
+	// the time budget ran out.
+	Pf       float64
+	Resolved bool
+
+	Admitted int64 // flows admitted (post warm-up and during warm-up)
+	Departed int64
+	Events   int64
+	SimTime  float64 // total simulated time including warm-up
+	Flows    int     // flows in the system at the end
+
+	// Finite-arrival-rate accounting (post warm-up): offered arrivals,
+	// blocked arrivals, and the blocking probability. All zero under the
+	// continuous-load model.
+	Arrivals     int64
+	Blocked      int64
+	BlockingProb float64
+
+	// RCBR renegotiation accounting (post warm-up): rate-increase requests
+	// and those landing while the link cannot fit them — the renegotiation
+	// failure probability of the RCBR service model the paper's bufferless
+	// link abstracts (Section 2).
+	RenegRequests    int64
+	RenegFailures    int64
+	RenegFailureProb float64
+
+	// MeanAdmissible/StdAdmissible describe the controller's M_t process
+	// when TrackAdmissible is set.
+	MeanAdmissible float64
+	StdAdmissible  float64
+
+	// Series holds the sampled trajectory when SeriesPeriod was set.
+	Series []SeriesPoint
+
+	// Buffer carries the fluid-buffer metrics when BufferSize was set;
+	// zero otherwise.
+	Buffer link.BufferReport
+}
+
+// SeriesPoint is one sampled instant of a run's trajectory.
+type SeriesPoint struct {
+	T          float64 // sample time
+	Load       float64 // aggregate rate S_t
+	Flows      int     // N_t
+	Admissible float64 // the controller's M_t at the sample instant
+}
+
+// flowState is one active flow.
+type flowState struct {
+	src    traffic.Source
+	rate   float64
+	epoch  uint32
+	active bool
+}
+
+// Engine runs continuous-load simulations. Construct with New, run with
+// Run. An Engine is single-use.
+type Engine struct {
+	cfg   Config
+	rng   *rng.PCG
+	clock float64
+	seq   uint64
+
+	flows    []flowState
+	freeList []int
+	nActive  int
+	sumRate  float64
+	sumSq    float64
+
+	events eventHeap
+	lnk    *link.Link
+	buf    *link.FluidBuffer // nil unless BufferSize is set
+
+	flowAware estimator.FlowAware // non-nil when the estimator wants per-flow events
+
+	admitted, departed, processed int64
+	sinceRenorm                   int64
+
+	arrivals, blocked  int64 // finite-arrival accounting (post warm-up)
+	renegUp, renegFail int64 // RCBR renegotiation accounting (post warm-up)
+
+	admissible   stats.TimeWeighted
+	admissibleSq stats.TimeWeighted
+	statsOn      bool
+	measureStart float64
+
+	series     []SeriesPoint
+	nextSeries float64
+}
+
+// New validates the configuration and returns an engine ready to Run.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("sim: capacity %g must be positive", cfg.Capacity)
+	}
+	if cfg.Model == nil || cfg.Controller == nil || cfg.Estimator == nil {
+		return nil, errors.New("sim: Model, Controller and Estimator are all required")
+	}
+	if cfg.MaxTime <= 0 {
+		return nil, fmt.Errorf("sim: MaxTime %g must be positive", cfg.MaxTime)
+	}
+	if cfg.Warmup < 0 {
+		return nil, fmt.Errorf("sim: Warmup %g must be non-negative", cfg.Warmup)
+	}
+	if cfg.RelCI == 0 {
+		cfg.RelCI = 0.2
+	}
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = cfg.MaxTime / 64
+	}
+	if cfg.MaxEvents <= 0 {
+		cfg.MaxEvents = 2e9
+	}
+	st := cfg.Model.Stats()
+	if cfg.MaxAdmitPerInstant <= 0 {
+		perInstant := 64
+		if st.Mean > 0 {
+			perInstant += int(4 * cfg.Capacity / st.Mean)
+		}
+		cfg.MaxAdmitPerInstant = perInstant
+	}
+	// Default sampling/batching: the paper's 2·max(T~h, T_m, T_c) spacing.
+	n := cfg.Capacity / math.Max(st.Mean, 1e-12)
+	thTilde := 0.0
+	if cfg.HoldingTime > 0 {
+		thTilde = cfg.HoldingTime / math.Sqrt(n)
+	}
+	spacing := 2 * math.Max(thTilde, math.Max(cfg.Tm, math.Max(cfg.Tc, st.CorrTime)))
+	if spacing <= 0 {
+		spacing = 1
+	}
+	if cfg.BatchLen <= 0 {
+		cfg.BatchLen = spacing
+	}
+	if cfg.SamplePeriod <= 0 {
+		cfg.SamplePeriod = spacing
+	}
+
+	e := &Engine{
+		cfg: cfg,
+		rng: rng.New(cfg.Seed, 0x6d62_6163), // stream tag "mbac"
+		lnk: link.New(link.Config{
+			Capacity:      cfg.Capacity,
+			BatchLen:      cfg.BatchLen,
+			SamplePeriod:  cfg.SamplePeriod,
+			HistogramBins: cfg.HistogramBins,
+			Utility:       cfg.Utility,
+		}),
+	}
+	if cfg.BufferSize > 0 {
+		e.buf = link.NewFluidBuffer(cfg.Capacity, cfg.BufferSize)
+	}
+	if fa, ok := cfg.Estimator.(estimator.FlowAware); ok {
+		e.flowAware = fa
+	}
+	return e, nil
+}
+
+// Run executes the simulation to completion and returns the result.
+func (e *Engine) Run() (Result, error) {
+	cfg := e.cfg
+	e.cfg.Estimator.Reset(0)
+	e.syncEstimatorAndLink()
+	if cfg.ArrivalRate > 0 {
+		e.seq++
+		e.events.push(event{t: e.rng.Exp(1 / cfg.ArrivalRate), kind: evArrival, flow: -1, seq: e.seq})
+	} else {
+		e.tryAdmissions()
+	}
+
+	nextCheck := cfg.Warmup + cfg.CheckEvery
+	horizon := cfg.Warmup + cfg.MaxTime
+	resolved := false
+
+	for e.processed < cfg.MaxEvents {
+		// The next thing that happens is the earlier of the next event and
+		// the horizon; warm-up activation and stop-rule checks that fall
+		// before it are handled first.
+		next := horizon
+		if e.events.len() > 0 && e.events.peek().t < next {
+			next = e.events.peek().t
+		}
+		if !e.statsOn && cfg.Warmup <= next {
+			e.advanceTo(cfg.Warmup)
+			e.lnk.EnableStats(cfg.Warmup)
+			if e.buf != nil {
+				e.buf.EnableStats(cfg.Warmup)
+			}
+			e.statsOn = true
+			e.measureStart = cfg.Warmup
+			e.nextSeries = cfg.Warmup
+		}
+		if cfg.SeriesPeriod > 0 && e.statsOn && e.nextSeries <= next && len(e.series) < e.seriesLimit() {
+			e.advanceTo(e.nextSeries)
+			e.series = append(e.series, SeriesPoint{
+				T:          e.clock,
+				Load:       e.sumRate,
+				Flows:      e.nActive,
+				Admissible: e.currentAdmissible(),
+			})
+			e.nextSeries += cfg.SeriesPeriod
+			continue
+		}
+		if e.statsOn && nextCheck <= next {
+			e.advanceTo(nextCheck)
+			if e.checkStop() {
+				resolved = true
+				break
+			}
+			nextCheck += cfg.CheckEvery
+			continue
+		}
+		if e.events.len() == 0 || e.events.peek().t > horizon {
+			// Nothing more happens inside the budget.
+			e.advanceTo(horizon)
+			break
+		}
+		ev := e.events.pop()
+		e.processed++
+		if ev.kind != evArrival && !e.flowValid(ev) {
+			continue
+		}
+		e.advanceTo(ev.t)
+		switch ev.kind {
+		case evSegment:
+			e.nextSegment(int(ev.flow))
+		case evDepart:
+			e.removeFlow(int(ev.flow))
+		case evArrival:
+			e.handleArrival()
+		}
+		e.syncEstimatorAndLink()
+		if cfg.ArrivalRate == 0 {
+			e.tryAdmissions()
+		}
+		e.maybeRenormalize()
+	}
+	if !e.statsOn {
+		// Horizon shorter than the warm-up: still enable stats so the
+		// report is well-defined (empty).
+		e.lnk.EnableStats(e.clock)
+		if e.buf != nil {
+			e.buf.EnableStats(e.clock)
+		}
+		e.statsOn = true
+	}
+
+	rep := e.lnk.Report()
+	pf, ok := rep.BestOverflowEstimate(cfg.TargetP, cfg.RelCI)
+	res := Result{
+		Report:        rep,
+		Pf:            pf,
+		Resolved:      ok || resolved,
+		Admitted:      e.admitted,
+		Departed:      e.departed,
+		Events:        e.processed,
+		SimTime:       e.clock,
+		Flows:         e.nActive,
+		Arrivals:      e.arrivals,
+		Blocked:       e.blocked,
+		RenegRequests: e.renegUp,
+		RenegFailures: e.renegFail,
+	}
+	if e.arrivals > 0 {
+		res.BlockingProb = float64(e.blocked) / float64(e.arrivals)
+	}
+	if e.renegUp > 0 {
+		res.RenegFailureProb = float64(e.renegFail) / float64(e.renegUp)
+	}
+	res.Series = e.series
+	if e.buf != nil {
+		res.Buffer = e.buf.Report()
+	}
+	if cfg.TrackAdmissible && e.admissible.Total() > 0 {
+		res.MeanAdmissible = e.admissible.Mean()
+		variance := e.admissibleSq.Mean() - res.MeanAdmissible*res.MeanAdmissible
+		if variance > 0 {
+			res.StdAdmissible = math.Sqrt(variance)
+		}
+	}
+	return res, nil
+}
+
+// seriesLimit returns the configured cap on recorded series points.
+func (e *Engine) seriesLimit() int {
+	if e.cfg.SeriesLimit > 0 {
+		return e.cfg.SeriesLimit
+	}
+	return 1 << 20
+}
+
+// flowValid reports whether the event still refers to a live flow epoch.
+func (e *Engine) flowValid(ev event) bool {
+	f := &e.flows[ev.flow]
+	return f.active && f.epoch == ev.epoch
+}
+
+// advanceTo moves simulation time forward, carrying the estimator and link
+// along.
+func (e *Engine) advanceTo(t float64) {
+	if t <= e.clock {
+		return
+	}
+	e.cfg.Estimator.Advance(t)
+	e.lnk.AdvanceTo(t)
+	if e.buf != nil {
+		e.buf.AdvanceTo(t)
+	}
+	if e.cfg.TrackAdmissible && e.statsOn {
+		m := e.currentAdmissible()
+		dt := t - e.clock
+		e.admissible.Observe(m, dt)
+		e.admissibleSq.Observe(m*m, dt)
+	}
+	e.clock = t
+}
+
+// syncEstimatorAndLink pushes the current aggregates into the estimator and
+// the link after a state change at the current clock.
+func (e *Engine) syncEstimatorAndLink() {
+	e.cfg.Estimator.Update(e.sumRate, e.sumSq, e.nActive)
+	e.lnk.SetLoad(e.clock, e.sumRate, e.nActive)
+	if e.buf != nil {
+		e.buf.SetLoad(e.clock, e.sumRate)
+	}
+}
+
+// measurement assembles the controller's view.
+func (e *Engine) measurement() core.Measurement {
+	mu, sigma, ok := e.cfg.Estimator.Estimate()
+	return core.Measurement{
+		Capacity:      e.cfg.Capacity,
+		Flows:         e.nActive,
+		AggregateRate: e.sumRate,
+		Mu:            mu,
+		Sigma:         sigma,
+		OK:            ok,
+	}
+}
+
+// currentAdmissible evaluates the controller at the current instant.
+func (e *Engine) currentAdmissible() float64 {
+	return e.cfg.Controller.Admissible(e.measurement())
+}
+
+// tryAdmissions admits waiting flows while the controller allows — the
+// continuous-load model's infinite backlog.
+func (e *Engine) tryAdmissions() {
+	for i := 0; i < e.cfg.MaxAdmitPerInstant; i++ {
+		m := e.currentAdmissible()
+		if float64(e.nActive)+1 > m {
+			return
+		}
+		e.admitFlow()
+		e.syncEstimatorAndLink()
+	}
+}
+
+// admitFlow creates a flow with its own RNG substream and schedules its
+// first segment end and departure.
+func (e *Engine) admitFlow() {
+	e.admitted++
+	src := e.cfg.Model.New(e.rng.Split(uint64(e.admitted)))
+	seg := src.Next()
+
+	var slot int
+	if k := len(e.freeList); k > 0 {
+		slot = e.freeList[k-1]
+		e.freeList = e.freeList[:k-1]
+	} else {
+		e.flows = append(e.flows, flowState{})
+		slot = len(e.flows) - 1
+	}
+	f := &e.flows[slot]
+	f.src = src
+	f.rate = seg.Rate
+	f.epoch++
+	f.active = true
+
+	e.nActive++
+	e.sumRate += seg.Rate
+	e.sumSq += seg.Rate * seg.Rate
+	if e.flowAware != nil {
+		e.flowAware.FlowAdmitted(slot, seg.Rate)
+	}
+
+	e.seq++
+	e.events.push(event{t: e.clock + seg.Duration, kind: evSegment, flow: int32(slot), epoch: f.epoch, seq: e.seq})
+	var hold float64
+	switch {
+	case e.cfg.HoldingSampler != nil:
+		hold = e.cfg.HoldingSampler(e.rng)
+	case e.cfg.HoldingTime > 0:
+		hold = e.rng.Exp(e.cfg.HoldingTime)
+	}
+	if hold > 0 {
+		e.seq++
+		e.events.push(event{t: e.clock + hold, kind: evDepart, flow: int32(slot), epoch: f.epoch, seq: e.seq})
+	}
+}
+
+// handleArrival processes one Poisson arrival: admit if the controller has
+// room, count a block otherwise, and schedule the next arrival.
+func (e *Engine) handleArrival() {
+	if e.statsOn {
+		e.arrivals++
+	}
+	if float64(e.nActive)+1 <= e.currentAdmissible() {
+		e.admitFlow()
+	} else if e.statsOn {
+		e.blocked++
+	}
+	e.seq++
+	e.events.push(event{t: e.clock + e.rng.Exp(1/e.cfg.ArrivalRate), kind: evArrival, flow: -1, seq: e.seq})
+}
+
+// nextSegment advances a flow to its next constant-rate segment, keeping
+// the RCBR renegotiation-failure books: a rate increase landing when the
+// link cannot fit it is a failed renegotiation.
+func (e *Engine) nextSegment(slot int) {
+	f := &e.flows[slot]
+	old := f.rate
+	seg := f.src.Next()
+	f.rate = seg.Rate
+	e.sumRate += seg.Rate - old
+	e.sumSq += seg.Rate*seg.Rate - old*old
+	if e.flowAware != nil {
+		e.flowAware.FlowRateChanged(slot, seg.Rate)
+	}
+	if e.statsOn && seg.Rate > old {
+		e.renegUp++
+		if e.sumRate > e.cfg.Capacity {
+			e.renegFail++
+		}
+	}
+	e.seq++
+	e.events.push(event{t: e.clock + seg.Duration, kind: evSegment, flow: int32(slot), epoch: f.epoch, seq: e.seq})
+}
+
+// removeFlow departs a flow and recycles its slot.
+func (e *Engine) removeFlow(slot int) {
+	f := &e.flows[slot]
+	e.sumRate -= f.rate
+	e.sumSq -= f.rate * f.rate
+	if e.flowAware != nil {
+		e.flowAware.FlowDeparted(slot)
+	}
+	f.active = false
+	f.src = nil
+	f.epoch++ // invalidate queued segment events
+	e.nActive--
+	e.departed++
+	e.freeList = append(e.freeList, slot)
+}
+
+// maybeRenormalize recomputes the aggregates from scratch periodically to
+// stop floating-point drift from the incremental updates; over billions of
+// events the drift in sumSq would otherwise bias the variance estimate.
+func (e *Engine) maybeRenormalize() {
+	e.sinceRenorm++
+	if e.sinceRenorm < 1<<22 {
+		return
+	}
+	e.sinceRenorm = 0
+	var sr, ss float64
+	for i := range e.flows {
+		if e.flows[i].active {
+			sr += e.flows[i].rate
+			ss += e.flows[i].rate * e.flows[i].rate
+		}
+	}
+	e.sumRate, e.sumSq = sr, ss
+}
+
+// checkStop applies the paper's stopping rule to the current statistics.
+func (e *Engine) checkStop() bool {
+	rep := e.lnk.Report()
+	_, ok := rep.BestOverflowEstimate(e.cfg.TargetP, e.cfg.RelCI)
+	// Require a minimum of measurement time so an early zero-overflow
+	// window does not trigger the extrapolation branch prematurely.
+	minTime := math.Min(e.cfg.MaxTime/4, 100*e.cfg.SamplePeriod)
+	return ok && (e.clock-e.measureStart) >= minTime
+}

@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// ImpulsiveConfig parameterizes the impulsive-load ensemble of Section 3:
+// an infinite burst of flows demands admission at time zero, the MBAC
+// estimates (mu, sigma) from the initial bandwidths of MeasureCount waiting
+// flows (eq. 7), admits M0 flows by the certainty-equivalent criterion, and
+// the system then evolves with no further admissions.
+type ImpulsiveConfig struct {
+	Capacity     float64
+	Model        traffic.Model
+	Controller   core.Controller
+	MeasureCount int       // flows used for the initial estimate (paper: n = c/mu)
+	HoldingTime  float64   // mean exponential holding time; <= 0 keeps flows forever
+	Grid         []float64 // strictly increasing probe times (> 0) at which overflow is tested
+	Replications int
+	Seed         uint64
+}
+
+// ImpulsiveResult aggregates the ensemble.
+type ImpulsiveResult struct {
+	// M0 summarizes the admitted-flow counts across replications
+	// (Proposition 3.1: mean ~ m*, stddev ~ (sigma/mu)·sqrt(n)).
+	M0 stats.Moments
+	// PfAt[i] is the Bernoulli overflow estimate at Grid[i] (eq. 21's
+	// p_f(t), or the approach to Q(alpha/sqrt2) for infinite holding).
+	PfAt []stats.Counter
+	// Grid echoes the probe times.
+	Grid []float64
+}
+
+// ensFlow is one flow inside a replication.
+type ensFlow struct {
+	src     traffic.Source
+	rate    float64
+	segEnd  float64 // absolute end time of the current segment
+	departs float64 // absolute departure time (+Inf if none)
+}
+
+// RunImpulsive executes the ensemble and returns the aggregated overflow
+// profile. Each replication draws an independent RNG substream, so results
+// are reproducible for a fixed seed and invariant to the replication count
+// of other experiments.
+func RunImpulsive(cfg ImpulsiveConfig) (*ImpulsiveResult, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("sim: capacity %g must be positive", cfg.Capacity)
+	}
+	if cfg.Model == nil || cfg.Controller == nil {
+		return nil, errors.New("sim: Model and Controller are required")
+	}
+	if cfg.Replications <= 0 {
+		return nil, fmt.Errorf("sim: replications %d must be positive", cfg.Replications)
+	}
+	if cfg.MeasureCount < 2 {
+		return nil, fmt.Errorf("sim: MeasureCount %d must be at least 2", cfg.MeasureCount)
+	}
+	if len(cfg.Grid) == 0 {
+		return nil, errors.New("sim: empty probe grid")
+	}
+	if !sort.Float64sAreSorted(cfg.Grid) || cfg.Grid[0] < 0 {
+		return nil, errors.New("sim: probe grid must be sorted and non-negative")
+	}
+
+	master := rng.New(cfg.Seed, 0x696d_70) // stream tag "imp"
+	res := &ImpulsiveResult{
+		PfAt: make([]stats.Counter, len(cfg.Grid)),
+		Grid: append([]float64(nil), cfg.Grid...),
+	}
+
+	// Replications run in parallel, accumulated into a fixed number of
+	// stripes by replication index and merged in stripe order — so the
+	// result is bit-identical regardless of GOMAXPROCS or scheduling
+	// (floating-point summation order is pinned by the striping, and each
+	// replication draws from its own substream of the master generator;
+	// Split is applied up-front, single-threaded, because the master
+	// generator is stateful).
+	const stripes = 64
+	type stripeAcc struct {
+		m0   stats.Moments
+		pfAt []stats.Counter
+	}
+	accs := make([]stripeAcc, stripes)
+	for i := range accs {
+		accs[i].pfAt = make([]stats.Counter, len(cfg.Grid))
+	}
+	streams := make([]*rng.PCG, cfg.Replications)
+	for rep := range streams {
+		streams[rep] = master.Split(uint64(rep))
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > stripes {
+		workers = stripes
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	stripeCh := make(chan int, stripes)
+	for s := 0; s < stripes; s++ {
+		stripeCh <- s
+	}
+	close(stripeCh)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range stripeCh {
+				acc := &accs[s]
+				for rep := s; rep < cfg.Replications; rep += stripes {
+					m0 := runOneImpulse(cfg, streams[rep], acc.pfAt)
+					acc.m0.Add(float64(m0))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for s := range accs {
+		res.M0.Merge(&accs[s].m0)
+		for gi := range res.PfAt {
+			res.PfAt[gi].Merge(&accs[s].pfAt[gi])
+		}
+	}
+	return res, nil
+}
+
+// runOneImpulse performs a single replication, recording overflow
+// indicators into pfAt (one counter per grid time), and returns the
+// admitted count.
+func runOneImpulse(cfg ImpulsiveConfig, r *rng.PCG, pfAt []stats.Counter) int {
+	// Draw the waiting flows the MBAC measures (eq. 7): their initial
+	// segments provide both the estimate and, if admitted, their traffic.
+	type pending struct {
+		src traffic.Source
+		seg traffic.Segment
+	}
+	waiting := make([]pending, cfg.MeasureCount)
+	var sumRate, sumSq float64
+	for i := range waiting {
+		src := cfg.Model.New(r.Split(uint64(i)))
+		seg := src.Next()
+		waiting[i] = pending{src: src, seg: seg}
+		sumRate += seg.Rate
+		sumSq += seg.Rate * seg.Rate
+	}
+	nm := float64(cfg.MeasureCount)
+	mu := sumRate / nm
+	variance := (sumSq - sumRate*mu) / (nm - 1)
+	if variance < 0 {
+		variance = 0
+	}
+
+	meas := core.Measurement{
+		Capacity:      cfg.Capacity,
+		Flows:         0,
+		AggregateRate: sumRate,
+		Mu:            mu,
+		Sigma:         math.Sqrt(variance),
+		OK:            true,
+	}
+	m0 := int(cfg.Controller.Admissible(meas))
+	if m0 < 0 {
+		m0 = 0
+	}
+
+	// Materialize the admitted flows: measured flows first (the paper's
+	// M0 ~ n regime), extra draws if the controller admits more than were
+	// measured.
+	flows := make([]ensFlow, m0)
+	for i := 0; i < m0; i++ {
+		var p pending
+		if i < len(waiting) {
+			p = waiting[i]
+		} else {
+			src := cfg.Model.New(r.Split(uint64(cfg.MeasureCount + i)))
+			p = pending{src: src, seg: src.Next()}
+		}
+		departs := math.Inf(1)
+		if cfg.HoldingTime > 0 {
+			departs = r.Exp(cfg.HoldingTime)
+		}
+		flows[i] = ensFlow{src: p.src, rate: p.seg.Rate, segEnd: p.seg.Duration, departs: departs}
+	}
+
+	// Probe the aggregate at each grid time. Each flow's segment chain is
+	// advanced lazily; departed flows contribute nothing and are skipped
+	// permanently by swapping them to the tail.
+	alive := len(flows)
+	for gi, t := range cfg.Grid {
+		var agg float64
+		for i := 0; i < alive; {
+			f := &flows[i]
+			if f.departs <= t {
+				flows[i], flows[alive-1] = flows[alive-1], flows[i]
+				alive--
+				continue
+			}
+			for f.segEnd <= t {
+				seg := f.src.Next()
+				f.rate = seg.Rate
+				f.segEnd += seg.Duration
+			}
+			agg += f.rate
+			i++
+		}
+		pfAt[gi].Add(agg > cfg.Capacity)
+	}
+	return m0
+}

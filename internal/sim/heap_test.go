@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestHeapOrdering(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed, 0)
+		var q eventHeap
+		n := 1 + r.Intn(200)
+		times := make([]float64, n)
+		for i := 0; i < n; i++ {
+			times[i] = r.Float64() * 100
+			q.push(event{t: times[i], seq: uint64(i)})
+		}
+		sort.Float64s(times)
+		for i := 0; i < n; i++ {
+			e := q.pop()
+			if e.t != times[i] {
+				return false
+			}
+		}
+		return q.len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeapTieBreakBySeq(t *testing.T) {
+	var q eventHeap
+	q.push(event{t: 5, seq: 2})
+	q.push(event{t: 5, seq: 1})
+	q.push(event{t: 5, seq: 3})
+	for want := uint64(1); want <= 3; want++ {
+		if got := q.pop().seq; got != want {
+			t.Fatalf("tie break: got seq %d, want %d", got, want)
+		}
+	}
+}
+
+func TestHeapPeek(t *testing.T) {
+	var q eventHeap
+	q.push(event{t: 3})
+	q.push(event{t: 1})
+	if q.peek().t != 1 {
+		t.Errorf("peek = %v", q.peek().t)
+	}
+	if q.len() != 2 {
+		t.Errorf("peek must not remove: len %d", q.len())
+	}
+}
+
+func BenchmarkHeapPushPop(b *testing.B) {
+	var q eventHeap
+	r := rng.New(1, 1)
+	// Steady-state heap of ~1000 events.
+	for i := 0; i < 1000; i++ {
+		q.push(event{t: r.Float64() * 1000, seq: uint64(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := q.pop()
+		e.t += r.Exp(1)
+		q.push(e)
+	}
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/estimator"
+	"repro/internal/fft"
+	"repro/internal/traffic"
+)
+
+func TestSeriesRecording(t *testing.T) {
+	pk, _ := core.NewPerfectKnowledge(50, 1, 0.3, 1e-2)
+	e, err := New(Config{
+		Capacity: 50, Model: traffic.NewRCBR(1, 0.3, 1), Controller: pk,
+		Estimator: estimator.NewMemoryless(), HoldingTime: 20,
+		Seed: 2, Warmup: 10, MaxTime: 100, Tc: 1,
+		SeriesPeriod: 0.5,
+		CheckEvery:   1e12, // no early stop: the test wants the full span
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) < 150 || len(res.Series) > 205 {
+		t.Fatalf("series length %d, want ~200", len(res.Series))
+	}
+	for i, p := range res.Series {
+		if i > 0 {
+			dt := p.T - res.Series[i-1].T
+			if math.Abs(dt-0.5) > 1e-9 {
+				t.Fatalf("irregular spacing at %d: %v", i, dt)
+			}
+		}
+		if p.Load < 0 || p.Flows < 0 || p.Admissible <= 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+	// N_t <= ceil(M_t) invariant: the system never exceeds what the genie
+	// allows (perfect-knowledge M is constant).
+	for _, p := range res.Series {
+		if float64(p.Flows) > p.Admissible+1e-9 {
+			t.Fatalf("flows %d exceed admissible %v", p.Flows, p.Admissible)
+		}
+	}
+}
+
+func TestSeriesLimit(t *testing.T) {
+	pk, _ := core.NewPerfectKnowledge(20, 1, 0.3, 1e-2)
+	e, err := New(Config{
+		Capacity: 20, Model: traffic.NewRCBR(1, 0.3, 1), Controller: pk,
+		Estimator: estimator.NewMemoryless(), HoldingTime: 20,
+		Seed: 2, Warmup: 0, MaxTime: 1000, Tc: 1,
+		SeriesPeriod: 0.1, SeriesLimit: 37,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 37 {
+		t.Errorf("series length %d, want capped at 37", len(res.Series))
+	}
+}
+
+func TestAggregateACFMatchesOUModel(t *testing.T) {
+	// Eq. 31: with a fixed population of RCBR flows the aggregate rate has
+	// autocorrelation exp(-t/Tc). Hold the population fixed via a peak-rate
+	// controller (CBR fill never changes) and no departures, record the
+	// load series, and fit the ACF.
+	const tc = 2.0
+	e, err := New(Config{
+		Capacity: 100, Model: traffic.NewRCBR(1, 0.3, tc),
+		Controller: core.PeakRate{Peak: 2}, // admits exactly 50 flows, forever
+		Estimator:  estimator.NewMemoryless(),
+		Seed:       5, Warmup: 50, MaxTime: 30000, Tc: tc,
+		SeriesPeriod: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := make([]float64, len(res.Series))
+	for i, p := range res.Series {
+		loads[i] = p.Load
+	}
+	// Lags 0..24 cover 0..6 time units = 3 Tc.
+	acf := fft.Autocorrelation(loads, 24)
+	for _, lag := range []int{4, 8, 16} { // t = 1, 2, 4
+		tt := float64(lag) * 0.25
+		want := math.Exp(-tt / tc)
+		if math.Abs(acf[lag]-want) > 0.06 {
+			t.Errorf("ACF(%v) = %v, want exp(-t/Tc) = %v", tt, acf[lag], want)
+		}
+	}
+}

@@ -1,0 +1,389 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/estimator"
+	"repro/internal/rng"
+	"repro/internal/theory"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+func TestMarkovFluidWorkload(t *testing.T) {
+	// A 3-state Markov fluid through the full engine with perfect
+	// knowledge: the mean occupancy must respect the controller's limit and
+	// utilization must be consistent with the stationary mean rate.
+	m, err := traffic.NewMarkovFluid(
+		[]float64{0.2, 1, 2.2},
+		[][]float64{
+			{-1, 1, 0},
+			{0.5, -1, 0.5},
+			{0, 1, -1},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	pk, err := core.NewPerfectKnowledge(100, st.Mean, st.StdDev(), 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{
+		Capacity: 100, Model: m, Controller: pk,
+		Estimator: estimator.NewMemoryless(), HoldingTime: 50,
+		Seed: 33, Warmup: 100, MaxTime: 10000, Tc: st.CorrTime,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mstar := math.Floor(pk.MStar())
+	if math.Abs(res.MeanFlows-mstar) > 0.5 {
+		t.Errorf("mean flows %v vs m* %v", res.MeanFlows, mstar)
+	}
+	wantUtil := mstar * st.Mean / 100
+	if math.Abs(res.Utilization-wantUtil) > 0.03 {
+		t.Errorf("utilization %v, want ~%v", res.Utilization, wantUtil)
+	}
+}
+
+func TestTraceWorkloadDeterminism(t *testing.T) {
+	cfg := trace.DefaultVideoConfig()
+	cfg.N = 4096
+	tr, err := trace.SyntheticVideo(cfg, rng.New(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	run := func() Result {
+		ce, err := core.NewCertaintyEquivalent(1e-2, st.Mean, st.StdDev())
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(Config{
+			Capacity: 100, Model: trace.Model{Trace: tr}, Controller: ce,
+			Estimator: estimator.NewExponential(10), HoldingTime: 100,
+			Seed: 8, Warmup: 200, MaxTime: 3000, Tc: st.CorrTime, Tm: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Events != b.Events || a.OverflowTimeFraction != b.OverflowTimeFraction {
+		t.Error("trace-driven run not deterministic")
+	}
+	if a.Events == 0 || a.MeanFlows == 0 {
+		t.Errorf("degenerate run: %+v", a)
+	}
+}
+
+func TestFlowCapFailureInjection(t *testing.T) {
+	// A hard port limit below the statistical limit dominates the decision:
+	// occupancy pins at the cap and overflow vanishes.
+	pk, _ := core.NewPerfectKnowledge(100, 1, 0.3, 1e-2)
+	capped := core.WithFlowCap(pk, 50)
+	e, err := New(Config{
+		Capacity: 100, Model: traffic.NewRCBR(1, 0.3, 1), Controller: capped,
+		Estimator: estimator.NewMemoryless(), HoldingTime: 20,
+		Seed: 4, Warmup: 50, MaxTime: 3000, Tc: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MeanFlows-50) > 0.2 {
+		t.Errorf("mean flows %v, want pinned at cap 50", res.MeanFlows)
+	}
+	if res.OverflowTimeFraction != 0 {
+		t.Errorf("overflow %v with half-empty link", res.OverflowTimeFraction)
+	}
+}
+
+func TestMeasuredSumControllerEndToEnd(t *testing.T) {
+	// The Jamin-style controller holds the measured aggregate near eta*c.
+	ms, err := core.NewMeasuredSum(0.85, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{
+		Capacity: 100, Model: traffic.NewRCBR(1, 0.3, 1), Controller: ms,
+		Estimator: estimator.NewMemoryless(), HoldingTime: 50,
+		Seed: 6, Warmup: 100, MaxTime: 10000, Tc: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.OfferedLoad-85) > 3 {
+		t.Errorf("offered load %v, want ~85 (eta*c)", res.OfferedLoad)
+	}
+}
+
+func TestEngineConservationInvariants(t *testing.T) {
+	// Structural invariants that must hold for any configuration: flow
+	// conservation, probabilities in range, utilization bounded, arrival
+	// accounting consistent.
+	configs := []Config{}
+	for seed := uint64(1); seed <= 6; seed++ {
+		th := float64(20 * seed)
+		lambda := 0.0
+		if seed%2 == 0 {
+			lambda = float64(seed)
+		}
+		ce, _ := core.NewCertaintyEquivalent(1e-2, 1, 0.3)
+		configs = append(configs, Config{
+			Capacity: 40 + 10*float64(seed), Model: traffic.NewRCBR(1, 0.3, 1),
+			Controller: ce, Estimator: estimator.NewMemoryless(),
+			HoldingTime: th, ArrivalRate: lambda,
+			Seed: seed, Warmup: 10, MaxTime: 500, Tc: 1,
+		})
+	}
+	for i, cfg := range configs {
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Admitted-res.Departed != int64(res.Flows) {
+			t.Errorf("cfg %d: flow conservation violated: %d admitted, %d departed, %d in system",
+				i, res.Admitted, res.Departed, res.Flows)
+		}
+		for name, p := range map[string]float64{
+			"pf":       res.Pf,
+			"overflow": res.OverflowTimeFraction,
+			"blocking": res.BlockingProb,
+			"reneg":    res.RenegFailureProb,
+		} {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				t.Errorf("cfg %d: %s = %v out of [0,1]", i, name, p)
+			}
+		}
+		if res.Utilization < 0 || res.Utilization > 1+1e-12 {
+			t.Errorf("cfg %d: utilization = %v", i, res.Utilization)
+		}
+		if res.Blocked > res.Arrivals {
+			t.Errorf("cfg %d: blocked %d > arrivals %d", i, res.Blocked, res.Arrivals)
+		}
+		if res.RenegFailures > res.RenegRequests {
+			t.Errorf("cfg %d: failures %d > requests %d", i, res.RenegFailures, res.RenegRequests)
+		}
+		if res.SimTime < cfg.Warmup {
+			t.Errorf("cfg %d: sim time %v below warmup", i, res.SimTime)
+		}
+	}
+}
+
+func TestPerFlowEstimatorEndToEnd(t *testing.T) {
+	// The exact per-flow filtered estimator (paper §4.3 verbatim) and the
+	// aggregate-ratio approximation must land in the same band under churn;
+	// both are fed identical trajectories by construction of the seeds.
+	run := func(est estimator.Estimator) Result {
+		ce, _ := core.NewCertaintyEquivalent(1e-2, 1, 0.3)
+		e, err := New(Config{
+			Capacity: 100, Model: traffic.NewRCBR(1, 0.3, 1), Controller: ce,
+			Estimator: est, HoldingTime: 300,
+			Seed: 51, Warmup: 600, MaxTime: 15000, Tc: 1, Tm: 30,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	agg := run(estimator.NewExponential(30))
+	pf := run(estimator.NewPerFlowExponential(30))
+	if pf.Pf <= 0 || agg.Pf <= 0 {
+		t.Fatalf("degenerate: %v %v", pf.Pf, agg.Pf)
+	}
+	if r := pf.Pf / agg.Pf; r < 0.25 || r > 4 {
+		t.Errorf("per-flow %v vs aggregate %v: ratio %v out of band", pf.Pf, agg.Pf, r)
+	}
+	if math.Abs(pf.MeanFlows-agg.MeanFlows) > 2 {
+		t.Errorf("occupancy diverged: %v vs %v", pf.MeanFlows, agg.MeanFlows)
+	}
+}
+
+func TestHeterogeneousHoldingTimes(t *testing.T) {
+	// Section 5.4: with heterogeneous holding times the analysis carries
+	// through using the mean departure rate. Compare exponential holding
+	// (mean 100) with a balanced hyperexponential of the same mean under
+	// the robust configuration: both must meet the target.
+	run := func(sampler func(*rng.PCG) float64) Result {
+		ce, _ := core.NewCertaintyEquivalent(5e-3, 1, 0.3)
+		e, err := New(Config{
+			Capacity: 100, Model: traffic.NewRCBR(1, 0.3, 1), Controller: ce,
+			Estimator: estimator.NewExponential(10), HoldingTime: 100,
+			HoldingSampler: sampler,
+			Seed:           41, Warmup: 400, MaxTime: 15000, Tc: 1, Tm: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	expo := run(nil)
+	hyper := run(func(r *rng.PCG) float64 {
+		// Mixture of mean-20 and mean-180 lifetimes, overall mean 100.
+		if r.Float64() < 0.5 {
+			return r.Exp(20)
+		}
+		return r.Exp(180)
+	})
+	det := run(func(*rng.PCG) float64 { return 100 })
+	for name, res := range map[string]Result{"exp": expo, "hyper": hyper, "det": det} {
+		if res.Pf > 2e-2 {
+			t.Errorf("%s holding: pf = %v implausibly high", name, res.Pf)
+		}
+		if math.Abs(res.MeanFlows-expo.MeanFlows) > 3 {
+			t.Errorf("%s holding: occupancy %v far from exponential %v",
+				name, res.MeanFlows, expo.MeanFlows)
+		}
+	}
+	if hyper.Departed == 0 || det.Departed == 0 {
+		t.Error("samplers produced no departures")
+	}
+}
+
+func TestGeneralACFTheoryVsMarkovSim(t *testing.T) {
+	// End-to-end validation of the general boundary-crossing formula
+	// (eq. 30) beyond the OU case: a two-state Markov fluid's exact ACF
+	// feeds theory.ContinuousOverflowGeneralACF, and the prediction must
+	// bracket a flow-level simulation the way the OU formula brackets the
+	// RCBR runs (conservative, same order of magnitude).
+	m, err := traffic.NewMarkovFluid(
+		[]float64{0.4, 1.6},
+		[][]float64{{-0.5, 0.5}, {0.5, -0.5}}) // mean 1, sd 0.6, rho = exp(-t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	const c, th, pce = 100.0, 100.0, 1e-2
+	ce, err := core.NewCertaintyEquivalent(pce, st.Mean, st.StdDev())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{
+		Capacity: c, Model: m, Controller: ce,
+		Estimator: estimator.NewMemoryless(), HoldingTime: th,
+		Seed: 27, Warmup: 300, MaxTime: 20000, Tc: st.CorrTime,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := theory.System{Capacity: c, Mu: st.Mean, Sigma: st.StdDev(), Th: th, Tc: st.CorrTime}
+	pred := theory.ContinuousOverflowGeneralACF(sys, pce, m.ACF(), m.ACFDerivative0())
+	if res.Pf <= 0 || pred <= 0 {
+		t.Fatalf("degenerate: sim %v theory %v", res.Pf, pred)
+	}
+	if res.Pf > pred*1.5 {
+		t.Errorf("theory %v should be ~conservative vs sim %v", pred, res.Pf)
+	}
+	if res.Pf < pred/15 {
+		t.Errorf("theory %v implausibly far above sim %v", pred, res.Pf)
+	}
+}
+
+func TestBufferedAccountingConservatism(t *testing.T) {
+	// Section 2's claim: the bufferless overflow metric is conservative
+	// relative to buffered loss. Drive the same MBAC run through buffers of
+	// growing size and check the loss fraction falls below the bufferless
+	// overflow fraction and shrinks with B.
+	runWith := func(buf float64) Result {
+		ce, _ := core.NewCertaintyEquivalent(1e-2, 1, 0.3)
+		e, err := New(Config{
+			Capacity: 100, Model: traffic.NewRCBR(1, 0.3, 1), Controller: ce,
+			Estimator: estimator.NewMemoryless(), HoldingTime: 100,
+			BufferSize: buf, Seed: 23, Warmup: 200, MaxTime: 10000, Tc: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	small := runWith(1)
+	big := runWith(20)
+	if small.Buffer.LossFraction <= 0 {
+		t.Fatal("expected some loss with a tiny buffer under the naive MBAC")
+	}
+	// Volume loss is bounded by the time-fraction overflow times the
+	// relative excess; it must come in below the overflow fraction.
+	if small.Buffer.LossFraction >= small.OverflowTimeFraction {
+		t.Errorf("loss %v should undercut overflow %v",
+			small.Buffer.LossFraction, small.OverflowTimeFraction)
+	}
+	if big.Buffer.LossFraction >= small.Buffer.LossFraction {
+		t.Errorf("bigger buffer should lose less: %v vs %v",
+			big.Buffer.LossFraction, small.Buffer.LossFraction)
+	}
+	if big.Buffer.MeanDelay <= small.Buffer.MeanDelay {
+		t.Errorf("bigger buffer should hold more delay: %v vs %v",
+			big.Buffer.MeanDelay, small.Buffer.MeanDelay)
+	}
+	// Identical admission trajectory: the buffer must not perturb the run.
+	if small.Events != big.Events || small.OverflowTimeFraction != big.OverflowTimeFraction {
+		t.Error("buffer accounting perturbed the simulation")
+	}
+}
+
+func TestBayesianControllerEndToEnd(t *testing.T) {
+	// With a correct prior and substantial weight, the Bayesian memoryless
+	// controller should beat the plain memoryless CE on overflow.
+	runWith := func(ctrl core.Controller) float64 {
+		e, err := New(Config{
+			Capacity: 100, Model: traffic.NewRCBR(1, 0.3, 1), Controller: ctrl,
+			Estimator: estimator.NewMemoryless(), HoldingTime: 100,
+			Seed: 15, Warmup: 200, MaxTime: 15000, Tc: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.OverflowTimeFraction
+	}
+	ce, _ := core.NewCertaintyEquivalent(1e-2, 1, 0.3)
+	bayes, _ := core.NewBayesianCE(1e-2, 400, 1, 0.3)
+	plain := runWith(ce)
+	smoothed := runWith(bayes)
+	if smoothed >= plain {
+		t.Errorf("prior smoothing should reduce overflow: %v vs %v", smoothed, plain)
+	}
+}

@@ -1,0 +1,304 @@
+// Package stats provides the statistical accumulators used by the
+// simulation harness: running moments (Welford), time-weighted fraction
+// estimators for overflow probability, batch-means confidence intervals
+// implementing the paper's Section 5.2 stopping rules, histograms, and
+// Hurst-parameter estimators for validating the long-range-dependent
+// trace substitute.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Moments accumulates count, mean and variance in a single pass using
+// Welford's numerically stable recurrence.
+type Moments struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (m *Moments) Add(x float64) {
+	m.n++
+	if m.n == 1 {
+		m.min, m.max = x, x
+	} else {
+		if x < m.min {
+			m.min = x
+		}
+		if x > m.max {
+			m.max = x
+		}
+	}
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// N returns the number of observations.
+func (m *Moments) N() int64 { return m.n }
+
+// Mean returns the sample mean (0 if empty).
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Var returns the unbiased sample variance (0 if fewer than 2 samples).
+func (m *Moments) Var() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (m *Moments) StdDev() float64 { return math.Sqrt(m.Var()) }
+
+// Min returns the smallest observation (0 if empty).
+func (m *Moments) Min() float64 { return m.min }
+
+// Max returns the largest observation (0 if empty).
+func (m *Moments) Max() float64 { return m.max }
+
+// Merge folds other into m (parallel Welford combination).
+func (m *Moments) Merge(other *Moments) {
+	if other.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = *other
+		return
+	}
+	n1, n2 := float64(m.n), float64(other.n)
+	d := other.mean - m.mean
+	tot := n1 + n2
+	m.m2 += other.m2 + d*d*n1*n2/tot
+	m.mean += d * n2 / tot
+	m.n += other.n
+	if other.min < m.min {
+		m.min = other.min
+	}
+	if other.max > m.max {
+		m.max = other.max
+	}
+}
+
+// TimeWeighted accumulates a time-weighted average of a piecewise-constant
+// indicator or value process: callers report each constant segment's value
+// and duration. It is the estimator behind time-fraction overflow
+// probability measurements.
+type TimeWeighted struct {
+	total    float64 // total observed time
+	weighted float64 // integral of value dt
+}
+
+// Observe records that the process held value v for duration dt (>= 0).
+func (tw *TimeWeighted) Observe(v, dt float64) {
+	if dt <= 0 {
+		return
+	}
+	tw.total += dt
+	tw.weighted += v * dt
+}
+
+// Mean returns the time average (0 if no time observed).
+func (tw *TimeWeighted) Mean() float64 {
+	if tw.total == 0 {
+		return 0
+	}
+	return tw.weighted / tw.total
+}
+
+// Total returns the total observed duration.
+func (tw *TimeWeighted) Total() float64 { return tw.total }
+
+// Integral returns the accumulated integral of the value over time.
+func (tw *TimeWeighted) Integral() float64 { return tw.weighted }
+
+// BatchMeans estimates the mean of a correlated time series together with a
+// confidence interval by the method of non-overlapping batch means. The
+// batch length should exceed the decorrelation time of the series; the
+// simulation harness uses 2·max(T̃_h, T_m, T_c), the paper's §5.2 sample
+// spacing.
+type BatchMeans struct {
+	batchLen float64 // time length of a batch
+
+	curSum  float64 // integral within the current batch
+	curTime float64 // elapsed time within the current batch
+	batches Moments // completed batch means
+}
+
+// NewBatchMeans returns an accumulator with the given batch duration.
+func NewBatchMeans(batchLen float64) *BatchMeans {
+	if batchLen <= 0 {
+		batchLen = 1
+	}
+	return &BatchMeans{batchLen: batchLen}
+}
+
+// Observe records a piecewise-constant segment with value v lasting dt,
+// splitting it across batch boundaries as needed.
+func (b *BatchMeans) Observe(v, dt float64) {
+	for dt > 0 {
+		room := b.batchLen - b.curTime
+		step := math.Min(room, dt)
+		b.curSum += v * step
+		b.curTime += step
+		dt -= step
+		if b.curTime >= b.batchLen {
+			b.batches.Add(b.curSum / b.batchLen)
+			b.curSum, b.curTime = 0, 0
+		}
+	}
+}
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int64 { return b.batches.N() }
+
+// Mean returns the grand mean over completed batches.
+func (b *BatchMeans) Mean() float64 { return b.batches.Mean() }
+
+// HalfWidth returns the 95% confidence half-width of the mean using the
+// normal approximation across batch means (valid once Batches() is large;
+// returns +Inf with fewer than 2 batches).
+func (b *BatchMeans) HalfWidth() float64 {
+	n := b.batches.N()
+	if n < 2 {
+		return math.Inf(1)
+	}
+	return 1.96 * b.batches.StdDev() / math.Sqrt(float64(n))
+}
+
+// RelHalfWidth returns HalfWidth()/Mean(), the paper's ±20% stopping
+// criterion quantity (+Inf if the mean is zero).
+func (b *BatchMeans) RelHalfWidth() float64 {
+	m := b.Mean()
+	if m == 0 {
+		return math.Inf(1)
+	}
+	return b.HalfWidth() / m
+}
+
+// Counter counts Bernoulli outcomes with a normal-approximation confidence
+// interval, for point-sampled overflow estimation.
+type Counter struct {
+	n, hits int64
+}
+
+// Add records one trial with the given outcome.
+func (c *Counter) Add(hit bool) {
+	c.n++
+	if hit {
+		c.hits++
+	}
+}
+
+// N returns the number of trials; Hits the number of successes.
+func (c *Counter) N() int64    { return c.n }
+func (c *Counter) Hits() int64 { return c.hits }
+
+// P returns the empirical success probability.
+func (c *Counter) P() float64 {
+	if c.n == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.n)
+}
+
+// HalfWidth returns the 95% normal-approximation confidence half-width.
+func (c *Counter) HalfWidth() float64 {
+	if c.n == 0 {
+		return math.Inf(1)
+	}
+	p := c.P()
+	return 1.96 * math.Sqrt(p*(1-p)/float64(c.n))
+}
+
+// Merge folds other into c.
+func (c *Counter) Merge(other *Counter) {
+	c.n += other.n
+	c.hits += other.hits
+}
+
+// RelHalfWidth returns HalfWidth()/P() (+Inf when no successes yet).
+func (c *Counter) RelHalfWidth() float64 {
+	p := c.P()
+	if p == 0 {
+		return math.Inf(1)
+	}
+	return c.HalfWidth() / p
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of xs using linear
+// interpolation on the sorted copy. It returns NaN for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[i]*(1-frac) + s[i+1]*frac
+}
+
+// Histogram is a fixed-bin histogram over [lo, hi) with overflow/underflow
+// bins, used for inspecting admitted-flow-count and load distributions.
+type Histogram struct {
+	lo, hi   float64
+	bins     []int64
+	under    int64
+	over     int64
+	binWidth float64
+}
+
+// NewHistogram creates a histogram with n bins spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n < 1 {
+		n = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]int64, n), binWidth: (hi - lo) / float64(n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int((x - h.lo) / h.binWidth)
+		if i >= len(h.bins) { // guard rounding at the upper edge
+			i = len(h.bins) - 1
+		}
+		h.bins[i]++
+	}
+}
+
+// Counts returns the per-bin counts (not a copy; callers must not mutate).
+func (h *Histogram) Counts() []int64 { return h.bins }
+
+// Under and Over return the out-of-range counts.
+func (h *Histogram) Under() int64 { return h.under }
+func (h *Histogram) Over() int64  { return h.over }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.lo + (float64(i)+0.5)*h.binWidth
+}

@@ -1,0 +1,261 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestMomentsBasic(t *testing.T) {
+	var m Moments
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		m.Add(x)
+	}
+	if m.N() != 8 {
+		t.Errorf("N = %d", m.N())
+	}
+	if math.Abs(m.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", m.Mean())
+	}
+	// Unbiased variance of this classic data set is 32/7.
+	if math.Abs(m.Var()-32.0/7) > 1e-12 {
+		t.Errorf("var = %v, want %v", m.Var(), 32.0/7)
+	}
+	if m.Min() != 2 || m.Max() != 9 {
+		t.Errorf("min/max = %v/%v", m.Min(), m.Max())
+	}
+}
+
+func TestMomentsEmpty(t *testing.T) {
+	var m Moments
+	if m.Mean() != 0 || m.Var() != 0 || m.N() != 0 {
+		t.Error("empty moments should be zero")
+	}
+}
+
+func TestMomentsMerge(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := rng.New(seed, 0)
+		var all, a, b Moments
+		for i := 0; i < 100; i++ {
+			x := p.NormalMS(3, 2)
+			all.Add(x)
+			if i%2 == 0 {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(&b)
+		return math.Abs(a.Mean()-all.Mean()) < 1e-10 &&
+			math.Abs(a.Var()-all.Var()) < 1e-9 &&
+			a.N() == all.N() && a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMomentsMergeEmpty(t *testing.T) {
+	var a, b Moments
+	a.Add(1)
+	a.Add(3)
+	a.Merge(&b) // merging empty is a no-op
+	if a.N() != 2 || a.Mean() != 2 {
+		t.Error("merge with empty changed state")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.N() != 2 || b.Mean() != 2 {
+		t.Error("merge into empty failed")
+	}
+}
+
+func TestTimeWeighted(t *testing.T) {
+	var tw TimeWeighted
+	tw.Observe(1, 2) // value 1 for 2 time units
+	tw.Observe(0, 8) // value 0 for 8
+	if math.Abs(tw.Mean()-0.2) > 1e-12 {
+		t.Errorf("time-weighted mean = %v, want 0.2", tw.Mean())
+	}
+	if tw.Total() != 10 || tw.Integral() != 2 {
+		t.Errorf("total/integral = %v/%v", tw.Total(), tw.Integral())
+	}
+	tw.Observe(5, -1) // negative duration ignored
+	if tw.Total() != 10 {
+		t.Error("negative duration should be ignored")
+	}
+}
+
+func TestBatchMeansIIDNormal(t *testing.T) {
+	p := rng.New(77, 0)
+	bm := NewBatchMeans(10)
+	// Piecewise-constant process: value ~ N(1, 0.25) held for exp(1) time.
+	for i := 0; i < 20000; i++ {
+		bm.Observe(p.NormalMS(1, 0.5), p.Exp(1))
+	}
+	if bm.Batches() < 1000 {
+		t.Fatalf("too few batches: %d", bm.Batches())
+	}
+	if math.Abs(bm.Mean()-1) > 3*bm.HalfWidth()/1.96 {
+		t.Errorf("batch mean %v too far from 1 (hw %v)", bm.Mean(), bm.HalfWidth())
+	}
+	if bm.RelHalfWidth() > 0.05 {
+		t.Errorf("rel half width %v too large for this much data", bm.RelHalfWidth())
+	}
+}
+
+func TestBatchMeansSplitsAcrossBoundaries(t *testing.T) {
+	bm := NewBatchMeans(1)
+	bm.Observe(1, 2.5) // spans two full batches and half of a third
+	if bm.Batches() != 2 {
+		t.Fatalf("batches = %d, want 2", bm.Batches())
+	}
+	if bm.Mean() != 1 {
+		t.Errorf("mean = %v, want 1", bm.Mean())
+	}
+	bm.Observe(0, 0.5) // completes third batch with mean 0.5
+	if bm.Batches() != 3 {
+		t.Fatalf("batches = %d, want 3", bm.Batches())
+	}
+	if math.Abs(bm.Mean()-(1+1+0.5)/3) > 1e-12 {
+		t.Errorf("mean = %v", bm.Mean())
+	}
+}
+
+func TestBatchMeansHalfWidthInfWhenFew(t *testing.T) {
+	bm := NewBatchMeans(10)
+	if !math.IsInf(bm.HalfWidth(), 1) {
+		t.Error("half width should be +Inf with no batches")
+	}
+	bm.Observe(1, 10)
+	if !math.IsInf(bm.HalfWidth(), 1) {
+		t.Error("half width should be +Inf with one batch")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	for i := 0; i < 1000; i++ {
+		c.Add(i%10 == 0)
+	}
+	if c.N() != 1000 || c.Hits() != 100 {
+		t.Fatalf("n=%d hits=%d", c.N(), c.Hits())
+	}
+	if math.Abs(c.P()-0.1) > 1e-12 {
+		t.Errorf("P = %v", c.P())
+	}
+	want := 1.96 * math.Sqrt(0.1*0.9/1000)
+	if math.Abs(c.HalfWidth()-want) > 1e-12 {
+		t.Errorf("half width = %v, want %v", c.HalfWidth(), want)
+	}
+}
+
+func TestCounterMerge(t *testing.T) {
+	var a, b Counter
+	a.Add(true)
+	a.Add(false)
+	b.Add(true)
+	a.Merge(&b)
+	if a.N() != 3 || a.Hits() != 2 {
+		t.Errorf("merged counter n=%d hits=%d", a.N(), a.Hits())
+	}
+}
+
+func TestCounterEmpty(t *testing.T) {
+	var c Counter
+	if c.P() != 0 || !math.IsInf(c.HalfWidth(), 1) || !math.IsInf(c.RelHalfWidth(), 1) {
+		t.Error("empty counter invariants")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 5, 4}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); q != 3 {
+		t.Errorf("median = %v", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Errorf("q25 = %v", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Error("Quantile mutated input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, x := range []float64{-1, 0, 0.5, 5, 9.999, 10, 15} {
+		h.Add(x)
+	}
+	if h.Under() != 1 || h.Over() != 2 {
+		t.Errorf("under/over = %d/%d", h.Under(), h.Over())
+	}
+	counts := h.Counts()
+	if counts[0] != 2 || counts[5] != 1 || counts[9] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if c := h.BinCenter(0); c != 0.5 {
+		t.Errorf("bin center = %v", c)
+	}
+}
+
+func TestHurstWhiteNoise(t *testing.T) {
+	p := rng.New(13, 0)
+	x := make([]float64, 1<<14)
+	for i := range x {
+		x[i] = p.Normal()
+	}
+	h := HurstAggVar(x)
+	if math.Abs(h-0.5) > 0.08 {
+		t.Errorf("white noise Hurst (aggvar) = %v, want ~0.5", h)
+	}
+	h2 := HurstRS(x)
+	// R/S is known to be biased upward for short-memory series; accept a
+	// generous band around 0.5.
+	if h2 < 0.4 || h2 > 0.68 {
+		t.Errorf("white noise Hurst (R/S) = %v, want ~0.5-0.6", h2)
+	}
+}
+
+func TestHurstShortSeries(t *testing.T) {
+	if !math.IsNaN(HurstAggVar(make([]float64, 10))) {
+		t.Error("short series should give NaN")
+	}
+	if !math.IsNaN(HurstRS(make([]float64, 10))) {
+		t.Error("short series should give NaN")
+	}
+}
+
+func TestLinFit(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7}
+	b0, b1 := LinFit(x, y)
+	if math.Abs(b0-1) > 1e-12 || math.Abs(b1-2) > 1e-12 {
+		t.Errorf("fit = (%v, %v), want (1, 2)", b0, b1)
+	}
+}
+
+func BenchmarkMomentsAdd(b *testing.B) {
+	var m Moments
+	for i := 0; i < b.N; i++ {
+		m.Add(float64(i % 100))
+	}
+}
+
+func BenchmarkBatchMeansObserve(b *testing.B) {
+	bm := NewBatchMeans(100)
+	for i := 0; i < b.N; i++ {
+		bm.Observe(float64(i%2), 1.5)
+	}
+}

@@ -1,0 +1,48 @@
+package theory
+
+import "math"
+
+// ErlangB returns the Erlang-B blocking probability for a loss system with
+// m servers (integer) offered a erlangs of traffic, computed by the
+// numerically stable recursion
+//
+//	B(0, a) = 1,  B(m, a) = a·B(m−1, a) / (m + a·B(m−1, a)).
+//
+// In this repository it serves as the classical reference for the blocking
+// probability of an MBAC under finite Poisson arrivals: when the
+// controller's admissible count hovers near m*, the call-level dynamics are
+// approximately an Erlang loss system with m* servers (the "arrival"
+// extension experiment quantifies the match).
+func ErlangB(m int, a float64) float64 {
+	if m < 0 || a < 0 {
+		return math.NaN()
+	}
+	if a == 0 {
+		if m == 0 {
+			return 1
+		}
+		return 0
+	}
+	b := 1.0
+	for k := 1; k <= m; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	return b
+}
+
+// ErlangBInterp extends ErlangB to non-integer server counts by linear
+// interpolation between the neighbouring integers — adequate for comparing
+// against an MBAC whose admissible count m* is real-valued.
+func ErlangBInterp(m, a float64) float64 {
+	if m < 0 || math.IsNaN(m) {
+		return math.NaN()
+	}
+	lo := math.Floor(m)
+	frac := m - lo
+	bLo := ErlangB(int(lo), a)
+	if frac == 0 {
+		return bLo
+	}
+	bHi := ErlangB(int(lo)+1, a)
+	return bLo*(1-frac) + bHi*frac
+}

@@ -1,0 +1,79 @@
+package theory
+
+import (
+	"math"
+	"testing"
+)
+
+func TestErlangBKnownValues(t *testing.T) {
+	// Classical table values.
+	cases := []struct {
+		m    int
+		a    float64
+		want float64
+	}{
+		{1, 1, 0.5},
+		{2, 1, 0.2},           // 0.5/(2+0.5) -> 1*0.5/(2+0.5)=0.2
+		{5, 3, 0.11005},       // standard table
+		{10, 5, 0.018385},     // standard table
+		{100, 90, 0.02695738}, // cross-checked against the direct log-sum formula
+	}
+	for _, c := range cases {
+		got := ErlangB(c.m, c.a)
+		if math.Abs(got-c.want)/c.want > 1e-3 {
+			t.Errorf("ErlangB(%d, %g) = %v, want %v", c.m, c.a, got, c.want)
+		}
+	}
+}
+
+func TestErlangBEdgeCases(t *testing.T) {
+	if ErlangB(0, 5) != 1 {
+		t.Error("no servers: always blocked")
+	}
+	if ErlangB(5, 0) != 0 {
+		t.Error("no traffic: never blocked")
+	}
+	if ErlangB(0, 0) != 1 {
+		t.Error("B(0,0) = 1 by convention")
+	}
+	if !math.IsNaN(ErlangB(-1, 1)) {
+		t.Error("negative servers should be NaN")
+	}
+	if !math.IsNaN(ErlangB(1, -1)) {
+		t.Error("negative traffic should be NaN")
+	}
+}
+
+func TestErlangBMonotone(t *testing.T) {
+	// Decreasing in m, increasing in a.
+	prev := 1.0
+	for m := 1; m <= 50; m++ {
+		b := ErlangB(m, 20)
+		if b >= prev {
+			t.Fatalf("not decreasing in m at %d", m)
+		}
+		prev = b
+	}
+	prev = 0
+	for a := 1.0; a <= 50; a += 2.5 {
+		b := ErlangB(25, a)
+		if b <= prev && a > 1 {
+			t.Fatalf("not increasing in a at %g", a)
+		}
+		prev = b
+	}
+}
+
+func TestErlangBInterp(t *testing.T) {
+	lo, hi := ErlangB(10, 8), ErlangB(11, 8)
+	mid := ErlangBInterp(10.5, 8)
+	if !(hi < mid && mid < lo) {
+		t.Errorf("interpolation out of order: %v %v %v", lo, mid, hi)
+	}
+	if ErlangBInterp(10, 8) != lo {
+		t.Error("integer input should match exactly")
+	}
+	if !math.IsNaN(ErlangBInterp(-2, 1)) {
+		t.Error("negative m should be NaN")
+	}
+}

@@ -1,0 +1,125 @@
+package theory
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gauss"
+	"repro/internal/quad"
+)
+
+// Inversion of the overflow formulas: given a QoS target p_q, find the
+// certainty-equivalent target p_ce the MBAC must run at so that the
+// achieved p_f equals p_q (Figures 6 and 7, and the robust-MBAC recipe of
+// Section 5.3).
+
+// InvertMode selects which forward model the inversion solves against.
+type InvertMode int
+
+const (
+	// InvertClosedForm inverts the separation-of-time-scales closed form
+	// (eq. 38) — what the paper does for Figure 6.
+	InvertClosedForm InvertMode = iota
+	// InvertIntegral inverts the full numerical integral (eq. 37), valid in
+	// all regimes.
+	InvertIntegral
+)
+
+// AdjustedTarget returns p_ce such that the selected forward model
+// evaluates to p_q for the given system. It solves for alpha_ce =
+// Q^-1(p_ce) with Brent's method on a bracketing interval; the forward
+// models are strictly decreasing in alpha.
+//
+// If even an extremely conservative alpha (Q^-1 of ~1e-300) cannot reach
+// p_q — which happens when the target is unreachable because bandwidth
+// fluctuations of correctly-admitted flows alone already overflow more
+// often than p_q — an error is returned.
+func AdjustedTarget(s System, pq float64, mode InvertMode) (float64, error) {
+	alpha, err := AdjustedAlpha(s, pq, mode)
+	if err != nil {
+		return 0, err
+	}
+	return gauss.Q(alpha), nil
+}
+
+// AdjustedAlpha is AdjustedTarget in alpha space: it returns alpha_ce with
+// forward(alpha_ce) = pq.
+func AdjustedAlpha(s System, pq float64, mode InvertMode) (float64, error) {
+	if pq <= 0 || pq >= 1 {
+		return 0, fmt.Errorf("theory: target probability %g out of (0,1)", pq)
+	}
+	forward := func(alpha float64) float64 {
+		switch mode {
+		case InvertIntegral:
+			return ContinuousOverflowIntegralAlpha(s, alpha)
+		default:
+			return ContinuousOverflowClosedFormAlpha(s, alpha)
+		}
+	}
+	// Bracket in alpha: forward is strictly decreasing. Start near the
+	// naive alpha_q and expand.
+	alphaQ := gauss.Qinv(pq)
+	lo := math.Min(alphaQ, 0.1)
+	lo = math.Max(lo, 1e-6)
+	g := func(a float64) float64 { return forward(a) }
+	bLo, bHi, err := quad.BracketDecreasing(g, pq, math.Max(lo, 0.5), 1.6, 80)
+	if err != nil {
+		return 0, fmt.Errorf("theory: cannot bracket adjusted alpha for pq=%g: %w (target may be unreachable)", pq, err)
+	}
+	root, err := quad.Brent(func(a float64) float64 { return forward(a) - pq }, bLo, bHi, 1e-12)
+	if err != nil {
+		return 0, fmt.Errorf("theory: inversion failed: %w", err)
+	}
+	return root, nil
+}
+
+// RobustPlan is the engineering output of the framework: for a desired QoS
+// it prescribes the estimator memory window and the adjusted
+// certainty-equivalent target, and predicts the resulting utilization cost.
+type RobustPlan struct {
+	System      System  // the input system with Tm set to the recommendation
+	TargetP     float64 // the QoS target p_q
+	AlphaQ      float64 // Q^-1(p_q)
+	MemoryTm    float64 // recommended memory window (= T~h, Section 5.3)
+	AdjustedPce float64 // certainty-equivalent target from inversion
+	AlphaCe     float64 // Q^-1(AdjustedPce)
+	// UtilizationCost is the predicted loss of carried bandwidth relative
+	// to running at p_ce = p_q (eq. 40), in bandwidth units.
+	UtilizationCost float64
+	// PredictedPf is the forward model evaluated at the adjusted target
+	// (should equal TargetP up to numerical tolerance).
+	PredictedPf float64
+}
+
+// PlanRobust computes the robust MBAC configuration of Section 5.3 for the
+// given system and QoS target: memory window T_m = T~h and p_ce from
+// inverting the chosen forward model. The system's Tm field is ignored and
+// replaced by the recommendation.
+func PlanRobust(s System, pq float64, mode InvertMode) (RobustPlan, error) {
+	if err := s.Validate(); err != nil {
+		return RobustPlan{}, err
+	}
+	s.Tm = s.ThTilde()
+	alphaCe, err := AdjustedAlpha(s, pq, mode)
+	if err != nil {
+		return RobustPlan{}, err
+	}
+	alphaQ := gauss.Qinv(pq)
+	pce := gauss.Q(alphaCe)
+	var pf float64
+	if mode == InvertIntegral {
+		pf = ContinuousOverflowIntegralAlpha(s, alphaCe)
+	} else {
+		pf = ContinuousOverflowClosedFormAlpha(s, alphaCe)
+	}
+	return RobustPlan{
+		System:          s,
+		TargetP:         pq,
+		AlphaQ:          alphaQ,
+		MemoryTm:        s.Tm,
+		AdjustedPce:     pce,
+		AlphaCe:         alphaCe,
+		UtilizationCost: s.Sigma * math.Sqrt(s.N()) * (alphaCe - alphaQ),
+		PredictedPf:     pf,
+	}, nil
+}

@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary input never panics the parser and that
+// anything it accepts survives a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("# interval=0.5\n1\n2\n3\n")
+	f.Add("1\n")
+	f.Add("# interval=2\n# comment\n0\n1e3\n")
+	f.Add("")
+	f.Add("# interval=-1\n1\n")
+	f.Add("nan\n")
+	f.Add("# interval=abc\n1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if tr.Interval <= 0 {
+			t.Fatalf("accepted non-positive interval %v", tr.Interval)
+		}
+		if len(tr.Rates) == 0 {
+			t.Fatal("accepted empty trace")
+		}
+		for _, r := range tr.Rates {
+			if r < 0 {
+				t.Fatalf("accepted negative rate %v", r)
+			}
+		}
+		var sb strings.Builder
+		if err := tr.WriteCSV(&sb); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadCSV(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, sb.String())
+		}
+		if len(back.Rates) != len(tr.Rates) {
+			t.Fatalf("round trip changed length: %d vs %d", len(back.Rates), len(tr.Rates))
+		}
+	})
+}

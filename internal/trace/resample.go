@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Trace preprocessing: the paper's Figures 11-12 use a "piecewise CBR
+// version" of a frame-level video trace — the output of the offline RCBR
+// renegotiation-schedule computation of Grossglauser, Keshav & Tse [10].
+// These helpers turn a fine-grained rate trace into such schedules.
+
+// Resample returns the trace averaged onto a coarser sampling interval.
+// newInterval must be a positive multiple (within rounding) of the current
+// interval; the last partial block, if any, is dropped.
+func (t *Trace) Resample(newInterval float64) (*Trace, error) {
+	if newInterval <= 0 {
+		return nil, errors.New("trace: new interval must be positive")
+	}
+	ratio := newInterval / t.Interval
+	k := int(math.Round(ratio))
+	if k < 1 || math.Abs(ratio-float64(k)) > 1e-9 {
+		return nil, fmt.Errorf("trace: interval %g is not a multiple of %g", newInterval, t.Interval)
+	}
+	if k == 1 {
+		return &Trace{Interval: t.Interval, Rates: append([]float64(nil), t.Rates...)}, nil
+	}
+	n := len(t.Rates) / k
+	if n == 0 {
+		return nil, errors.New("trace: resampling leaves no complete blocks")
+	}
+	out := make([]float64, n)
+	for b := 0; b < n; b++ {
+		var s float64
+		for i := b * k; i < (b+1)*k; i++ {
+			s += t.Rates[i]
+		}
+		out[b] = s / float64(k)
+	}
+	return &Trace{Interval: newInterval, Rates: out}, nil
+}
+
+// PiecewiseCBR computes an RCBR renegotiation schedule over the trace: the
+// rate is held constant over segments of segLen (a multiple of the
+// sampling interval) at a level that covers the segment's demand —
+// the maximum rate within the segment scaled by headroom (>= 1). This is
+// the shape of service the paper's bufferless model allocates: within a
+// segment the flow never exceeds its reserved rate, so all contention
+// moves to the renegotiation instants.
+//
+// The returned trace has interval segLen. Headroom 1 reserves the exact
+// per-segment peak.
+func (t *Trace) PiecewiseCBR(segLen, headroom float64) (*Trace, error) {
+	if headroom < 1 {
+		return nil, fmt.Errorf("trace: headroom %g must be >= 1", headroom)
+	}
+	ratio := segLen / t.Interval
+	k := int(math.Round(ratio))
+	if k < 1 || math.Abs(ratio-float64(k)) > 1e-9 {
+		return nil, fmt.Errorf("trace: segment length %g is not a multiple of %g", segLen, t.Interval)
+	}
+	n := len(t.Rates) / k
+	if n == 0 {
+		return nil, errors.New("trace: segment length exceeds the trace")
+	}
+	out := make([]float64, n)
+	for b := 0; b < n; b++ {
+		peak := 0.0
+		for i := b * k; i < (b+1)*k; i++ {
+			if t.Rates[i] > peak {
+				peak = t.Rates[i]
+			}
+		}
+		out[b] = peak * headroom
+	}
+	return &Trace{Interval: segLen, Rates: out}, nil
+}
+
+// SmoothingGain reports the bandwidth saved by a renegotiation schedule
+// relative to static peak-rate allocation: 1 − mean(schedule)/peak(trace).
+// This is the statistical multiplexing headroom RCBR recovers (the
+// motivation the paper's Section 2 cites from [10]).
+func SmoothingGain(original, schedule *Trace) float64 {
+	peak := 0.0
+	for _, r := range original.Rates {
+		if r > peak {
+			peak = r
+		}
+	}
+	if peak == 0 {
+		return 0
+	}
+	return 1 - schedule.Stats().Mean/peak
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestResample(t *testing.T) {
+	tr := &Trace{Interval: 1, Rates: []float64{1, 3, 2, 4, 5, 7, 9}}
+	out, err := tr.Resample(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, 6} // pairs averaged; trailing 9 dropped
+	if len(out.Rates) != len(want) {
+		t.Fatalf("len = %d", len(out.Rates))
+	}
+	for i := range want {
+		if math.Abs(out.Rates[i]-want[i]) > 1e-12 {
+			t.Errorf("rate %d = %v, want %v", i, out.Rates[i], want[i])
+		}
+	}
+	if out.Interval != 2 {
+		t.Errorf("interval = %v", out.Interval)
+	}
+}
+
+func TestResampleIdentityAndErrors(t *testing.T) {
+	tr := &Trace{Interval: 0.5, Rates: []float64{1, 2}}
+	same, err := tr.Resample(0.5)
+	if err != nil || len(same.Rates) != 2 {
+		t.Fatalf("identity resample: %v %v", same, err)
+	}
+	same.Rates[0] = 99
+	if tr.Rates[0] == 99 {
+		t.Error("identity resample must copy")
+	}
+	if _, err := tr.Resample(0); err == nil {
+		t.Error("zero interval should fail")
+	}
+	if _, err := tr.Resample(0.7); err == nil {
+		t.Error("non-multiple should fail")
+	}
+	if _, err := tr.Resample(10); err == nil {
+		t.Error("interval longer than trace should fail")
+	}
+}
+
+func TestResamplePreservesMean(t *testing.T) {
+	cfg := DefaultVideoConfig()
+	cfg.N = 4096
+	tr, err := SyntheticVideo(cfg, rng.New(9, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tr.Resample(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Stats().Mean-tr.Stats().Mean) > 1e-9 {
+		t.Errorf("mean changed: %v vs %v", out.Stats().Mean, tr.Stats().Mean)
+	}
+	// Averaging reduces variance for positively correlated-but-not-constant
+	// data.
+	if out.Stats().Variance >= tr.Stats().Variance {
+		t.Errorf("variance should shrink: %v vs %v", out.Stats().Variance, tr.Stats().Variance)
+	}
+}
+
+func TestPiecewiseCBR(t *testing.T) {
+	tr := &Trace{Interval: 1, Rates: []float64{1, 3, 2, 4, 5, 1}}
+	out, err := tr.PiecewiseCBR(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 4, 5}
+	for i := range want {
+		if out.Rates[i] != want[i] {
+			t.Errorf("segment %d = %v, want %v", i, out.Rates[i], want[i])
+		}
+	}
+	// Headroom scales the reservation.
+	out2, err := tr.PiecewiseCBR(2, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Rates[0] != 4.5 {
+		t.Errorf("headroom segment = %v, want 4.5", out2.Rates[0])
+	}
+	if _, err := tr.PiecewiseCBR(2, 0.5); err == nil {
+		t.Error("headroom < 1 should fail")
+	}
+	if _, err := tr.PiecewiseCBR(0.3, 1); err == nil {
+		t.Error("non-multiple segment should fail")
+	}
+}
+
+func TestScheduleCoversDemand(t *testing.T) {
+	cfg := DefaultVideoConfig()
+	cfg.N = 4096
+	tr, err := SyntheticVideo(cfg, rng.New(10, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := tr.PiecewiseCBR(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, reserved := range sched.Rates {
+		for i := b * 16; i < (b+1)*16; i++ {
+			if tr.Rates[i] > reserved+1e-12 {
+				t.Fatalf("demand %v exceeds reservation %v in segment %d", tr.Rates[i], reserved, b)
+			}
+		}
+	}
+	gain := SmoothingGain(tr, sched)
+	if gain <= 0 || gain >= 1 {
+		t.Errorf("smoothing gain = %v, want in (0,1)", gain)
+	}
+	// Finer segments reserve less, so the gain grows.
+	fine, err := tr.PiecewiseCBR(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SmoothingGain(tr, fine) <= gain {
+		t.Errorf("finer renegotiation should save more: %v vs %v", SmoothingGain(tr, fine), gain)
+	}
+}
+
+func TestSmoothingGainDegenerate(t *testing.T) {
+	zero := &Trace{Interval: 1, Rates: []float64{0, 0}}
+	if g := SmoothingGain(zero, zero); g != 0 {
+		t.Errorf("zero trace gain = %v", g)
+	}
+}

@@ -1,0 +1,8 @@
+package mbac
+
+import "repro/internal/rng"
+
+// newRNG builds the PCG generator used by facade helpers that need
+// randomness; exposed internally so the facade keeps a single seeding
+// convention.
+func newRNG(seed uint64) *rng.PCG { return rng.New(seed, 0x66616361) } // stream "faca"
