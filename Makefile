@@ -1,0 +1,38 @@
+# Verification tiers for the MBAC reproduction.
+#
+#   tier-1   — build + full test suite (the driver's gate)
+#   tier-1.5 — race detector over every package; concurrency-sensitive
+#              packages (gateway, sim) must stay clean under -race
+#   bench    — admission hot-path benchmarks
+#   fuzz     — short adversarial-input fuzzing of the estimator and
+#              controller (checked-in corpora replay in plain `go test`)
+
+GO ?= go
+
+.PHONY: all build test race bench fuzz golden
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1.5: the whole tree under the race detector. The gateway and the
+# simulation worker pool are the packages with real concurrency; the rest
+# ride along as a regression net.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+FUZZTIME ?= 30s
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzExponentialEstimator -fuzztime $(FUZZTIME) ./internal/estimator
+	$(GO) test -run '^$$' -fuzz FuzzCertaintyEquivalent -fuzztime $(FUZZTIME) ./internal/core
+
+golden:
+	$(GO) test ./internal/experiments -run TestGolden -update-golden

@@ -11,6 +11,7 @@ package mbac
 // ratio_* compare simulation to theory where the paper does.
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/experiments"
@@ -268,6 +269,46 @@ func BenchmarkPlanRobust(b *testing.B) {
 		if _, err := theory.PlanRobust(sys, 1e-3, theory.InvertIntegral); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkGatewayAdmit measures the online gateway's concurrent
+// admission hot path: every iteration admits and departs one flow under
+// b.RunParallel, with a large bound so the CAS loop, shard locking and
+// counter updates — not capacity refusals — dominate. This is the baseline
+// for future gateway perf PRs (recorded in CHANGES.md).
+func BenchmarkGatewayAdmit(b *testing.B) {
+	ctrl, err := NewCertaintyEquivalent(1e-2, 1, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := NewGateway(GatewayConfig{
+		Capacity:   1e9,
+		Controller: ctrl,
+		Estimator:  NewExponentialEstimator(100),
+		Shards:     64,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var nextID atomic.Uint64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id := nextID.Add(1)
+			if _, err := g.Admit(id, 1.0); err != nil {
+				b.Error(err)
+				return
+			}
+			if err := g.Depart(id); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	st := g.Stats()
+	if st.Active != 0 || st.Admitted != int64(nextID.Load()) {
+		b.Fatalf("counters drifted: %+v", st)
 	}
 }
 

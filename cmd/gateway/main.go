@@ -1,0 +1,226 @@
+// Command gateway is the load driver for the online admission gateway: it
+// replays traffic-model arrivals, renegotiations and departures against
+// internal/gateway at configurable concurrency on a deterministic virtual
+// clock, then prints the admission statistics next to the paper's
+// perfect-knowledge prediction m*.
+//
+// The schedule is pregenerated from the RCBR model (Poisson arrivals,
+// exponential holding times, per-flow rate renegotiations) and replayed in
+// tick-sized windows: within a window, events hit the gateway from -workers
+// goroutines in arbitrary order — the realistic concurrent regime — and a
+// measurement tick closes the window.
+//
+// Example — a n=100 link under offered load 1.2× its flow capacity:
+//
+//	gateway -n 100 -svr 0.3 -th 200 -tc 1 -tm 20 -pce 1e-2 -lambda 0.6 -duration 2000 -workers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/estimator"
+	"repro/internal/gateway"
+	"repro/internal/rng"
+	"repro/internal/theory"
+	"repro/internal/traffic"
+)
+
+type evKind int
+
+const (
+	evAdmit evKind = iota
+	evUpdate
+	evDepart
+)
+
+type event struct {
+	t    float64
+	kind evKind
+	flow uint64
+	rate float64
+}
+
+func main() {
+	var (
+		n        = flag.Float64("n", 100, "link capacity in units of the mean flow rate")
+		svr      = flag.Float64("svr", 0.3, "sigma/mu of a flow")
+		tc       = flag.Float64("tc", 1, "RCBR correlation time (mean segment length)")
+		th       = flag.Float64("th", 200, "mean flow holding time")
+		tm       = flag.Float64("tm", 0, "estimator memory window (0 = memoryless)")
+		pce      = flag.Float64("pce", 1e-2, "certainty-equivalent target overflow probability")
+		lambda   = flag.Float64("lambda", 0.6, "Poisson flow arrival rate")
+		duration = flag.Float64("duration", 2000, "virtual replay duration")
+		tick     = flag.Float64("tick", 0.5, "measurement tick period (virtual time)")
+		workers  = flag.Int("workers", 8, "concurrent client goroutines")
+		shards   = flag.Int("shards", 16, "gateway flow-table shards")
+		seed     = flag.Uint64("seed", 1, "schedule random seed")
+	)
+	flag.Parse()
+	if *workers < 1 || *tick <= 0 || *duration <= 0 || *lambda <= 0 {
+		fatal(fmt.Errorf("workers, tick, duration and lambda must be positive"))
+	}
+
+	ctrl, err := core.NewCertaintyEquivalent(*pce, 1, *svr)
+	if err != nil {
+		fatal(err)
+	}
+	var est estimator.Estimator
+	if *tm > 0 {
+		est = estimator.NewExponential(*tm)
+	} else {
+		est = estimator.NewMemoryless()
+	}
+	g, err := gateway.New(gateway.Config{
+		Capacity:   *n,
+		Controller: ctrl,
+		Estimator:  est,
+		Shards:     *shards,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	events := schedule(*lambda, *duration, *th, traffic.NewRCBR(1, *svr, *tc), rng.New(*seed, 0x677764))
+	fmt.Printf("schedule:   %d events (%d flows) over %g virtual time units\n",
+		len(events), countAdmits(events), *duration)
+
+	start := time.Now()
+	activeSum, ticks := 0.0, 0
+	// Replay window by window: all events inside one tick period run
+	// concurrently across the workers, then a measurement tick closes the
+	// window and republishes the bound.
+	for lo, now := 0, 0.0; lo < len(events) || now < *duration; {
+		now += *tick
+		hi := lo
+		for hi < len(events) && events[hi].t <= now {
+			hi++
+		}
+		replayWindow(g, events[lo:hi], *workers)
+		lo = hi
+		st := g.Tick(now)
+		if now > *duration/2 { // steady-state half
+			activeSum += float64(st.Active)
+			ticks++
+		}
+	}
+	wall := time.Since(start)
+
+	st := g.Stats()
+	mstar := theory.AdmissibleFlows(*n, 1, *svr, *pce)
+	fmt.Printf("replay:     %v wall, %.0f events/sec, %d workers\n",
+		wall.Round(time.Millisecond), float64(len(events))/wall.Seconds(), *workers)
+	fmt.Printf("admission:  %d admitted, %d rejected (blocking %.4g), %d departed, %d active\n",
+		st.Admitted, st.Rejected,
+		float64(st.Rejected)/math.Max(1, float64(st.Admitted+st.Rejected)),
+		st.Departed, st.Active)
+	fmt.Printf("measure:    mu^ %.4g, sigma^ %.4g (ok=%v), aggregate %.4g, %d ticks\n",
+		st.Mu, st.Sigma, st.MeasurementOK, st.AggregateRate, st.Ticks)
+	fmt.Printf("bound:      M = %.4g vs perfect-knowledge m* = %.4g\n", st.Admissible, mstar)
+	if ticks > 0 {
+		fmt.Printf("steady:     mean active %.4g over the final %d ticks (m* = %.4g)\n",
+			activeSum/float64(ticks), ticks, mstar)
+	}
+}
+
+// schedule pregenerates the full event list: Poisson arrivals over
+// [0, duration), each flow carrying an exponential holding time and RCBR
+// rate renegotiations at its segment boundaries. Events are sorted by time
+// (ties broken by flow then kind for determinism).
+func schedule(lambda, duration, th float64, model traffic.Model, r *rng.PCG) []event {
+	var events []event
+	id := uint64(0)
+	for t := r.Exp(1 / lambda); t < duration; t += r.Exp(1 / lambda) {
+		fr := r.Split(id)
+		src := model.New(fr)
+		hold := fr.Exp(th)
+		if t+hold > duration {
+			hold = duration - t
+		}
+		seg := src.Next()
+		events = append(events, event{t: t, kind: evAdmit, flow: id, rate: seg.Rate})
+		for st := seg.Duration; st < hold; {
+			seg = src.Next()
+			events = append(events, event{t: t + st, kind: evUpdate, flow: id, rate: seg.Rate})
+			st += seg.Duration
+		}
+		events = append(events, event{t: t + hold, kind: evDepart, flow: id})
+		id++
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		if events[i].flow != events[j].flow {
+			return events[i].flow < events[j].flow
+		}
+		return events[i].kind < events[j].kind
+	})
+	return events
+}
+
+// replayWindow executes one window's events against the gateway from
+// workers goroutines. Events of a rejected flow surface as "not active"
+// errors from UpdateRate/Depart and are skipped; any other error is fatal.
+func replayWindow(g *gateway.Gateway, window []event, workers int) {
+	if len(window) == 0 {
+		return
+	}
+	if workers > len(window) {
+		workers = len(window)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w; i < len(window); i += workers {
+				ev := window[i]
+				switch ev.kind {
+				case evAdmit:
+					if _, err := g.Admit(ev.flow, ev.rate); err != nil {
+						fatal(err)
+					}
+				case evUpdate:
+					if err := g.UpdateRate(ev.flow, ev.rate); err != nil && !notActive(err) {
+						fatal(err)
+					}
+				case evDepart:
+					if err := g.Depart(ev.flow); err != nil && !notActive(err) {
+						fatal(err)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// notActive reports whether err is the gateway's unknown-flow error.
+func notActive(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "not active")
+}
+
+// countAdmits counts the admission requests in the schedule.
+func countAdmits(events []event) int {
+	n := 0
+	for _, ev := range events {
+		if ev.kind == evAdmit {
+			n++
+		}
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gateway:", err)
+	os.Exit(1)
+}

@@ -90,19 +90,21 @@ func (c *CertaintyEquivalent) Alpha() float64 { return c.alpha }
 // Name implements Controller.
 func (c *CertaintyEquivalent) Name() string { return "certainty-equivalent" }
 
-// Admissible implements Controller.
+// Admissible implements Controller. Non-finite or non-positive estimates
+// (a collapsed or corrupted measurement path) fall back to the bootstrap
+// declaration rather than admitting unboundedly, and the result is clamped
+// to a finite non-negative count — an online gateway must never publish
+// NaN as its admission bound.
 func (c *CertaintyEquivalent) Admissible(m Measurement) float64 {
 	mu, sigma := m.Mu, m.Sigma
-	if !m.OK {
+	if !m.OK || !(mu > 0) || math.IsInf(mu, 0) || math.IsNaN(sigma) || math.IsInf(sigma, 0) || sigma < 0 {
 		mu, sigma = c.DeclaredMean, c.DeclaredSigma
 	}
-	if mu <= 0 {
-		// Measured mean collapsed to zero (e.g. all flows momentarily
-		// silent): fall back to the declaration rather than admitting
-		// unboundedly.
-		mu, sigma = c.DeclaredMean, c.DeclaredSigma
+	a := theory.AdmissibleFlowsAlpha(m.Capacity, mu, sigma, c.alpha)
+	if math.IsNaN(a) || a < 0 {
+		return 0
 	}
-	return theory.AdmissibleFlowsAlpha(m.Capacity, mu, sigma, c.alpha)
+	return a
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzCertaintyEquivalent hammers the certainty-equivalent admission
+// criterion with adversarial measurements — NaN/±Inf estimates, negative
+// sigmas, corrupted capacities, contradictory OK flags — and asserts the
+// invariants the online gateway publishes the result under: no panic,
+// never NaN, never negative (an admission bound of NaN would wedge every
+// Admit call forever).
+func FuzzCertaintyEquivalent(f *testing.F) {
+	f.Add(1e-2, 1.0, 0.3, 100.0, 1.0, 0.3, 100.0, 100, true)
+	f.Add(1e-6, 2.5, 0.0, 45.0, 0.0, -1.0, 0.0, 0, false)
+	f.Add(0.5, 1.0, 10.0, 1e9, math.NaN(), math.Inf(1), math.NaN(), -3, true)
+	f.Add(0.999, 1e-300, 1e300, 1e-9, math.Inf(1), math.Inf(-1), 1e308, 1<<30, true)
+	f.Add(1e-12, 1.0, 0.3, 100.0, 1e-320, 1e-320, 1.0, 2, true)
+	f.Fuzz(func(t *testing.T, pce, declMean, declSigma, capacity, mu, sigma, agg float64, flows int, ok bool) {
+		c, err := NewCertaintyEquivalent(pce, declMean, declSigma)
+		if err != nil {
+			// Invalid constructor parameters are rejected up-front; the
+			// criterion itself is only reachable with a valid controller.
+			t.Skip()
+		}
+		m := Measurement{
+			Capacity:      capacity,
+			Flows:         flows,
+			AggregateRate: agg,
+			Mu:            mu,
+			Sigma:         sigma,
+			OK:            ok,
+		}
+		got := c.Admissible(m)
+		if math.IsNaN(got) {
+			t.Fatalf("Admissible(%+v) = NaN", m)
+		}
+		if got < 0 {
+			t.Fatalf("Admissible(%+v) = %g < 0", m, got)
+		}
+		// When the closed form itself is representable (m* roughly bounded
+		// by c/mu and ((sigma/mu)·alpha)², both far from overflow), the
+		// result must be finite. Outside that region +Inf is the honest
+		// answer — m* = c/mu can genuinely exceed MaxFloat64 for
+		// subnormal mu — and only NaN/negative are defects.
+		if capacity > 0 && mu > 0 && sigma >= 0 && ok &&
+			capacity/mu < 1e140 && sigma/mu < 1e140 {
+			if math.IsInf(got, 0) {
+				t.Fatalf("Admissible(%+v) = Inf with representable m*", m)
+			}
+		}
+	})
+}

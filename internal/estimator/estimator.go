@@ -137,8 +137,12 @@ func (e *Exponential) Reset(t float64) {
 	*e = Exponential{Tm: e.Tm, t: t}
 }
 
-// Advance implements Estimator.
+// Advance implements Estimator. A NaN time is ignored so a corrupted
+// clock cannot poison the filter state.
 func (e *Exponential) Advance(t float64) {
+	if math.IsNaN(t) {
+		return
+	}
 	dt := t - e.t
 	e.t = t
 	if dt <= 0 || !e.initialized || e.n == 0 {
@@ -150,8 +154,13 @@ func (e *Exponential) Advance(t float64) {
 	e.u2 = a*e.u2 + (1-a)*e.cur2
 }
 
-// Update implements Estimator.
+// Update implements Estimator. Non-finite aggregates or a negative count
+// (corrupted measurement input) are ignored, holding the filtered state:
+// an online estimator must stay poisoned-input-safe, never yielding NaN.
 func (e *Exponential) Update(sumRate, sumSq float64, n int) {
+	if n < 0 || math.IsNaN(sumRate) || math.IsInf(sumRate, 0) || math.IsNaN(sumSq) || math.IsInf(sumSq, 0) {
+		return
+	}
 	e.n = n
 	if n == 0 {
 		// No flows: hold the filtered state (nothing to measure).

@@ -1,0 +1,51 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzExponentialEstimator drives the exponential (memory T_m) estimator
+// with an adversarial two-step Advance/Update protocol — including NaN and
+// ±Inf aggregates, negative counts, non-monotonic and non-finite clocks —
+// and asserts the production invariants an online gateway relies on: no
+// panic, estimates never NaN, sigma never negative, and a poisoned input
+// never corrupts later well-formed measurements into NaN.
+func FuzzExponentialEstimator(f *testing.F) {
+	f.Add(100.0, 0.5, 10.0, 11.0, 10, 1.0, 12.0, 15.0, 12)
+	f.Add(1.0, 0.0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 0)
+	f.Add(1e-9, 1e300, 1e300, 1e308, 2, -5.0, -1.0, -2.0, -3)
+	f.Add(1000.0, math.Inf(1), math.Inf(1), math.NaN(), 7, math.NaN(), 3.0, 9.0, 3)
+	f.Add(0.5, 1.0, math.MaxFloat64, math.MaxFloat64, 1000000, 2.0, 1.0, 1.0, 2)
+	f.Fuzz(func(t *testing.T, tm, t1, sr1, ss1 float64, n1 int, t2, sr2, ss2 float64, n2 int) {
+		if !(tm > 0) || math.IsInf(tm, 0) || math.IsNaN(tm) {
+			tm = 1
+		}
+		e := NewExponential(tm)
+		e.Reset(0)
+		check := func(stage string) {
+			mu, sigma, _ := e.Estimate()
+			if math.IsNaN(mu) || math.IsNaN(sigma) {
+				t.Fatalf("%s: NaN estimate (mu=%g sigma=%g)", stage, mu, sigma)
+			}
+			if sigma < 0 {
+				t.Fatalf("%s: negative sigma %g", stage, sigma)
+			}
+		}
+		e.Advance(t1)
+		e.Update(sr1, ss1, n1)
+		check("after adversarial step 1")
+		e.Advance(t2)
+		e.Update(sr2, ss2, n2)
+		check("after adversarial step 2")
+		// A subsequent well-formed measurement cycle must behave: the
+		// adversarial history may not have poisoned the filter state.
+		e.Advance(t2 + 1)
+		e.Update(7.5, 30.25, 5)
+		e.Advance(t2 + 2)
+		mu, sigma, _ := e.Estimate()
+		if math.IsNaN(mu) || math.IsNaN(sigma) || sigma < 0 {
+			t.Fatalf("poisoned state: recovery estimate (mu=%g, sigma=%g)", mu, sigma)
+		}
+	})
+}

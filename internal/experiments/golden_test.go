@@ -10,11 +10,14 @@ import (
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite the golden experiment tables")
 
-// goldenIDs are the pure-theory experiments: deterministic (no RNG), fast,
-// and exactly reproducible — so their full output is locked against
-// regressions in the numerical stack (quadrature, root finding, Gaussian
-// functions, formula implementations).
-var goldenIDs = []string{"fig6", "fig9", "regimes", "abl-theory"}
+// goldenIDs are the exactly-reproducible experiments: the pure-theory
+// tables (no RNG) and the gateway soak ensemble, whose fixed seed and
+// stripe-ordered merging make it bit-identical regardless of scheduling —
+// so their full output is locked against regressions in the numerical
+// stack (quadrature, root finding, Gaussian functions, formula
+// implementations) and against silent changes to the gateway's admission
+// statistics.
+var goldenIDs = []string{"fig6", "fig9", "regimes", "abl-theory", "gateway"}
 
 func TestGoldenTheoryTables(t *testing.T) {
 	for _, id := range goldenIDs {

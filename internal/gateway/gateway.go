@@ -1,0 +1,364 @@
+// Package gateway turns the paper's batch-simulated admission controller
+// into a serving-shaped subsystem: a sharded, goroutine-safe online gateway
+// that answers Admit/Depart requests concurrently while a periodic
+// measurement tick drives the estimator and republishes the
+// certainty-equivalent bound.
+//
+// # Mapping to the paper
+//
+// The gateway maintains exactly the state of the paper's controller loop
+// (eqs. 6/22), split for concurrency:
+//
+//   - per-shard flow tables hold each active flow's current rate; their
+//     sums ΣX_i and ΣX_i² are the cross-sectional aggregates of eq. 7;
+//   - the measurement tick feeds those aggregates to an
+//     estimator.Estimator, producing (μ̂, σ̂) — the paper's estimated
+//     per-flow mean and standard deviation;
+//   - the controller maps (μ̂, σ̂) to the admissible flow count M (eq. 42),
+//     which is published atomically; Admit admits while the active count
+//     stays below M.
+//
+// # Concurrency design
+//
+// Flow state is sharded by a mixed hash of the flow ID; each shard is
+// protected by its own mutex, so Admit/Depart/UpdateRate on different
+// flows contend only on the shard level and on three atomic counters. The
+// admission check itself is lock-free: a compare-and-swap loop on the
+// global active-flow counter against the last published bound, which
+// guarantees the active count never exceeds ⌊M⌋ no matter how many
+// goroutines race.
+//
+// Measurement is decoupled from admission, as in any real MBAC: between
+// ticks the bound is (deliberately) stale. Tests and the simulator call
+// Tick with a virtual clock for deterministic replay; production callers
+// use Run, which ticks on a wall-clock interval until the context ends.
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/estimator"
+)
+
+// Reason classifies the outcome of an Admit call.
+type Reason int
+
+// Admission outcomes.
+const (
+	// ReasonAdmitted: the flow was admitted.
+	ReasonAdmitted Reason = iota
+	// ReasonCapacity: admitting would push the active count past the
+	// controller's bound M.
+	ReasonCapacity
+)
+
+// String implements fmt.Stringer.
+func (r Reason) String() string {
+	switch r {
+	case ReasonAdmitted:
+		return "admitted"
+	case ReasonCapacity:
+		return "capacity"
+	}
+	return fmt.Sprintf("Reason(%d)", int(r))
+}
+
+// Decision reports the outcome of one admission request.
+type Decision struct {
+	Admitted   bool
+	Reason     Reason
+	Admissible float64 // the bound M in force at decision time
+	Active     int64   // active flows immediately after the decision
+}
+
+// Config parameterizes a Gateway.
+type Config struct {
+	Capacity   float64             // link capacity c (required, > 0)
+	Controller core.Controller     // admission controller (required)
+	Estimator  estimator.Estimator // measurement process (required); owned by the gateway after New
+	Shards     int                 // flow-table shards, rounded up to a power of two (default 16)
+
+	// TickInterval is the wall-clock measurement period used by Run
+	// (default 100ms). Virtual-clock users ignore it and call Tick
+	// directly.
+	TickInterval time.Duration
+}
+
+// shard is one lock domain of the flow table. The padding keeps shards on
+// separate cache lines so uncontended shards don't false-share.
+type shard struct {
+	mu      sync.Mutex
+	flows   map[uint64]float64 // flow ID -> current rate
+	sumRate float64            // ΣX_i over this shard
+	sumSq   float64            // ΣX_i² over this shard
+	_       [24]byte
+}
+
+// Gateway is a concurrent online admission controller. Construct with New;
+// all methods are safe for concurrent use.
+type Gateway struct {
+	cfg    Config
+	shards []shard
+	mask   uint64
+
+	active   atomic.Int64
+	admitted atomic.Int64
+	rejected atomic.Int64
+	departed atomic.Int64
+
+	bound atomic.Uint64 // float64 bits of the published admissible count M
+
+	// measMu guards the estimator and the last-tick snapshot below.
+	measMu    sync.Mutex
+	lastTick  float64
+	lastMu    float64
+	lastSigma float64
+	lastOK    bool
+	lastAgg   float64
+	lastFlows int
+	ticks     int64
+}
+
+// Stats is a consistent snapshot of the gateway's aggregate state.
+type Stats struct {
+	Active   int64 // flows currently admitted
+	Admitted int64 // cumulative admissions
+	Rejected int64 // cumulative capacity rejections
+	Departed int64 // cumulative departures
+
+	Admissible    float64 // published bound M
+	Mu            float64 // estimated per-flow mean μ̂ (last tick)
+	Sigma         float64 // estimated per-flow stddev σ̂ (last tick)
+	MeasurementOK bool    // estimates valid (estimator warmed up)
+	AggregateRate float64 // measured ΣX_i at the last tick
+	MeasuredFlows int     // flow count seen by the last tick
+	LastTick      float64 // virtual time of the last tick
+	Ticks         int64   // measurement ticks performed
+}
+
+// New validates the configuration and returns a gateway whose bound has
+// been initialized by one measurement tick at virtual time zero (so a
+// certainty-equivalent controller starts from its bootstrap declaration).
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("gateway: capacity %g must be positive", cfg.Capacity)
+	}
+	if cfg.Controller == nil || cfg.Estimator == nil {
+		return nil, fmt.Errorf("gateway: Controller and Estimator are required")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	nshards := 1
+	for nshards < cfg.Shards {
+		nshards <<= 1
+	}
+	if cfg.TickInterval <= 0 {
+		cfg.TickInterval = 100 * time.Millisecond
+	}
+	g := &Gateway{
+		cfg:    cfg,
+		shards: make([]shard, nshards),
+		mask:   uint64(nshards - 1),
+	}
+	for i := range g.shards {
+		g.shards[i].flows = make(map[uint64]float64)
+	}
+	g.cfg.Estimator.Reset(0)
+	g.Tick(0)
+	return g, nil
+}
+
+// shardFor mixes the flow ID (SplitMix64 finalizer) so adjacent IDs spread
+// across shards.
+func (g *Gateway) shardFor(flowID uint64) *shard {
+	z := flowID + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return &g.shards[z&g.mask]
+}
+
+// Admissible returns the currently published bound M.
+func (g *Gateway) Admissible() float64 {
+	return math.Float64frombits(g.bound.Load())
+}
+
+// Admit requests admission for flowID at the given declared (or
+// pre-measured, per Qadir et al.) rate. A capacity refusal is a normal
+// Decision, not an error; errors indicate invalid input (non-positive or
+// non-finite rate, duplicate active flow ID).
+func (g *Gateway) Admit(flowID uint64, declaredRate float64) (Decision, error) {
+	if !(declaredRate > 0) || math.IsInf(declaredRate, 0) {
+		return Decision{}, fmt.Errorf("gateway: declared rate %g must be positive and finite", declaredRate)
+	}
+	m := g.Admissible()
+	s := g.shardFor(flowID)
+	s.mu.Lock()
+	if _, dup := s.flows[flowID]; dup {
+		s.mu.Unlock()
+		return Decision{}, fmt.Errorf("gateway: flow %d is already active", flowID)
+	}
+	// Reserve a slot lock-free: the CAS loop ensures the active count can
+	// never exceed ⌊M⌋ even when many goroutines race a single free slot.
+	// (Spinning while holding the shard lock is safe: other threads
+	// advance the counter without needing this shard.)
+	for {
+		cur := g.active.Load()
+		if float64(cur)+1 > m {
+			s.mu.Unlock()
+			g.rejected.Add(1)
+			return Decision{Admitted: false, Reason: ReasonCapacity, Admissible: m, Active: cur}, nil
+		}
+		if g.active.CompareAndSwap(cur, cur+1) {
+			break
+		}
+	}
+	s.flows[flowID] = declaredRate
+	s.sumRate += declaredRate
+	s.sumSq += declaredRate * declaredRate
+	s.mu.Unlock()
+	g.admitted.Add(1)
+	return Decision{Admitted: true, Reason: ReasonAdmitted, Admissible: m, Active: g.active.Load()}, nil
+}
+
+// UpdateRate records a renegotiated rate for an active flow — the online
+// rate-measurement path: callers feed measured per-flow rates here and the
+// next tick folds them into (μ̂, σ̂).
+func (g *Gateway) UpdateRate(flowID uint64, rate float64) error {
+	if !(rate >= 0) || math.IsInf(rate, 0) {
+		return fmt.Errorf("gateway: rate %g must be non-negative and finite", rate)
+	}
+	s := g.shardFor(flowID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.flows[flowID]
+	if !ok {
+		return fmt.Errorf("gateway: flow %d is not active", flowID)
+	}
+	s.flows[flowID] = rate
+	s.sumRate += rate - old
+	s.sumSq += rate*rate - old*old
+	return nil
+}
+
+// Depart removes an active flow. Departing an unknown flow is an error.
+func (g *Gateway) Depart(flowID uint64) error {
+	s := g.shardFor(flowID)
+	s.mu.Lock()
+	rate, ok := s.flows[flowID]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("gateway: flow %d is not active", flowID)
+	}
+	delete(s.flows, flowID)
+	s.sumRate -= rate
+	s.sumSq -= rate * rate
+	// With churn the incremental shard sums accumulate floating-point
+	// drift; renormalize from the table whenever a shard empties, which
+	// under flow churn happens often enough to keep the drift bounded.
+	if len(s.flows) == 0 {
+		s.sumRate, s.sumSq = 0, 0
+	}
+	s.mu.Unlock()
+	g.active.Add(-1)
+	g.departed.Add(1)
+	return nil
+}
+
+// Tick performs one measurement cycle at virtual time now: gather the
+// cross-sectional aggregates from the shards, advance and update the
+// estimator, re-evaluate the controller, and publish the new bound. It
+// returns the resulting snapshot. now is clamped to be non-decreasing;
+// concurrent Ticks serialize on the measurement mutex.
+//
+// A flow mid-admission (slot reserved, shard insert pending) may be
+// missed by the sweep; that is ordinary measurement noise, identical to a
+// flow arriving just after a tick.
+func (g *Gateway) Tick(now float64) Stats {
+	var sumRate, sumSq float64
+	var n int
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.Lock()
+		sumRate += s.sumRate
+		sumSq += s.sumSq
+		n += len(s.flows)
+		s.mu.Unlock()
+	}
+
+	g.measMu.Lock()
+	if !(now > g.lastTick) {
+		now = g.lastTick
+	}
+	g.cfg.Estimator.Advance(now)
+	g.cfg.Estimator.Update(sumRate, sumSq, n)
+	mu, sigma, ok := g.cfg.Estimator.Estimate()
+	m := g.cfg.Controller.Admissible(core.Measurement{
+		Capacity:      g.cfg.Capacity,
+		Flows:         n,
+		AggregateRate: sumRate,
+		Mu:            mu,
+		Sigma:         sigma,
+		OK:            ok,
+	})
+	if math.IsNaN(m) || m < 0 {
+		m = 0
+	}
+	g.bound.Store(math.Float64bits(m))
+	g.lastTick = now
+	g.lastMu, g.lastSigma, g.lastOK = mu, sigma, ok
+	g.lastAgg, g.lastFlows = sumRate, n
+	g.ticks++
+	st := g.statsLocked()
+	g.measMu.Unlock()
+	return st
+}
+
+// Stats returns a snapshot of counters and the last tick's measurements.
+func (g *Gateway) Stats() Stats {
+	g.measMu.Lock()
+	defer g.measMu.Unlock()
+	return g.statsLocked()
+}
+
+// statsLocked assembles a snapshot; the caller holds measMu.
+func (g *Gateway) statsLocked() Stats {
+	return Stats{
+		Active:        g.active.Load(),
+		Admitted:      g.admitted.Load(),
+		Rejected:      g.rejected.Load(),
+		Departed:      g.departed.Load(),
+		Admissible:    g.Admissible(),
+		Mu:            g.lastMu,
+		Sigma:         g.lastSigma,
+		MeasurementOK: g.lastOK,
+		AggregateRate: g.lastAgg,
+		MeasuredFlows: g.lastFlows,
+		LastTick:      g.lastTick,
+		Ticks:         g.ticks,
+	}
+}
+
+// Run ticks the gateway on the configured wall-clock interval until ctx is
+// done, mapping wall time to the estimator's virtual time in seconds since
+// Run started. It blocks; run it in its own goroutine.
+func (g *Gateway) Run(ctx context.Context) {
+	ticker := time.NewTicker(g.cfg.TickInterval)
+	defer ticker.Stop()
+	start := time.Now()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			g.Tick(time.Since(start).Seconds())
+		}
+	}
+}

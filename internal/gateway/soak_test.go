@@ -1,0 +1,107 @@
+package gateway
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/estimator"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/theory"
+	"repro/internal/traffic"
+)
+
+// impulsiveFill drives one replication of the paper's impulsive-load
+// scenario through the online gateway: flows with rates drawn from the
+// RCBR marginal request admission one after another, with a measurement
+// tick after every event, until the certainty-equivalent bound refuses
+// one. The admitted count is the gateway-shaped analog of the paper's M0
+// (Proposition 3.1: mean ≈ m*, stddev ≈ (σ/μ)·√n).
+func impulsiveFill(tb testing.TB, n, svr, pce float64, r *rng.PCG) int64 {
+	ctrl, err := core.NewCertaintyEquivalent(pce, 1, svr)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	g, err := New(Config{
+		Capacity:   n,
+		Controller: ctrl,
+		Estimator:  estimator.NewMemoryless(),
+		Shards:     4,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	model := traffic.NewRCBR(1, svr, 1)
+	for i := 0; ; i++ {
+		rate := model.New(r.Split(uint64(i))).Next().Rate
+		d, err := g.Admit(uint64(i), rate)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		g.Tick(float64(i+1) * 1e-3)
+		if !d.Admitted {
+			return d.Active
+		}
+		if i > int(4*n) {
+			tb.Fatalf("fill did not terminate: %d admissions at capacity %g", i, n)
+		}
+	}
+}
+
+// TestSoakAdmittedTracksMStar is the seeded statistical soak test of the
+// issue: over many replications on the shared worker pool, the gateway's
+// mean admitted count under impulsive load must sit within 3σ of the
+// perfect-knowledge prediction m* (eq. 4/5), where σ = (σ/μ)·√n is
+// Proposition 3.1's spread of a single replication, at two (n, σ/μ)
+// operating points.
+func TestSoakAdmittedTracksMStar(t *testing.T) {
+	reps := 200
+	if testing.Short() {
+		reps = 60
+	}
+	points := []struct {
+		name   string
+		n, svr float64
+		pce    float64
+		seed   uint64
+	}{
+		{"n100-svr0.3", 100, 0.3, 1e-2, 0x736f616b},
+		{"n64-svr0.5", 64, 0.5, 1e-2, 0x736f616c},
+	}
+	for _, pt := range points {
+		pt := pt
+		t.Run(pt.name, func(t *testing.T) {
+			mstar := theory.AdmissibleFlows(pt.n, 1, pt.svr, pt.pce)
+			sd := pt.svr * math.Sqrt(pt.n) // Prop 3.1 per-replication spread
+
+			pool := sim.Replicated{Replications: reps, Seed: pt.seed, Tag: 0x6777}
+			accs := make([]stats.Moments, pool.NumStripes())
+			err := pool.Run(context.Background(), func(stripe, rep int, r *rng.PCG) error {
+				accs[stripe].Add(float64(impulsiveFill(t, pt.n, pt.svr, pt.pce, r)))
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var m0 stats.Moments
+			for s := range accs {
+				m0.Merge(&accs[s])
+			}
+			mean, simSD := m0.Mean(), m0.StdDev()
+			t.Logf("n=%g svr=%g: mean M0 = %.3f (m* = %.3f), sd = %.3f (theory %.3f), reps = %d",
+				pt.n, pt.svr, mean, mstar, simSD, sd, reps)
+			if diff := math.Abs(mean - mstar); diff > 3*sd {
+				t.Errorf("mean admitted %.3f deviates from m* = %.3f by %.3f > 3σ = %.3f",
+					mean, mstar, diff, 3*sd)
+			}
+			// The per-replication spread itself should be on Prop 3.1's
+			// scale — a loose sanity band, not a sharp test.
+			if simSD < sd/3 || simSD > 3*sd {
+				t.Errorf("sd of M0 = %.3f outside [%.3f, %.3f]", simSD, sd/3, 3*sd)
+			}
+		})
+	}
+}

@@ -57,6 +57,19 @@ func (p *PCG) Split(tag uint64) *PCG {
 	return New(p.Uint64()^mix(tag), p.Uint64()^mix(tag+0x632be59bd9b4e019))
 }
 
+// SplitN derives n independent substreams from p, tagged 0..n-1. It is the
+// bulk form of Split used by the replicated worker pool (internal/sim): all
+// streams are drawn up-front, single-threaded, so that the assignment of
+// substream to replication index is deterministic no matter how the
+// replications are later scheduled across workers.
+func (p *PCG) SplitN(n int) []*PCG {
+	out := make([]*PCG, n)
+	for i := range out {
+		out[i] = p.Split(uint64(i))
+	}
+	return out
+}
+
 // mix is SplitMix64's finalizer, used to decorrelate small integer tags.
 func mix(z uint64) uint64 {
 	z += 0x9e3779b97f4a7c15

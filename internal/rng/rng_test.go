@@ -228,6 +228,21 @@ func TestSplitDeterministic(t *testing.T) {
 	}
 }
 
+func TestSplitNMatchesSplit(t *testing.T) {
+	// SplitN must produce exactly the streams sequential Split calls
+	// would: stream i consumes the master state in tag order.
+	streams := New(7, 3).SplitN(4)
+	master := New(7, 3)
+	for i, s := range streams {
+		want := master.Split(uint64(i))
+		for j := 0; j < 50; j++ {
+			if s.Uint64() != want.Uint64() {
+				t.Fatalf("SplitN stream %d diverges from Split at draw %d", i, j)
+			}
+		}
+	}
+}
+
 func TestFloat64OpenNeverZero(t *testing.T) {
 	f := func(seed uint64) bool {
 		p := New(seed, 0)

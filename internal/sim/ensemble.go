@@ -1,12 +1,11 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/rng"
@@ -74,60 +73,38 @@ func RunImpulsive(cfg ImpulsiveConfig) (*ImpulsiveResult, error) {
 		return nil, errors.New("sim: probe grid must be sorted and non-negative")
 	}
 
-	master := rng.New(cfg.Seed, 0x696d_70) // stream tag "imp"
 	res := &ImpulsiveResult{
 		PfAt: make([]stats.Counter, len(cfg.Grid)),
 		Grid: append([]float64(nil), cfg.Grid...),
 	}
 
-	// Replications run in parallel, accumulated into a fixed number of
-	// stripes by replication index and merged in stripe order — so the
-	// result is bit-identical regardless of GOMAXPROCS or scheduling
-	// (floating-point summation order is pinned by the striping, and each
-	// replication draws from its own substream of the master generator;
-	// Split is applied up-front, single-threaded, because the master
-	// generator is stateful).
-	const stripes = 64
+	// Replications run on the shared Replicated pool: one accumulator per
+	// stripe, merged in stripe order, so the result is bit-identical
+	// regardless of GOMAXPROCS or scheduling (floating-point summation
+	// order is pinned by the striping, and each replication draws from its
+	// own substream of the master generator).
+	pool := Replicated{
+		Replications: cfg.Replications,
+		Seed:         cfg.Seed,
+		Tag:          0x696d_70, // stream tag "imp"
+	}
 	type stripeAcc struct {
 		m0   stats.Moments
 		pfAt []stats.Counter
 	}
-	accs := make([]stripeAcc, stripes)
+	accs := make([]stripeAcc, pool.NumStripes())
 	for i := range accs {
 		accs[i].pfAt = make([]stats.Counter, len(cfg.Grid))
 	}
-	streams := make([]*rng.PCG, cfg.Replications)
-	for rep := range streams {
-		streams[rep] = master.Split(uint64(rep))
+	err := pool.Run(context.Background(), func(stripe, rep int, r *rng.PCG) error {
+		acc := &accs[stripe]
+		m0 := runOneImpulse(cfg, r, acc.pfAt)
+		acc.m0.Add(float64(m0))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > stripes {
-		workers = stripes
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	stripeCh := make(chan int, stripes)
-	for s := 0; s < stripes; s++ {
-		stripeCh <- s
-	}
-	close(stripeCh)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for s := range stripeCh {
-				acc := &accs[s]
-				for rep := s; rep < cfg.Replications; rep += stripes {
-					m0 := runOneImpulse(cfg, streams[rep], acc.pfAt)
-					acc.m0.Add(float64(m0))
-				}
-			}
-		}()
-	}
-	wg.Wait()
 
 	for s := range accs {
 		res.M0.Merge(&accs[s].m0)

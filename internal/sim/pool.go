@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// DefaultStripes is the stripe count used when Replicated.Stripes is zero.
+// Striping serves determinism, not load balancing: accumulators are owned
+// per stripe and merged in stripe order, so results are bit-identical
+// regardless of GOMAXPROCS or scheduling.
+const DefaultStripes = 64
+
+// Replicated is the shared parallel engine for replicated stochastic runs:
+// the impulsive-load ensembles, the gateway soak experiments, and any
+// future Monte Carlo study. It executes Replications independent jobs on a
+// bounded worker pool with three guarantees:
+//
+//   - every replication draws from its own PCG substream, split from
+//     (Seed, Tag) up-front in replication order, so results are
+//     reproducible for a fixed seed and invariant to worker count;
+//   - replications are grouped into stripes (replication index mod stripe
+//     count) and each stripe's work runs on a single worker, so callers
+//     may keep one accumulator per stripe with no locking and merge them
+//     in stripe order for bit-identical floating-point results;
+//   - the run honors context cancellation and stops at the first body
+//     error.
+type Replicated struct {
+	Replications int    // number of independent replications (required, > 0)
+	Stripes      int    // accumulator stripes (default DefaultStripes)
+	Workers      int    // max concurrent workers (default GOMAXPROCS, capped at Stripes)
+	Seed         uint64 // master seed
+	Tag          uint64 // stream tag separating this study from others on the same seed
+}
+
+// NumStripes returns the effective stripe count; callers size their
+// per-stripe accumulator slices with it.
+func (p Replicated) NumStripes() int {
+	if p.Stripes > 0 {
+		return p.Stripes
+	}
+	return DefaultStripes
+}
+
+// numWorkers returns the effective worker count.
+func (p Replicated) numWorkers() int {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > p.NumStripes() {
+		w = p.NumStripes()
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes body(stripe, rep, r) for every replication index rep in
+// [0, Replications), where stripe = rep mod NumStripes() and r is the
+// replication's private PCG substream. All replications of one stripe run
+// sequentially (in increasing rep order) on one worker, so body may mutate
+// a per-stripe accumulator without synchronization. Run returns the first
+// body error, or the context's error if cancelled; either stops the pool
+// promptly (stripes not yet started are skipped, in-flight replications
+// finish).
+func (p Replicated) Run(ctx context.Context, body func(stripe, rep int, r *rng.PCG) error) error {
+	if p.Replications <= 0 {
+		return fmt.Errorf("sim: replications %d must be positive", p.Replications)
+	}
+	if body == nil {
+		return fmt.Errorf("sim: nil pool body")
+	}
+	stripes := p.NumStripes()
+	streams := rng.New(p.Seed, p.Tag).SplitN(p.Replications)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	stripeCh := make(chan int, stripes)
+	for s := 0; s < stripes; s++ {
+		stripeCh <- s
+	}
+	close(stripeCh)
+
+	var (
+		wg     sync.WaitGroup
+		errMu  sync.Mutex
+		runErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if runErr == nil {
+			runErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+	for w := 0; w < p.numWorkers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range stripeCh {
+				for rep := s; rep < p.Replications; rep += stripes {
+					if err := ctx.Err(); err != nil {
+						fail(err)
+						return
+					}
+					if err := body(s, rep, streams[rep]); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	errMu.Lock()
+	defer errMu.Unlock()
+	return runErr
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestReplicatedValidation(t *testing.T) {
+	if err := (Replicated{}).Run(context.Background(), func(int, int, *rng.PCG) error { return nil }); err == nil {
+		t.Fatal("zero replications: want error")
+	}
+	if err := (Replicated{Replications: 1}).Run(context.Background(), nil); err == nil {
+		t.Fatal("nil body: want error")
+	}
+}
+
+// TestReplicatedDeterminism checks the pool's core contract: per-stripe
+// accumulation merged in stripe order is bit-identical across worker
+// counts, because substreams are assigned by replication index and each
+// stripe runs sequentially on one worker.
+func TestReplicatedDeterminism(t *testing.T) {
+	sum := func(workers int) []float64 {
+		pool := Replicated{Replications: 500, Workers: workers, Seed: 42, Tag: 7}
+		accs := make([]stats.Moments, pool.NumStripes())
+		err := pool.Run(context.Background(), func(stripe, rep int, r *rng.PCG) error {
+			// A value that depends on both the substream and the index.
+			accs[stripe].Add(r.Float64() + float64(rep)*1e-9)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m stats.Moments
+		for s := range accs {
+			m.Merge(&accs[s])
+		}
+		return []float64{m.Mean(), m.Var(), m.Min(), m.Max(), float64(m.N())}
+	}
+	serial, parallel8, parallel3 := sum(1), sum(8), sum(3)
+	for i := range serial {
+		if serial[i] != parallel8[i] || serial[i] != parallel3[i] {
+			t.Fatalf("worker-count dependence: serial %v, 8 workers %v, 3 workers %v",
+				serial, parallel8, parallel3)
+		}
+	}
+}
+
+func TestReplicatedCoversEveryReplication(t *testing.T) {
+	const reps = 257 // deliberately not a stripe multiple
+	var seen [reps]atomic.Int32
+	pool := Replicated{Replications: reps, Seed: 1}
+	err := pool.Run(context.Background(), func(stripe, rep int, r *rng.PCG) error {
+		if rep%pool.NumStripes() != stripe {
+			t.Errorf("rep %d ran on stripe %d", rep, stripe)
+		}
+		seen[rep].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("replication %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestReplicatedStopsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := Replicated{Replications: 10_000, Seed: 1}.Run(context.Background(),
+		func(stripe, rep int, r *rng.PCG) error {
+			if ran.Add(1) == 5 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := ran.Load(); n == 10_000 {
+		t.Fatal("pool did not stop early after the error")
+	}
+}
+
+func TestReplicatedHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := Replicated{Replications: 100_000, Seed: 1}.Run(ctx,
+		func(stripe, rep int, r *rng.PCG) error {
+			if ran.Add(1) == 10 {
+				cancel()
+			}
+			return nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n == 100_000 {
+		t.Fatal("pool ran to completion despite cancellation")
+	}
+}

@@ -46,6 +46,7 @@ package mbac
 import (
 	"repro/internal/core"
 	"repro/internal/estimator"
+	"repro/internal/gateway"
 	"repro/internal/gauss"
 	"repro/internal/limitsim"
 	"repro/internal/link"
@@ -295,6 +296,29 @@ type ImpulsiveResult = sim.ImpulsiveResult
 func SimulateImpulsive(cfg ImpulsiveConfig) (*ImpulsiveResult, error) {
 	return sim.RunImpulsive(cfg)
 }
+
+// ---------------------------------------------------------------------------
+// Online admission gateway.
+
+// Gateway is the sharded, goroutine-safe online admission gateway: the
+// serving-shaped wrapper around a Controller and an Estimator. Concurrent
+// Admit/Depart/UpdateRate calls are answered against the last published
+// certainty-equivalent bound; a periodic measurement tick (virtual-clock
+// Tick or wall-clock Run) re-estimates (μ̂, σ̂) from the sharded flow
+// tables and republishes the bound.
+type Gateway = gateway.Gateway
+
+// GatewayConfig parameterizes a Gateway.
+type GatewayConfig = gateway.Config
+
+// GatewayStats is a consistent snapshot of a gateway's aggregate state.
+type GatewayStats = gateway.Stats
+
+// GatewayDecision reports the outcome of one Gateway.Admit call.
+type GatewayDecision = gateway.Decision
+
+// NewGateway validates the configuration and returns a ready gateway.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) { return gateway.New(cfg) }
 
 // ---------------------------------------------------------------------------
 // Utility-based QoS (Section 7 future work).
