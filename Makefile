@@ -3,13 +3,15 @@
 #   tier-1   — build + full test suite (the driver's gate)
 #   tier-1.5 — race detector over every package; concurrency-sensitive
 #              packages (gateway, sim) must stay clean under -race
+#   stat     — seeded statistical ensembles (build tag "stat"): the √2-law
+#              assertions of Prop 3.3 through the instrumented gateway
 #   bench    — admission hot-path benchmarks
 #   fuzz     — short adversarial-input fuzzing of the estimator and
 #              controller (checked-in corpora replay in plain `go test`)
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz golden
+.PHONY: all build test race test-stat bench fuzz golden
 
 all: build test
 
@@ -24,6 +26,11 @@ test:
 # ride along as a regression net.
 race:
 	$(GO) test -race ./...
+
+# Statistical tier: deterministic seeded ensembles (several seconds of
+# simulation), excluded from tier-1 by the "stat" build tag.
+test-stat:
+	$(GO) test -tags stat -run 'TestStat' -v .
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

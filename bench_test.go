@@ -11,8 +11,11 @@ package mbac
 // ratio_* compare simulation to theory where the paper does.
 
 import (
+	"io"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/theory"
@@ -309,6 +312,104 @@ func BenchmarkGatewayAdmit(b *testing.B) {
 	st := g.Stats()
 	if st.Active != 0 || st.Admitted != int64(nextID.Load()) {
 		b.Fatalf("counters drifted: %+v", st)
+	}
+}
+
+// BenchmarkGatewayAdmitInstrumented is BenchmarkGatewayAdmit under active
+// observation: a background goroutine polls Snapshot and renders the
+// Prometheus text the whole time, the situation a scraped production
+// gateway lives in. The admission path must stay allocation-free and
+// within the same order of magnitude as the unobserved baseline.
+func BenchmarkGatewayAdmitInstrumented(b *testing.B) {
+	ctrl, err := NewCertaintyEquivalent(1e-2, 1, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := NewGateway(GatewayConfig{
+		Capacity:   1e9,
+		Controller: ctrl,
+		Estimator:  NewExponentialEstimator(100),
+		Shards:     64,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the scraper
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				snap := g.Snapshot()
+				snap.WritePrometheus(io.Discard)
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+	var nextID atomic.Uint64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id := nextID.Add(1)
+			if _, err := g.Admit(id, 1.0); err != nil {
+				b.Error(err)
+				return
+			}
+			if err := g.Depart(id); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	close(stop)
+	wg.Wait()
+	snap := g.Snapshot()
+	if snap.Active != 0 || snap.Admitted != int64(nextID.Load()) {
+		b.Fatalf("counters drifted: active %d admitted %d", snap.Active, snap.Admitted)
+	}
+	if snap.AdmitLatency.Count != snap.Admitted+snap.Rejected {
+		b.Fatalf("latency histogram saw %d decisions, counters say %d",
+			snap.AdmitLatency.Count, snap.Admitted+snap.Rejected)
+	}
+}
+
+// TestGatewayAdmitAllocationFree fails the suite — not just a benchmark
+// run — if the instrumented admission path ever allocates.
+func TestGatewayAdmitAllocationFree(t *testing.T) {
+	ctrl, err := NewCertaintyEquivalent(1e-2, 1, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGateway(GatewayConfig{
+		Capacity:   1e9,
+		Controller: ctrl,
+		Estimator:  NewExponentialEstimator(100),
+		Shards:     16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const id = uint64(7)
+	if _, err := g.Admit(id, 1.0); err != nil { // warm the shard map slot
+		t.Fatal(err)
+	}
+	if err := g.Depart(id); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := g.Admit(id, 1.0); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Depart(id); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented Admit/Depart allocates %.1f times per op, want 0", allocs)
 	}
 }
 

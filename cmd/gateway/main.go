@@ -13,12 +13,30 @@
 // Example — a n=100 link under offered load 1.2× its flow capacity:
 //
 //	gateway -n 100 -svr 0.3 -th 200 -tc 1 -tm 20 -pce 1e-2 -lambda 0.6 -duration 2000 -workers 8
+//
+// # Observability
+//
+// With -listen the driver serves the observability endpoint while (and,
+// with -hold, after) the replay runs:
+//
+//	/metrics      Prometheus text exposition (mbac_gateway_* families)
+//	/snapshot     the gateway snapshot as JSON
+//	/audit        the QoS audit report as JSON (verdict vs p_q and √2 law)
+//	/debug/vars   expvar, including the snapshot under the "mbac" key
+//	/debug/pprof  the standard pprof handlers
+//
+// The QoS audit grades the windowed overflow probability p_f against the
+// target -pq (default: the -pce value) and the √2-law prediction
+// Q(α_q/√2) of Prop 3.3; the final verdict is printed after the replay.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sort"
 	"strings"
@@ -28,9 +46,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/estimator"
 	"repro/internal/gateway"
+	"repro/internal/qos"
 	"repro/internal/rng"
 	"repro/internal/theory"
 	"repro/internal/traffic"
+
+	"encoding/json"
 )
 
 type evKind int
@@ -62,6 +83,10 @@ func main() {
 		workers  = flag.Int("workers", 8, "concurrent client goroutines")
 		shards   = flag.Int("shards", 16, "gateway flow-table shards")
 		seed     = flag.Uint64("seed", 1, "schedule random seed")
+		listen   = flag.String("listen", "", "serve the observability endpoint on this address (e.g. :8080)")
+		hold     = flag.Bool("hold", false, "keep serving after the replay finishes (requires -listen)")
+		pq       = flag.Float64("pq", 0, "QoS target p_q for the audit (default: the -pce value)")
+		window   = flag.Int("window", 1024, "audit/overflow window in measurement ticks")
 	)
 	flag.Parse()
 	if *workers < 1 || *tick <= 0 || *duration <= 0 || *lambda <= 0 {
@@ -79,13 +104,28 @@ func main() {
 		est = estimator.NewMemoryless()
 	}
 	g, err := gateway.New(gateway.Config{
-		Capacity:   *n,
-		Controller: ctrl,
-		Estimator:  est,
-		Shards:     *shards,
+		Capacity:       *n,
+		Controller:     ctrl,
+		Estimator:      est,
+		Shards:         *shards,
+		OverflowWindow: *window,
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	auditTarget := *pq
+	if auditTarget <= 0 {
+		auditTarget = *pce
+	}
+	audit, err := qos.NewAudit(qos.AuditConfig{TargetPf: auditTarget, Window: *window})
+	if err != nil {
+		fatal(err)
+	}
+	var auditMu sync.Mutex // audit is single-writer; HTTP readers snapshot under this
+
+	if *listen != "" {
+		serveObservability(*listen, g, audit, &auditMu)
 	}
 
 	events := schedule(*lambda, *duration, *th, traffic.NewRCBR(1, *svr, *tc), rng.New(*seed, 0x677764))
@@ -106,6 +146,9 @@ func main() {
 		replayWindow(g, events[lo:hi], *workers)
 		lo = hi
 		st := g.Tick(now)
+		auditMu.Lock()
+		audit.Observe(st.AggregateRate > *n)
+		auditMu.Unlock()
 		if now > *duration/2 { // steady-state half
 			activeSum += float64(st.Active)
 			ticks++
@@ -128,6 +171,58 @@ func main() {
 		fmt.Printf("steady:     mean active %.4g over the final %d ticks (m* = %.4g)\n",
 			activeSum/float64(ticks), ticks, mstar)
 	}
+
+	snap := g.Snapshot()
+	fmt.Printf("latency:    admit p50 %.3gs p99 %.3gs mean %.3gs over %d decisions\n",
+		snap.AdmitLatency.Quantile(0.5), snap.AdmitLatency.Quantile(0.99),
+		snap.AdmitLatency.Mean(), snap.AdmitLatency.Count)
+	auditMu.Lock()
+	rep := audit.Report()
+	auditMu.Unlock()
+	fmt.Printf("audit:      p_f %.4g [%.4g, %.4g] over %d ticks vs p_q %.4g, sqrt2 law %.4g -> %s\n",
+		rep.Estimate.P, rep.Estimate.Lo, rep.Estimate.Hi, rep.Estimate.N,
+		rep.TargetPf, rep.Sqrt2Law, rep.Verdict)
+
+	if *listen != "" && *hold {
+		fmt.Printf("holding:    observability endpoint serving on %s (Ctrl-C to exit)\n", *listen)
+		select {}
+	}
+}
+
+// serveObservability starts the HTTP observability endpoint in the
+// background: Prometheus text on /metrics, JSON snapshot and audit
+// reports, and the stdlib expvar/pprof debug handlers (registered on the
+// default mux by their imports).
+func serveObservability(addr string, g *gateway.Gateway, audit *qos.Audit, auditMu *sync.Mutex) {
+	expvar.Publish("mbac", expvar.Func(func() any { return g.Snapshot() }))
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		g.Snapshot().WritePrometheus(w)
+	})
+	http.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(g.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	http.HandleFunc("/audit", func(w http.ResponseWriter, _ *http.Request) {
+		auditMu.Lock()
+		rep := audit.Report()
+		auditMu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fatal(fmt.Errorf("observability endpoint: %w", err))
+		}
+	}()
 }
 
 // schedule pregenerates the full event list: Poisson arrivals over

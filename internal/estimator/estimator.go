@@ -47,6 +47,24 @@ type Estimator interface {
 	Name() string
 }
 
+// MemoryReporter is implemented by estimators that can report their filter
+// memory window T_m (Section 4.3). Observability layers use it to tag
+// (μ̂, σ̂) snapshots with the memory that produced them; 0 means memoryless
+// (eq. 23). Estimators that don't implement it are reported as T_m = 0.
+type MemoryReporter interface {
+	// Memory returns the filter memory window T_m in time units.
+	Memory() float64
+}
+
+// Memory reports the estimator's filter window for observability tagging;
+// e may be nil. Estimators without a MemoryReporter count as memoryless.
+func Memory(e Estimator) float64 {
+	if mr, ok := e.(MemoryReporter); ok {
+		return mr.Memory()
+	}
+	return 0
+}
+
 // crossSection converts instantaneous aggregates into the paper's
 // cross-sectional estimates: mu-hat = sumRate/n and the unbiased
 // sigma-hat^2 = (sumSq - sumRate^2/n)/(n-1).
@@ -81,6 +99,9 @@ func NewMemoryless() *Memoryless { return &Memoryless{} }
 
 // Name implements Estimator.
 func (e *Memoryless) Name() string { return "memoryless" }
+
+// Memory implements MemoryReporter: the memoryless estimator has T_m = 0.
+func (e *Memoryless) Memory() float64 { return 0 }
 
 // Reset implements Estimator.
 func (e *Memoryless) Reset(float64) { *e = Memoryless{} }
@@ -131,6 +152,9 @@ func NewExponential(tm float64) *Exponential {
 
 // Name implements Estimator.
 func (e *Exponential) Name() string { return "exponential" }
+
+// Memory implements MemoryReporter.
+func (e *Exponential) Memory() float64 { return e.Tm }
 
 // Reset implements Estimator.
 func (e *Exponential) Reset(t float64) {
@@ -225,6 +249,10 @@ func NewWindow(w float64) *Window {
 
 // Name implements Estimator.
 func (e *Window) Name() string { return "window" }
+
+// Memory implements MemoryReporter: the boxcar window length plays the
+// role of T_m.
+func (e *Window) Memory() float64 { return e.W }
 
 // Reset implements Estimator.
 func (e *Window) Reset(t float64) {
@@ -341,6 +369,9 @@ func NewAggregateOnly(tm, tv float64) *AggregateOnly {
 // Name implements Estimator.
 func (e *AggregateOnly) Name() string { return "aggregate-only" }
 
+// Memory implements MemoryReporter.
+func (e *AggregateOnly) Memory() float64 { return e.Tm }
+
 // Reset implements Estimator.
 func (e *AggregateOnly) Reset(t float64) {
 	*e = AggregateOnly{Tm: e.Tm, Tv: e.Tv, t: t}
@@ -413,6 +444,10 @@ type Oracle struct {
 
 // Name implements Estimator.
 func (e *Oracle) Name() string { return "oracle" }
+
+// Memory implements MemoryReporter: the oracle needs no measurement, so
+// its memory tag is 0.
+func (e *Oracle) Memory() float64 { return 0 }
 
 // Reset implements Estimator.
 func (e *Oracle) Reset(float64) {}

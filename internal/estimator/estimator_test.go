@@ -391,3 +391,27 @@ func BenchmarkWindowAdvanceUpdate(b *testing.B) {
 		e.Update(100, 110, 100)
 	}
 }
+
+func TestMemoryReporting(t *testing.T) {
+	cases := []struct {
+		e    Estimator
+		want float64
+	}{
+		{NewMemoryless(), 0},
+		{NewExponential(25), 25},
+		{NewWindow(40), 40},
+		{NewAggregateOnly(30, 5), 30},
+		{NewPerFlowExponential(12), 12},
+		{&Oracle{Mu: 1, Sigma: 0.3}, 0},
+		{nil, 0},
+	}
+	for _, c := range cases {
+		name := "nil"
+		if c.e != nil {
+			name = c.e.Name()
+		}
+		if got := Memory(c.e); got != c.want {
+			t.Errorf("Memory(%s) = %v, want %v", name, got, c.want)
+		}
+	}
+}

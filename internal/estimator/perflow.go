@@ -66,6 +66,9 @@ func NewPerFlowExponential(tm float64) *PerFlowExponential {
 // Name implements Estimator.
 func (e *PerFlowExponential) Name() string { return "per-flow-exponential" }
 
+// Memory implements MemoryReporter.
+func (e *PerFlowExponential) Memory() float64 { return e.Tm }
+
 // Reset implements Estimator.
 func (e *PerFlowExponential) Reset(t float64) {
 	*e = PerFlowExponential{Tm: e.Tm, t: t, flows: make(map[int]*perFlowState)}

@@ -37,6 +37,7 @@ package gateway
 import (
 	"context"
 	"fmt"
+	"io"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -44,6 +45,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/estimator"
+	"repro/internal/metrics"
+	"repro/internal/stats"
 )
 
 // Reason classifies the outcome of an Admit call.
@@ -88,7 +91,28 @@ type Config struct {
 	// (default 100ms). Virtual-clock users ignore it and call Tick
 	// directly.
 	TickInterval time.Duration
+
+	// LatencyClock supplies monotonic nanoseconds for the admission
+	// latency histogram. Nil selects the process-monotonic wall clock;
+	// deterministic tests inject a virtual clock so two equally seeded
+	// runs produce bit-identical snapshots.
+	LatencyClock func() int64
+
+	// EstimateRing is the number of per-tick (μ̂, σ̂) points retained for
+	// observability (default 256).
+	EstimateRing int
+
+	// OverflowWindow is the number of measurement ticks over which the
+	// gateway estimates the windowed overflow probability p_f — one
+	// Bernoulli indicator {ΣX_i > c} per tick (default 1024).
+	OverflowWindow int
 }
+
+// processStart anchors the default monotonic latency clock.
+var processStart = time.Now()
+
+// defaultLatencyClock returns monotonic nanoseconds since process start.
+func defaultLatencyClock() int64 { return int64(time.Since(processStart)) }
 
 // shard is one lock domain of the flow table. The padding keeps shards on
 // separate cache lines so uncontended shards don't false-share.
@@ -107,15 +131,28 @@ type Gateway struct {
 	shards []shard
 	mask   uint64
 
-	active   atomic.Int64
-	admitted atomic.Int64
-	rejected atomic.Int64
-	departed atomic.Int64
+	active atomic.Int64 // CAS-reserved active-flow count (admission invariant)
 
-	bound atomic.Uint64 // float64 bits of the published admissible count M
+	// Hot-path instrumentation: wait-free counters and the admission
+	// latency histogram. These are read by Snapshot without stopping
+	// admissions.
+	admitted metrics.Counter
+	rejected metrics.Counter
+	departed metrics.Counter
+	admitLat *metrics.Histogram
+	clock    func() int64
 
-	// measMu guards the estimator and the last-tick snapshot below.
+	bound metrics.Gauge // the published admissible count M (eq. 42)
+
+	// Tick-path instrumentation: the (μ̂, σ̂) snapshot ring tagged with the
+	// estimator memory T_m, and the windowed overflow indicator ring.
+	ring *metrics.Ring
+	tm   float64
+
+	// measMu guards the estimator, the overflow window, and the last-tick
+	// snapshot below.
 	measMu    sync.Mutex
+	overflow  *stats.SlidingCounter
 	lastTick  float64
 	lastMu    float64
 	lastSigma float64
@@ -162,10 +199,24 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.TickInterval <= 0 {
 		cfg.TickInterval = 100 * time.Millisecond
 	}
+	if cfg.LatencyClock == nil {
+		cfg.LatencyClock = defaultLatencyClock
+	}
+	if cfg.EstimateRing <= 0 {
+		cfg.EstimateRing = 256
+	}
+	if cfg.OverflowWindow <= 0 {
+		cfg.OverflowWindow = 1024
+	}
 	g := &Gateway{
-		cfg:    cfg,
-		shards: make([]shard, nshards),
-		mask:   uint64(nshards - 1),
+		cfg:      cfg,
+		shards:   make([]shard, nshards),
+		mask:     uint64(nshards - 1),
+		admitLat: metrics.NewHistogram(metrics.DefaultLatencyBounds()),
+		clock:    cfg.LatencyClock,
+		ring:     metrics.NewRing(cfg.EstimateRing),
+		tm:       estimator.Memory(cfg.Estimator),
+		overflow: stats.NewSlidingCounter(cfg.OverflowWindow),
 	}
 	for i := range g.shards {
 		g.shards[i].flows = make(map[uint64]float64)
@@ -187,7 +238,7 @@ func (g *Gateway) shardFor(flowID uint64) *shard {
 
 // Admissible returns the currently published bound M.
 func (g *Gateway) Admissible() float64 {
-	return math.Float64frombits(g.bound.Load())
+	return g.bound.Load()
 }
 
 // Admit requests admission for flowID at the given declared (or
@@ -195,6 +246,7 @@ func (g *Gateway) Admissible() float64 {
 // Decision, not an error; errors indicate invalid input (non-positive or
 // non-finite rate, duplicate active flow ID).
 func (g *Gateway) Admit(flowID uint64, declaredRate float64) (Decision, error) {
+	start := g.clock()
 	if !(declaredRate > 0) || math.IsInf(declaredRate, 0) {
 		return Decision{}, fmt.Errorf("gateway: declared rate %g must be positive and finite", declaredRate)
 	}
@@ -213,7 +265,8 @@ func (g *Gateway) Admit(flowID uint64, declaredRate float64) (Decision, error) {
 		cur := g.active.Load()
 		if float64(cur)+1 > m {
 			s.mu.Unlock()
-			g.rejected.Add(1)
+			g.rejected.Inc()
+			g.admitLat.Observe(float64(g.clock()-start) * 1e-9)
 			return Decision{Admitted: false, Reason: ReasonCapacity, Admissible: m, Active: cur}, nil
 		}
 		if g.active.CompareAndSwap(cur, cur+1) {
@@ -224,7 +277,8 @@ func (g *Gateway) Admit(flowID uint64, declaredRate float64) (Decision, error) {
 	s.sumRate += declaredRate
 	s.sumSq += declaredRate * declaredRate
 	s.mu.Unlock()
-	g.admitted.Add(1)
+	g.admitted.Inc()
+	g.admitLat.Observe(float64(g.clock()-start) * 1e-9)
 	return Decision{Admitted: true, Reason: ReasonAdmitted, Admissible: m, Active: g.active.Load()}, nil
 }
 
@@ -268,7 +322,7 @@ func (g *Gateway) Depart(flowID uint64) error {
 	}
 	s.mu.Unlock()
 	g.active.Add(-1)
-	g.departed.Add(1)
+	g.departed.Inc()
 	return nil
 }
 
@@ -311,7 +365,9 @@ func (g *Gateway) Tick(now float64) Stats {
 	if math.IsNaN(m) || m < 0 {
 		m = 0
 	}
-	g.bound.Store(math.Float64bits(m))
+	g.bound.Set(m)
+	g.overflow.Add(sumRate > g.cfg.Capacity)
+	g.ring.Push(metrics.EstimatePoint{Time: now, Mu: mu, Sigma: sigma, OK: ok, Tm: g.tm})
 	g.lastTick = now
 	g.lastMu, g.lastSigma, g.lastOK = mu, sigma, ok
 	g.lastAgg, g.lastFlows = sumRate, n
@@ -344,6 +400,89 @@ func (g *Gateway) statsLocked() Stats {
 		LastTick:      g.lastTick,
 		Ticks:         g.ticks,
 	}
+}
+
+// Snapshot is the full observability view of a gateway: the admission
+// counters, the published bound, the last measurement, the windowed
+// overflow estimate with its Wilson interval, the admission latency
+// histogram, and the recent (μ̂, σ̂) trajectory. It is JSON-encodable (the
+// expvar/HTTP payload) and convertible to Prometheus text via
+// WritePrometheus. DESIGN.md maps each field to its paper quantity.
+type Snapshot struct {
+	Time          float64                   `json:"time"`           // virtual time of the last tick
+	Capacity      float64                   `json:"capacity"`       // link capacity c
+	Active        int64                     `json:"active"`         // flows currently admitted
+	Admitted      int64                     `json:"admitted"`       // cumulative admissions
+	Rejected      int64                     `json:"rejected"`       // cumulative capacity rejections
+	Departed      int64                     `json:"departed"`       // cumulative departures
+	Ticks         int64                     `json:"ticks"`          // measurement ticks performed
+	Bound         float64                   `json:"bound"`          // published admissible count M (eq. 42)
+	Mu            float64                   `json:"mu"`             // μ̂ at the last tick (eq. 6)
+	Sigma         float64                   `json:"sigma"`          // σ̂ at the last tick (eq. 6)
+	MeasurementOK bool                      `json:"measurement_ok"` // estimator warmed up
+	AggregateRate float64                   `json:"aggregate_rate"` // ΣX_i at the last tick (eq. 7)
+	MeasuredFlows int                       `json:"measured_flows"` // flows seen by the last tick
+	Tm            float64                   `json:"tm"`             // estimator filter memory (Section 4.3)
+	Overflow      stats.WindowedEstimate    `json:"overflow"`       // windowed p_f with Wilson CI
+	AdmitLatency  metrics.HistogramSnapshot `json:"admit_latency"`  // seconds
+	Estimates     []metrics.EstimatePoint   `json:"estimates"`      // recent (μ̂, σ̂) ring, oldest first
+}
+
+// Snapshot assembles the observability snapshot. The tick-path state is
+// read under the measurement mutex; the hot-path counters and the latency
+// histogram are sampled atomically without pausing admissions, so they may
+// run a few operations ahead of the tick state — the standard
+// weakly-consistent metrics contract.
+func (g *Gateway) Snapshot() Snapshot {
+	g.measMu.Lock()
+	snap := Snapshot{
+		Time:          g.lastTick,
+		Capacity:      g.cfg.Capacity,
+		Ticks:         g.ticks,
+		Mu:            g.lastMu,
+		Sigma:         g.lastSigma,
+		MeasurementOK: g.lastOK,
+		AggregateRate: g.lastAgg,
+		MeasuredFlows: g.lastFlows,
+		Tm:            g.tm,
+		Overflow:      g.overflow.Estimate(0),
+	}
+	g.measMu.Unlock()
+	snap.Active = g.active.Load()
+	snap.Admitted = g.admitted.Load()
+	snap.Rejected = g.rejected.Load()
+	snap.Departed = g.departed.Load()
+	snap.Bound = g.Admissible()
+	snap.AdmitLatency = g.admitLat.Snapshot()
+	snap.Estimates = g.ring.Snapshot()
+	return snap
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format under the mbac_gateway_* namespace.
+func (s Snapshot) WritePrometheus(w io.Writer) {
+	metrics.WriteGauge(w, "mbac_gateway_capacity", "link capacity c", s.Capacity)
+	metrics.WriteGauge(w, "mbac_gateway_active_flows", "flows currently admitted", float64(s.Active))
+	metrics.WriteCounter(w, "mbac_gateway_admitted_total", "cumulative admitted flows", s.Admitted)
+	metrics.WriteCounter(w, "mbac_gateway_rejected_total", "cumulative capacity rejections", s.Rejected)
+	metrics.WriteCounter(w, "mbac_gateway_departed_total", "cumulative departed flows", s.Departed)
+	metrics.WriteCounter(w, "mbac_gateway_ticks_total", "measurement ticks performed", s.Ticks)
+	metrics.WriteGauge(w, "mbac_gateway_bound", "published admissible flow count M (eq. 42)", s.Bound)
+	metrics.WriteGauge(w, "mbac_gateway_mu", "estimated per-flow mean rate (eq. 6)", s.Mu)
+	metrics.WriteGauge(w, "mbac_gateway_sigma", "estimated per-flow rate stddev (eq. 6)", s.Sigma)
+	ok := 0.0
+	if s.MeasurementOK {
+		ok = 1
+	}
+	metrics.WriteGauge(w, "mbac_gateway_measurement_ok", "1 when the estimator has warmed up", ok)
+	metrics.WriteGauge(w, "mbac_gateway_aggregate_rate", "measured aggregate rate (eq. 7)", s.AggregateRate)
+	metrics.WriteGauge(w, "mbac_gateway_estimator_memory", "estimator filter memory T_m (Section 4.3)", s.Tm)
+	metrics.WriteGauge(w, "mbac_gateway_overflow_window_p", "windowed overflow probability p_f", s.Overflow.P)
+	metrics.WriteGauge(w, "mbac_gateway_overflow_window_lo", "Wilson lower bound of windowed p_f", s.Overflow.Lo)
+	metrics.WriteGauge(w, "mbac_gateway_overflow_window_hi", "Wilson upper bound of windowed p_f", s.Overflow.Hi)
+	metrics.WriteCounter(w, "mbac_gateway_overflow_window_hits", "overflow ticks inside the window", s.Overflow.Hits)
+	metrics.WriteCounter(w, "mbac_gateway_overflow_window_samples", "ticks inside the window", s.Overflow.N)
+	metrics.WriteHistogram(w, "mbac_gateway_admit_latency_seconds", "admission decision latency", s.AdmitLatency)
 }
 
 // Run ticks the gateway on the configured wall-clock interval until ctx is

@@ -1,0 +1,205 @@
+// Package metrics provides the allocation-free instrumentation primitives
+// for the online MBAC: atomic counters, float gauges, lock-free streaming
+// histograms, and a snapshot ring for estimator state. The admission hot
+// path (gateway.Admit) records into these types with plain atomic
+// operations — no locks, no heap allocations — so instrumentation never
+// perturbs the quantity it measures (BenchmarkGatewayAdmit must stay at
+// 0 allocs/op).
+//
+// Readers take weakly-consistent snapshots: every individual value is read
+// atomically (no torn 64-bit reads), but values sampled while writers are
+// active may be mutually out of sync by a few operations. That is the
+// standard contract of serving-system metrics and is exactly what the
+// paper's measurement philosophy prescribes — the controller itself must
+// tolerate noisy, slightly stale observations (Section 4).
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic event counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d (d >= 0 for Prometheus counter semantics; not enforced).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomically published float64 value (e.g. the admissible
+// bound M). The zero value reads as 0.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set publishes v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Load returns the last published value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a lock-free streaming histogram with fixed bucket upper
+// bounds. Observe is wait-free on the bucket and count updates and
+// lock-free (CAS loop) on the running sum; none of them allocate. Bucket i
+// counts observations v with v <= bounds[i]; the final implicit bucket
+// counts everything above the last bound.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last catches v > bounds[len-1]
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// NewHistogram returns a histogram over the given strictly increasing,
+// finite upper bounds. It panics on invalid bounds: histogram layout is a
+// compile-time-style configuration error, not a runtime condition.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic("metrics: histogram bounds must be finite")
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly increasing")
+		}
+	}
+	h := &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+	return h
+}
+
+// ExpBounds returns n bucket bounds starting at lo and growing by factor:
+// lo, lo·f, lo·f², … — the usual layout for latency histograms.
+func ExpBounds(lo, factor float64, n int) []float64 {
+	if !(lo > 0) || !(factor > 1) || n < 1 {
+		panic("metrics: ExpBounds requires lo > 0, factor > 1, n >= 1")
+	}
+	bounds := make([]float64, n)
+	v := lo
+	for i := range bounds {
+		bounds[i] = v
+		v *= factor
+	}
+	return bounds
+}
+
+// DefaultLatencyBounds spans 250ns to ~4ms (doubling), in seconds — sized
+// for the gateway admission path, whose uncontended cost is ~100ns.
+func DefaultLatencyBounds() []float64 { return ExpBounds(250e-9, 2, 15) }
+
+// Observe records v. NaN observations are dropped (a poisoned latency
+// sample must not poison the sum).
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	// Linear scan: bounds are few (≤ ~20) and the branch predictor wins
+	// over binary search at this size.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the running sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, JSON-encodable
+// and convertible to the Prometheus exposition format. Counts has one more
+// entry than Bounds (the overflow bucket).
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot copies the histogram state. Weakly consistent under concurrent
+// writers (see the package comment); every field is individually torn-free.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.buckets)),
+		Count:  h.count.Load(),
+		Sum:    h.Sum(),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Mean returns the average observation (0 if empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) by linear
+// interpolation within the containing bucket, taking the lowest bound as 0
+// and clamping the overflow bucket to its lower bound. Returns 0 for an
+// empty snapshot and NaN for malformed input.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	total := int64(0)
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if math.IsNaN(q) || len(s.Counts) != len(s.Bounds)+1 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range s.Counts {
+		next := cum + float64(c)
+		if rank <= next && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			if i == len(s.Bounds) {
+				return lo // open-ended bucket: report its lower edge
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + frac*(s.Bounds[i]-lo)
+		}
+		cum = next
+	}
+	if len(s.Bounds) > 0 {
+		return s.Bounds[len(s.Bounds)-1]
+	}
+	return 0
+}

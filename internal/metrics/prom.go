@@ -1,0 +1,45 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Prometheus text exposition (version 0.0.4) writers. Higher layers
+// compose these into a full /metrics page; each writer emits the HELP/TYPE
+// header and the sample lines for one metric family.
+
+// WriteCounter writes one counter family with a single sample.
+func WriteCounter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// WriteGauge writes one gauge family with a single sample.
+func WriteGauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatFloat(v))
+}
+
+// WriteHistogram writes one histogram family in the cumulative-bucket form
+// Prometheus expects (le-labelled buckets, +Inf bucket, _sum and _count).
+func WriteHistogram(w io.Writer, name, help string, s HistogramSnapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := int64(0)
+	for i, b := range s.Bounds {
+		if i < len(s.Counts) {
+			cum += s.Counts[i]
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum)
+	}
+	if len(s.Counts) == len(s.Bounds)+1 {
+		cum += s.Counts[len(s.Bounds)]
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(s.Sum), name, s.Count)
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

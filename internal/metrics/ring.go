@@ -1,0 +1,68 @@
+package metrics
+
+import "sync"
+
+// EstimatePoint is one measurement tick's view of the estimator: the
+// paper's (μ̂_t, σ̂_t) of eq. 6/7 tagged with the filter memory T_m that
+// produced them (Section 4.3; T_m = 0 denotes the memoryless estimator of
+// eq. 23).
+type EstimatePoint struct {
+	Time  float64 `json:"t"`     // virtual time of the tick
+	Mu    float64 `json:"mu"`    // estimated per-flow mean μ̂
+	Sigma float64 `json:"sigma"` // estimated per-flow stddev σ̂
+	OK    bool    `json:"ok"`    // estimator warmed up (≥ 2 flows seen)
+	Tm    float64 `json:"tm"`    // filter memory window of the estimator
+}
+
+// Ring retains the last N estimate points. It is written once per
+// measurement tick — far off the admission hot path — so a plain mutex is
+// the right tool; Snapshot copies out in chronological order.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []EstimatePoint
+	next int
+	full bool
+}
+
+// NewRing returns a ring holding the last n points (n >= 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]EstimatePoint, n)}
+}
+
+// Push appends a point, evicting the oldest when full.
+func (r *Ring) Push(p EstimatePoint) {
+	r.mu.Lock()
+	r.buf[r.next] = p
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of retained points.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Snapshot returns the retained points oldest-first.
+func (r *Ring) Snapshot() []EstimatePoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]EstimatePoint(nil), r.buf[:r.next]...)
+	}
+	out := make([]EstimatePoint, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

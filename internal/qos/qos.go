@@ -18,12 +18,17 @@ import "math"
 type Utility func(frac float64) float64
 
 // clamp restricts f to [0, 1]; the link only produces values in range, but
-// utilities are safe to call with anything.
+// utilities are safe to call with anything — including NaN and ±Inf from a
+// corrupted load accounting. NaN maps to 0 (an unmeasurable served
+// fraction earns no utility) so NaN can never propagate into utility
+// values and from there into time-weighted QoS averages.
 func clamp(f float64) float64 {
 	switch {
-	case f < 0:
+	case math.IsNaN(f):
 		return 0
-	case f > 1:
+	case f < 0: // includes -Inf
+		return 0
+	case f > 1: // includes +Inf
 		return 1
 	}
 	return f

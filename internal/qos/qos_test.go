@@ -85,3 +85,55 @@ func TestOrderingAcrossFamilies(t *testing.T) {
 		}
 	}
 }
+
+// TestUtilityPoisonedInputs is the property test for the clamp hardening:
+// every utility family must map ANY float64 — NaN, ±Inf, huge, tiny,
+// negative — into [0, 1] and never yield NaN, so corrupted load accounting
+// cannot poison time-weighted QoS averages.
+func TestUtilityPoisonedInputs(t *testing.T) {
+	utilities := map[string]Utility{
+		"step":    Step(0.9),
+		"step1":   Step(1),
+		"linear":  Linear(),
+		"concave": Concave(8),
+		"convex":  Convex(2),
+	}
+	fixed := []float64{
+		math.NaN(), math.Inf(1), math.Inf(-1),
+		-math.MaxFloat64, math.MaxFloat64,
+		-math.SmallestNonzeroFloat64, math.SmallestNonzeroFloat64,
+		math.Nextafter(1, 2), math.Nextafter(0, -1), 0, 1,
+	}
+	for name, u := range utilities {
+		for _, f := range fixed {
+			v := u(f)
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				t.Errorf("%s(%v) = %v, want in [0,1] and not NaN", name, f, v)
+			}
+		}
+		prop := func(bits uint64) bool {
+			v := u(math.Float64frombits(bits)) // hits NaN payloads, denormals, infs
+			return !math.IsNaN(v) && v >= 0 && v <= 1
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestUtilityMonotoneOnCleanRange checks the clamp did not disturb the
+// in-range behavior: utilities stay monotone non-decreasing on [0, 1].
+func TestUtilityMonotoneOnCleanRange(t *testing.T) {
+	for name, u := range map[string]Utility{
+		"step": Step(0.5), "linear": Linear(), "concave": Concave(4), "convex": Convex(3),
+	} {
+		prev := -1.0
+		for i := 0; i <= 1000; i++ {
+			v := u(float64(i) / 1000)
+			if v < prev {
+				t.Fatalf("%s not monotone at %v: %v < %v", name, float64(i)/1000, v, prev)
+			}
+			prev = v
+		}
+	}
+}

@@ -231,6 +231,125 @@ func (c *Counter) RelHalfWidth() float64 {
 	return c.HalfWidth() / p
 }
 
+// Wilson returns the Wilson score interval for a binomial proportion:
+// hits successes out of n trials at normal quantile z (1.96 for 95%).
+// Unlike the normal-approximation interval it stays inside [0, 1] and
+// remains informative at the small counts typical of windowed overflow
+// estimation (p_f ~ 1e-2 over a few thousand ticks). n <= 0 yields the
+// vacuous interval [0, 1].
+func Wilson(hits, n int64, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	if z < 0 {
+		z = -z
+	}
+	nf := float64(n)
+	p := float64(hits) / nf
+	zz := z * z
+	denom := 1 + zz/nf
+	center := (p + zz/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+zz/(4*nf*nf)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// WindowedEstimate is a windowed Bernoulli rate with its Wilson confidence
+// interval — the observable form of the overflow probability p_f.
+type WindowedEstimate struct {
+	P    float64 `json:"p"`    // windowed success fraction
+	Lo   float64 `json:"lo"`   // Wilson lower bound
+	Hi   float64 `json:"hi"`   // Wilson upper bound
+	Hits int64   `json:"hits"` // successes inside the window
+	N    int64   `json:"n"`    // trials inside the window
+	Z    float64 `json:"z"`    // normal quantile used for [Lo, Hi]
+}
+
+// SlidingCounter counts Bernoulli outcomes over a sliding window of the
+// last W trials, retaining lifetime totals as well. It is the accumulator
+// behind windowed overflow-probability estimation: each measurement tick
+// contributes one overflow indicator, and the window keeps the estimate
+// responsive to the current operating point instead of averaging over the
+// whole run. Not safe for concurrent use; callers synchronize.
+type SlidingCounter struct {
+	ring []bool
+	next int
+	fill int
+
+	hits      int64 // successes within the window
+	total     int64 // lifetime trials
+	totalHits int64 // lifetime successes
+}
+
+// NewSlidingCounter returns a counter over a window of w trials (w >= 1).
+func NewSlidingCounter(w int) *SlidingCounter {
+	if w < 1 {
+		w = 1
+	}
+	return &SlidingCounter{ring: make([]bool, w)}
+}
+
+// Add records one trial, evicting the oldest once the window is full.
+func (s *SlidingCounter) Add(hit bool) {
+	if s.fill == len(s.ring) {
+		if s.ring[s.next] {
+			s.hits--
+		}
+	} else {
+		s.fill++
+	}
+	s.ring[s.next] = hit
+	if hit {
+		s.hits++
+		s.totalHits++
+	}
+	s.total++
+	s.next++
+	if s.next == len(s.ring) {
+		s.next = 0
+	}
+}
+
+// N returns the number of trials currently in the window.
+func (s *SlidingCounter) N() int64 { return int64(s.fill) }
+
+// Hits returns the number of successes currently in the window.
+func (s *SlidingCounter) Hits() int64 { return s.hits }
+
+// P returns the windowed success fraction (0 if the window is empty).
+func (s *SlidingCounter) P() float64 {
+	if s.fill == 0 {
+		return 0
+	}
+	return float64(s.hits) / float64(s.fill)
+}
+
+// Lifetime returns the total trials and successes seen since creation.
+func (s *SlidingCounter) Lifetime() (n, hits int64) { return s.total, s.totalHits }
+
+// Estimate returns the windowed rate with its Wilson interval at normal
+// quantile z (z <= 0 selects 1.96, the 95% interval).
+func (s *SlidingCounter) Estimate(z float64) WindowedEstimate {
+	if z <= 0 {
+		z = 1.96
+	}
+	lo, hi := Wilson(s.hits, int64(s.fill), z)
+	return WindowedEstimate{
+		P:    s.P(),
+		Lo:   lo,
+		Hi:   hi,
+		Hits: s.hits,
+		N:    int64(s.fill),
+		Z:    z,
+	}
+}
+
 // Quantile returns the q-quantile (0<=q<=1) of xs using linear
 // interpolation on the sorted copy. It returns NaN for empty input.
 func Quantile(xs []float64, q float64) float64 {

@@ -259,3 +259,77 @@ func BenchmarkBatchMeansObserve(b *testing.B) {
 		bm.Observe(float64(i%2), 1.5)
 	}
 }
+
+func TestWilson(t *testing.T) {
+	// Canonical check: 5 successes out of 50 at z = 1.96 gives the
+	// textbook Wilson interval (0.0434, 0.2139) to 4 decimals.
+	lo, hi := Wilson(5, 50, 1.96)
+	if math.Abs(lo-0.0434) > 5e-4 || math.Abs(hi-0.2139) > 5e-4 {
+		t.Errorf("Wilson(5, 50) = (%.4f, %.4f), want ~(0.0434, 0.2139)", lo, hi)
+	}
+	// Degenerate inputs.
+	if lo, hi := Wilson(0, 0, 1.96); lo != 0 || hi != 1 {
+		t.Errorf("Wilson with n=0 = (%v, %v), want (0, 1)", lo, hi)
+	}
+	// Zero successes still excludes nothing below and stays in range.
+	lo, hi = Wilson(0, 100, 1.96)
+	if lo != 0 || hi <= 0 || hi >= 1 {
+		t.Errorf("Wilson(0, 100) = (%v, %v), want (0, small)", lo, hi)
+	}
+	// All successes mirrors all failures.
+	lo1, hi1 := Wilson(100, 100, 1.96)
+	if math.Abs((1-hi)-lo1) > 1e-12 || hi1 < 1-1e-12 {
+		t.Errorf("Wilson(100, 100) = (%v, %v) does not mirror Wilson(0, 100)", lo1, hi1)
+	}
+	// The interval always contains the point estimate.
+	for _, c := range []struct{ h, n int64 }{{1, 7}, {3, 9}, {500, 1000}, {1, 100000}} {
+		lo, hi := Wilson(c.h, c.n, 1.96)
+		p := float64(c.h) / float64(c.n)
+		if p < lo || p > hi {
+			t.Errorf("Wilson(%d, %d) = (%v, %v) excludes p=%v", c.h, c.n, lo, hi, p)
+		}
+	}
+}
+
+func TestSlidingCounterWindow(t *testing.T) {
+	s := NewSlidingCounter(4)
+	if s.N() != 0 || s.P() != 0 {
+		t.Fatalf("empty counter: N=%d P=%v", s.N(), s.P())
+	}
+	// Fill: T T F F -> 2/4.
+	s.Add(true)
+	s.Add(true)
+	s.Add(false)
+	s.Add(false)
+	if s.N() != 4 || s.Hits() != 2 || s.P() != 0.5 {
+		t.Fatalf("after fill: N=%d hits=%d P=%v", s.N(), s.Hits(), s.P())
+	}
+	// Two more false evict the two trues: window F F F F.
+	s.Add(false)
+	s.Add(false)
+	if s.Hits() != 0 || s.N() != 4 {
+		t.Fatalf("after eviction: hits=%d N=%d", s.Hits(), s.N())
+	}
+	if n, h := s.Lifetime(); n != 6 || h != 2 {
+		t.Fatalf("lifetime = (%d, %d), want (6, 2)", n, h)
+	}
+	e := s.Estimate(0) // defaults to z=1.96
+	if e.Z != 1.96 || e.N != 4 || e.Hits != 0 || e.P != 0 {
+		t.Fatalf("estimate = %+v", e)
+	}
+	if e.Lo != 0 || e.Hi <= 0 {
+		t.Fatalf("estimate interval = (%v, %v)", e.Lo, e.Hi)
+	}
+}
+
+func TestSlidingCounterMatchesDirectWilson(t *testing.T) {
+	s := NewSlidingCounter(100)
+	for i := 0; i < 250; i++ {
+		s.Add(i%10 == 0)
+	}
+	e := s.Estimate(1.96)
+	lo, hi := Wilson(e.Hits, e.N, 1.96)
+	if e.Lo != lo || e.Hi != hi || e.N != 100 {
+		t.Fatalf("estimate %+v disagrees with Wilson(%d, %d) = (%v, %v)", e, e.Hits, e.N, lo, hi)
+	}
+}

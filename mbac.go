@@ -50,8 +50,10 @@ import (
 	"repro/internal/gauss"
 	"repro/internal/limitsim"
 	"repro/internal/link"
+	"repro/internal/metrics"
 	"repro/internal/qos"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/theory"
 	"repro/internal/trace"
 	"repro/internal/traffic"
@@ -319,6 +321,62 @@ type GatewayDecision = gateway.Decision
 
 // NewGateway validates the configuration and returns a ready gateway.
 func NewGateway(cfg GatewayConfig) (*Gateway, error) { return gateway.New(cfg) }
+
+// ---------------------------------------------------------------------------
+// Observability.
+//
+// A Gateway's Snapshot method returns a GatewaySnapshot: counters, the
+// published bound, the windowed overflow estimate p_f with its Wilson
+// interval, the admission latency histogram, and the recent (μ̂, σ̂) ring —
+// every quantity JSON-encodable and exportable as Prometheus text via its
+// WritePrometheus method (see cmd/gateway's -listen endpoint).
+
+// GatewaySnapshot is the observability snapshot of a Gateway; DESIGN.md
+// maps each field to its paper quantity (eq. 6, 14, 22).
+type GatewaySnapshot = gateway.Snapshot
+
+// EstimatePoint is one measurement tick's (μ̂, σ̂) tagged with the
+// estimator's filter memory T_m.
+type EstimatePoint = metrics.EstimatePoint
+
+// HistogramSnapshot is a point-in-time copy of a streaming histogram.
+type HistogramSnapshot = metrics.HistogramSnapshot
+
+// WindowedEstimate is a windowed Bernoulli rate (e.g. overflow probability
+// p_f over the last N measurement ticks) with its Wilson interval.
+type WindowedEstimate = stats.WindowedEstimate
+
+// Wilson returns the Wilson score interval for hits successes in n trials
+// at normal quantile z — the confidence interval used for all windowed
+// p_f estimates.
+func Wilson(hits, n int64, z float64) (lo, hi float64) { return stats.Wilson(hits, n, z) }
+
+// QoSAudit continuously grades windowed overflow measurements against the
+// QoS target p_q AND the √2-law prediction Q(α_q/√2) of Prop 3.3 (eq. 14):
+// overflow above p_q but inside the √2 law is the known
+// certainty-equivalence bias; overflow above the √2 law means the system
+// is broken beyond what certainty equivalence explains.
+type QoSAudit = qos.Audit
+
+// QoSAuditConfig parameterizes a QoSAudit.
+type QoSAuditConfig = qos.AuditConfig
+
+// QoSAuditReport is one audit result: estimate, thresholds, verdict.
+type QoSAuditReport = qos.Report
+
+// QoSVerdict classifies a windowed overflow measurement.
+type QoSVerdict = qos.Verdict
+
+// Audit verdicts.
+const (
+	VerdictInsufficient     = qos.VerdictInsufficient
+	VerdictOK               = qos.VerdictOK
+	VerdictViolatesTarget   = qos.VerdictViolatesTarget
+	VerdictViolatesSqrt2Law = qos.VerdictViolatesSqrt2Law
+)
+
+// NewQoSAudit validates the configuration and returns an audit.
+func NewQoSAudit(cfg QoSAuditConfig) (*QoSAudit, error) { return qos.NewAudit(cfg) }
 
 // ---------------------------------------------------------------------------
 // Utility-based QoS (Section 7 future work).

@@ -1,0 +1,186 @@
+//go:build stat
+
+package mbac
+
+// The statistical test tier (`make test-stat`, build tag "stat"): seeded
+// ensemble tests that drive the ONLINE gateway — not the batch simulator —
+// to its Prop 3.3 steady state and assert the √2 law through the
+// observability pipeline itself: windowed overflow indicators feed a
+// QoSAudit, whose Wilson interval must cover Q(α_q/√2) and whose verdict
+// must name the certainty-equivalence bias. A perfect-knowledge control
+// run at the same operating point must instead grade ok, pinning the gap
+// on estimation error rather than on the harness.
+//
+// Everything is deterministic: replications draw from per-replication PCG
+// substreams and merge in replication order, so a given seed either always
+// passes or always fails.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/estimator"
+	"repro/internal/gateway"
+	"repro/internal/qos"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/theory"
+	"repro/internal/traffic"
+)
+
+// steadyOverflow runs one replication of the impulsive-load steady state
+// through the online gateway: flows with RCBR-marginal rates are admitted
+// one by one (a measurement tick after each) until the bound refuses one,
+// then every admitted flow redraws its rate — the t ≫ T_c state of
+// Prop 3.3, where the load is independent of the admission-time
+// fluctuation. Returns whether the redrawn aggregate overflows.
+func steadyOverflow(tb testing.TB, n, svr float64, ctrl core.Controller, est estimator.Estimator, r *rng.PCG) bool {
+	tb.Helper()
+	var lat int64
+	g, err := gateway.New(gateway.Config{
+		Capacity:     n,
+		Controller:   ctrl,
+		Estimator:    est,
+		Shards:       4,
+		EstimateRing: 1,
+		LatencyClock: func() int64 { lat++; return lat },
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	model := traffic.NewRCBR(1, svr, 1)
+	admitted := 0
+	for i := 0; ; i++ {
+		rate := model.New(r.Split(uint64(i))).Next().Rate
+		d, err := g.Admit(uint64(i), rate)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		g.Tick(float64(i+1) * 1e-3)
+		if !d.Admitted {
+			admitted = i
+			break
+		}
+		if i > int(4*n) {
+			tb.Fatalf("fill did not terminate at capacity %g", n)
+		}
+	}
+	for j := 0; j < admitted; j++ {
+		rate := model.New(r.Split(uint64(1)<<32 + uint64(j))).Next().Rate
+		if err := g.UpdateRate(uint64(j), rate); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	st := g.Tick(1e6) // well past T_c
+	return st.AggregateRate > n
+}
+
+// runEnsemble executes reps independent steady-state replications on the
+// shared worker pool and feeds the overflow indicators, in replication
+// order, into a QoSAudit sized to hold the whole ensemble. The report is
+// bit-identical for a fixed seed.
+func runEnsemble(t *testing.T, n, svr, pq float64, reps int, seed uint64, z float64,
+	newCtrl func() (core.Controller, error), newEst func() estimator.Estimator) qos.Report {
+	t.Helper()
+	pool := sim.Replicated{Replications: reps, Seed: seed, Tag: 0x737461} // "sta"
+	stripes := pool.NumStripes()
+	accs := make([][]bool, stripes)
+	err := pool.Run(context.Background(), func(stripe, rep int, r *rng.PCG) error {
+		ctrl, err := newCtrl()
+		if err != nil {
+			return err
+		}
+		accs[stripe] = append(accs[stripe], steadyOverflow(t, n, svr, ctrl, newEst(), r))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit, err := qos.NewAudit(qos.AuditConfig{TargetPf: pq, Window: reps, Z: z})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < reps; rep++ {
+		audit.Observe(accs[rep%stripes][rep/stripes])
+	}
+	return audit.Report()
+}
+
+// TestStatSqrt2Law is the headline assertion of the tier: a memoryless
+// certainty-equivalent MBAC targeting p_q delivers the √2 law of Prop 3.3
+// (eq. 14), p_f = Q(α_q/√2), NOT p_q. At each operating point the windowed
+// Wilson interval must cover the prediction, and the audit must grade the
+// run as the certainty-equivalence bias (violates-target: above p_q yet
+// consistent with the √2 law).
+//
+// Coverage is asserted at the 99% level (z = 2.576): the admitted count is
+// an integer, so the finite-n gateway sits ~half a flow below the
+// continuous prediction — a systematic ~0.5·μ/(σ√n) shift of the Gaussian
+// argument that the batch prop33 experiment shows too (pf_sim/pf_theory ≈
+// 0.87 at n=400) and that only decays as 1/√n. The 99% interval absorbs
+// that discretization at these replication counts; determinism (fixed
+// seeds, stripe-ordered merge) makes the outcome stable, not flaky.
+func TestStatSqrt2Law(t *testing.T) {
+	const svr = 0.3
+	points := []struct {
+		name string
+		pq   float64
+		n    float64
+		reps int
+		seed uint64
+	}{
+		{"pq1e-2", 1e-2, 1600, 4000, 0x73743233},
+		{"pq1e-3", 1e-3, 1600, 12000, 0x73743235},
+	}
+	for _, pt := range points {
+		pt := pt
+		t.Run(pt.name, func(t *testing.T) {
+			rep := runEnsemble(t, pt.n, svr, pt.pq, pt.reps, pt.seed, 2.576,
+				func() (core.Controller, error) { return core.NewCertaintyEquivalent(pt.pq, 1, svr) },
+				func() estimator.Estimator { return estimator.NewMemoryless() })
+			pfTheory := theory.ImpulsiveOverflow(pt.pq)
+			t.Logf("p_f = %.4g [%.4g, %.4g] over %d reps; sqrt2 law %.4g, target %.4g, verdict %s",
+				rep.Estimate.P, rep.Estimate.Lo, rep.Estimate.Hi, rep.Estimate.N,
+				pfTheory, pt.pq, rep.Verdict)
+			if pfTheory < rep.Estimate.Lo || pfTheory > rep.Estimate.Hi {
+				t.Errorf("sqrt2-law prediction %.4g outside the Wilson interval [%.4g, %.4g]",
+					pfTheory, rep.Estimate.Lo, rep.Estimate.Hi)
+			}
+			if rep.Verdict != qos.VerdictViolatesTarget {
+				t.Errorf("verdict = %s, want violates-target (the certainty-equivalence bias)", rep.Verdict)
+			}
+		})
+	}
+}
+
+// TestStatPerfectKnowledgeControl is the control arm: the genie-aided
+// controller (true μ, σ; oracle estimator) at the same operating point must
+// deliver an overflow level consistent with p_q, so the audit grades it ok.
+// This pins the √2-law gap measured above on admission-time estimation
+// error, not on the fill harness or the redraw procedure.
+func TestStatPerfectKnowledgeControl(t *testing.T) {
+	const (
+		svr  = 0.3
+		pq   = 1e-2
+		n    = 400.0
+		reps = 4000
+	)
+	rep := runEnsemble(t, n, svr, pq, reps, 0x73743077, 1.96,
+		func() (core.Controller, error) { return core.NewPerfectKnowledge(n, 1, svr, pq) },
+		func() estimator.Estimator { return &estimator.Oracle{Mu: 1, Sigma: svr} })
+	t.Logf("p_f = %.4g [%.4g, %.4g] over %d reps; target %.4g, verdict %s",
+		rep.Estimate.P, rep.Estimate.Lo, rep.Estimate.Hi, rep.Estimate.N, pq, rep.Verdict)
+	if rep.Verdict != qos.VerdictOK {
+		t.Errorf("perfect-knowledge verdict = %s, want ok", rep.Verdict)
+	}
+	if rep.Estimate.Lo > pq {
+		t.Errorf("perfect-knowledge p_f interval [%.4g, %.4g] sits above the target %g",
+			rep.Estimate.Lo, rep.Estimate.Hi, pq)
+	}
+	// The control must actually exercise the link: a zero-overflow run
+	// would pass vacuously.
+	if rep.Estimate.Hits == 0 {
+		t.Error("control run saw no overflow at all; operating point too loose to mean anything")
+	}
+}
