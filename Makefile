@@ -6,12 +6,16 @@
 #   stat     — seeded statistical ensembles (build tag "stat"): the √2-law
 #              assertions of Prop 3.3 through the instrumented gateway
 #   bench    — admission hot-path benchmarks
+#   bench-json — capture the gateway benchmarks as BENCH_gateway.json via
+#              cmd/benchjson; bench-cmp diffs a fresh run against the
+#              committed baseline (fails on >20% ns/op regression or any
+#              allocs/op growth)
 #   fuzz     — short adversarial-input fuzzing of the estimator and
 #              controller (checked-in corpora replay in plain `go test`)
 
 GO ?= go
 
-.PHONY: all build test race test-stat bench fuzz golden
+.PHONY: all build test race test-stat bench bench-json bench-cmp fuzz golden
 
 all: build test
 
@@ -34,6 +38,19 @@ test-stat:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Serving-path benchmark baseline: the Gateway benchmarks captured as JSON.
+# `make bench-json` refreshes BENCH_gateway.json in place (commit the
+# change when a perf PR moves the numbers); `make bench-cmp` measures
+# without overwriting and diffs against the committed baseline.
+GATEWAY_BENCH = $(GO) test -run '^$$' -bench 'BenchmarkGateway' -benchtime 2s -benchmem .
+
+bench-json:
+	$(GATEWAY_BENCH) | $(GO) run ./cmd/benchjson -out BENCH_gateway.json
+
+bench-cmp:
+	$(GATEWAY_BENCH) | $(GO) run ./cmd/benchjson -out /tmp/BENCH_gateway.new.json
+	$(GO) run ./cmd/benchjson -cmp -threshold 20 BENCH_gateway.json /tmp/BENCH_gateway.new.json
 
 FUZZTIME ?= 30s
 

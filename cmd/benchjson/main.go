@@ -1,0 +1,247 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document and diffs two such documents — the repository's benchmark
+// regression harness (the Makefile's bench-json and bench-cmp targets).
+//
+// Capture mode (default) reads benchmark output from stdin or the -in file
+// and writes JSON to stdout or the -out file:
+//
+//	go test -run '^$' -bench 'Gateway' -benchmem . | benchjson -out BENCH_gateway.json
+//
+// Compare mode diffs a current run against a committed baseline,
+// benchstat-style (one row per benchmark, old/new/delta per measure):
+//
+//	benchjson -cmp BENCH_gateway.json BENCH_new.json [-threshold 20]
+//
+// With -threshold T (percent), compare mode exits nonzero when any
+// benchmark's ns/op regresses by more than T percent or its allocs/op
+// increase at all — the contract the performance-budget docs reference.
+// Benchmarks present in only one file are reported but never fail the
+// comparison (the set is expected to grow).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result holds one benchmark's measures. Metrics carries every per-op
+// value parsed from the line (including ns/op, B/op and allocs/op under
+// their original units), so custom b.ReportMetric units survive the round
+// trip.
+type Result struct {
+	Iters   int64              `json:"iters"`
+	NsPerOp float64            `json:"ns_op"`
+	BPerOp  float64            `json:"b_op"`
+	Allocs  float64            `json:"allocs_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the JSON document: environment header plus name → result.
+type Doc struct {
+	GoOS       string            `json:"goos,omitempty"`
+	GoArch     string            `json:"goarch,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse consumes `go test -bench` text output. Benchmark lines look like
+//
+//	BenchmarkName-8   123456   105.0 ns/op   12 B/op   0 allocs/op   64.00 flows/op
+//
+// with the -GOMAXPROCS suffix stripped so documents captured on machines
+// with different core counts stay comparable.
+func parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue // not a results line (e.g. a benchmark's log output)
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Iters: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in %q", fields[i], line)
+			}
+			unit := fields[i+1]
+			res.Metrics[unit] = v
+			switch unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BPerOp = v
+			case "allocs/op":
+				res.Allocs = v
+			}
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		doc.Benchmarks[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchjson: no benchmark lines found")
+	}
+	return doc, nil
+}
+
+func load(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// delta formats a percentage change, benchstat-style.
+func delta(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "~"
+		}
+		return "+inf%"
+	}
+	return fmt.Sprintf("%+.2f%%", (new-old)/old*100)
+}
+
+// compare prints the diff table and returns true when the new run breaks
+// the regression contract for any shared benchmark.
+func compare(w io.Writer, old, new *Doc, threshold float64) bool {
+	names := map[string]bool{}
+	for n := range old.Benchmarks {
+		names[n] = true
+	}
+	for n := range new.Benchmarks {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	tw := bufio.NewWriter(w)
+	defer tw.Flush()
+	fmt.Fprintf(tw, "%-40s %14s %14s %9s %12s %12s %7s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
+	failed := false
+	for _, n := range sorted {
+		o, haveOld := old.Benchmarks[n]
+		c, haveNew := new.Benchmarks[n]
+		switch {
+		case !haveOld:
+			fmt.Fprintf(tw, "%-40s %14s %14.1f %9s %12s %12.0f %7s\n", n, "-", c.NsPerOp, "new", "-", c.Allocs, "new")
+		case !haveNew:
+			fmt.Fprintf(tw, "%-40s %14.1f %14s %9s %12.0f %12s %7s\n", n, o.NsPerOp, "-", "gone", o.Allocs, "-", "gone")
+		default:
+			fmt.Fprintf(tw, "%-40s %14.1f %14.1f %9s %12.0f %12.0f %7s\n",
+				n, o.NsPerOp, c.NsPerOp, delta(o.NsPerOp, c.NsPerOp),
+				o.Allocs, c.Allocs, delta(o.Allocs, c.Allocs))
+			if threshold > 0 {
+				if o.NsPerOp > 0 && (c.NsPerOp-o.NsPerOp)/o.NsPerOp*100 > threshold {
+					fmt.Fprintf(tw, "  ^ FAIL: ns/op regressed beyond %.0f%%\n", threshold)
+					failed = true
+				}
+				if c.Allocs > o.Allocs {
+					fmt.Fprintf(tw, "  ^ FAIL: allocs/op increased\n")
+					failed = true
+				}
+			}
+		}
+	}
+	return failed
+}
+
+func main() {
+	var (
+		in        = flag.String("in", "", "benchmark text input (default stdin)")
+		out       = flag.String("out", "", "JSON output path (default stdout)")
+		cmp       = flag.Bool("cmp", false, "compare two JSON documents: benchjson -cmp old.json new.json")
+		threshold = flag.Float64("threshold", 0, "in -cmp mode, fail if ns/op regresses beyond this percent or allocs/op grow (0 = report only)")
+	)
+	flag.Parse()
+
+	if *cmp {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("usage: benchjson -cmp old.json new.json"))
+		}
+		oldDoc, err := load(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		newDoc, err := load(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		if compare(os.Stdout, oldDoc, newDoc, *threshold) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	doc, err := parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

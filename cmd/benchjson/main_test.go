@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkGatewayAdmit             	23950407	       105.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkGatewayAdmitBatch-8      	  411355	      5985 ns/op	        64.00 flows/op	       0 B/op	       0 allocs/op
+BenchmarkProp31Impulsive          	      92	  12774407 ns/op	        93.43 M0_mean	         0.9239 sd_ratio_vs_theory
+some unrelated log line
+PASS
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GoOS != "linux" || doc.GoArch != "amd64" || !strings.Contains(doc.CPU, "Xeon") {
+		t.Fatalf("header: %+v", doc)
+	}
+	admit, ok := doc.Benchmarks["BenchmarkGatewayAdmit"]
+	if !ok || admit.NsPerOp != 105.0 || admit.Allocs != 0 || admit.Iters != 23950407 {
+		t.Fatalf("admit: %+v (found %v)", admit, ok)
+	}
+	// The -GOMAXPROCS suffix is stripped and custom metrics survive.
+	batch, ok := doc.Benchmarks["BenchmarkGatewayAdmitBatch"]
+	if !ok || batch.Metrics["flows/op"] != 64 || batch.NsPerOp != 5985 {
+		t.Fatalf("batch: %+v (found %v)", batch, ok)
+	}
+	if _, ok := doc.Benchmarks["BenchmarkProp31Impulsive"]; !ok {
+		t.Fatal("custom-metric-only benchmark missing")
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
+		t.Fatal("want error for input without benchmarks")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	oldDoc := &Doc{Benchmarks: map[string]Result{
+		"BenchmarkA":    {NsPerOp: 100, Allocs: 0},
+		"BenchmarkB":    {NsPerOp: 50, Allocs: 2},
+		"BenchmarkGone": {NsPerOp: 1},
+	}}
+	newDoc := &Doc{Benchmarks: map[string]Result{
+		"BenchmarkA":   {NsPerOp: 90, Allocs: 0}, // improved: fine
+		"BenchmarkB":   {NsPerOp: 80, Allocs: 2}, // +60%: beyond threshold
+		"BenchmarkNew": {NsPerOp: 5, Allocs: 1},  // only in new: never fails
+	}}
+	var buf strings.Builder
+	if failed := compare(&buf, oldDoc, newDoc, 0); failed {
+		t.Fatal("threshold 0 must be report-only")
+	}
+	buf.Reset()
+	if failed := compare(&buf, oldDoc, newDoc, 20); !failed {
+		t.Fatalf("60%% regression must fail a 20%% threshold:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "FAIL") {
+		t.Fatalf("failure not reported:\n%s", buf.String())
+	}
+
+	// An allocs/op increase fails regardless of how small.
+	newDoc.Benchmarks["BenchmarkA"] = Result{NsPerOp: 90, Allocs: 1}
+	newDoc.Benchmarks["BenchmarkB"] = Result{NsPerOp: 50, Allocs: 2}
+	buf.Reset()
+	if failed := compare(&buf, oldDoc, newDoc, 20); !failed {
+		t.Fatalf("alloc increase must fail:\n%s", buf.String())
+	}
+}

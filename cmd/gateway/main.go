@@ -71,26 +71,34 @@ type event struct {
 
 func main() {
 	var (
-		n        = flag.Float64("n", 100, "link capacity in units of the mean flow rate")
-		svr      = flag.Float64("svr", 0.3, "sigma/mu of a flow")
-		tc       = flag.Float64("tc", 1, "RCBR correlation time (mean segment length)")
-		th       = flag.Float64("th", 200, "mean flow holding time")
-		tm       = flag.Float64("tm", 0, "estimator memory window (0 = memoryless)")
-		pce      = flag.Float64("pce", 1e-2, "certainty-equivalent target overflow probability")
-		lambda   = flag.Float64("lambda", 0.6, "Poisson flow arrival rate")
-		duration = flag.Float64("duration", 2000, "virtual replay duration")
-		tick     = flag.Float64("tick", 0.5, "measurement tick period (virtual time)")
-		workers  = flag.Int("workers", 8, "concurrent client goroutines")
-		shards   = flag.Int("shards", 16, "gateway flow-table shards")
-		seed     = flag.Uint64("seed", 1, "schedule random seed")
-		listen   = flag.String("listen", "", "serve the observability endpoint on this address (e.g. :8080)")
-		hold     = flag.Bool("hold", false, "keep serving after the replay finishes (requires -listen)")
-		pq       = flag.Float64("pq", 0, "QoS target p_q for the audit (default: the -pce value)")
-		window   = flag.Int("window", 1024, "audit/overflow window in measurement ticks")
+		n         = flag.Float64("n", 100, "link capacity in units of the mean flow rate")
+		svr       = flag.Float64("svr", 0.3, "sigma/mu of a flow")
+		tc        = flag.Float64("tc", 1, "RCBR correlation time (mean segment length)")
+		th        = flag.Float64("th", 200, "mean flow holding time")
+		tm        = flag.Float64("tm", 0, "estimator memory window (0 = memoryless)")
+		pce       = flag.Float64("pce", 1e-2, "certainty-equivalent target overflow probability")
+		lambda    = flag.Float64("lambda", 0.6, "Poisson flow arrival rate")
+		duration  = flag.Float64("duration", 2000, "virtual replay duration")
+		tick      = flag.Float64("tick", 0.5, "measurement tick period (virtual time)")
+		workers   = flag.Int("workers", 8, "concurrent client goroutines")
+		batch     = flag.Int("batch", 32, "admissions coalesced per AdmitBatch call (1 = per-call Admit)")
+		latsample = flag.Int("latsample", 1, "observe admission latency 1-in-N per shard (1 = every decision)")
+		shards    = flag.Int("shards", 16, "gateway flow-table shards")
+		seed      = flag.Uint64("seed", 1, "schedule random seed")
+		listen    = flag.String("listen", "", "serve the observability endpoint on this address (e.g. :8080)")
+		hold      = flag.Bool("hold", false, "keep serving after the replay finishes (requires -listen)")
+		pq        = flag.Float64("pq", 0, "QoS target p_q for the audit (default: the -pce value)")
+		window    = flag.Int("window", 1024, "audit/overflow window in measurement ticks")
 	)
 	flag.Parse()
 	if *workers < 1 || *tick <= 0 || *duration <= 0 || *lambda <= 0 {
 		fatal(fmt.Errorf("workers, tick, duration and lambda must be positive"))
+	}
+	if *batch < 1 {
+		fatal(fmt.Errorf("batch %d must be at least 1", *batch))
+	}
+	if *latsample < 0 {
+		fatal(fmt.Errorf("latsample %d must be non-negative", *latsample))
 	}
 
 	ctrl, err := core.NewCertaintyEquivalent(*pce, 1, *svr)
@@ -108,6 +116,7 @@ func main() {
 		Controller:     ctrl,
 		Estimator:      est,
 		Shards:         *shards,
+		LatencySample:  *latsample,
 		OverflowWindow: *window,
 	})
 	if err != nil {
@@ -134,6 +143,12 @@ func main() {
 
 	start := time.Now()
 	activeSum, ticks := 0.0, 0
+	// Per-worker batching scratch lives across windows so the replay's
+	// steady state reuses the same admission buffers every window.
+	scratch := make([]replayWorker, *workers)
+	for i := range scratch {
+		scratch[i].init(*batch)
+	}
 	// Replay window by window: all events inside one tick period run
 	// concurrently across the workers, then a measurement tick closes the
 	// window and republishes the bound.
@@ -143,7 +158,7 @@ func main() {
 		for hi < len(events) && events[hi].t <= now {
 			hi++
 		}
-		replayWindow(g, events[lo:hi], *workers)
+		replayWindow(g, events[lo:hi], scratch, *batch)
 		lo = hi
 		st := g.Tick(now)
 		auditMu.Lock()
@@ -261,13 +276,56 @@ func schedule(lambda, duration, th float64, model traffic.Model, r *rng.PCG) []e
 	return events
 }
 
-// replayWindow executes one window's events against the gateway from
-// workers goroutines. Events of a rejected flow surface as "not active"
-// errors from UpdateRate/Depart and are skipped; any other error is fatal.
-func replayWindow(g *gateway.Gateway, window []event, workers int) {
+// replayWorker is one goroutine's persistent admission-batching scratch:
+// consecutive arrivals in the worker's event stride coalesce into one
+// AdmitBatch call, amortizing the clock reads and bound load across the
+// bulk arrival, exactly how a production front end drains its accept
+// queue.
+type replayWorker struct {
+	ids   []uint64
+	rates []float64
+	dst   []gateway.Decision
+}
+
+func (rw *replayWorker) init(batch int) {
+	rw.ids = make([]uint64, 0, batch)
+	rw.rates = make([]float64, 0, batch)
+	rw.dst = make([]gateway.Decision, 0, batch)
+}
+
+// flush submits the pending arrivals, if any. The schedule generates
+// unique flow IDs with valid rates, so per-item input Decisions indicate a
+// driver bug and are fatal; capacity refusals are the normal outcome for
+// an overloaded link.
+func (rw *replayWorker) flush(g *gateway.Gateway) {
+	if len(rw.ids) == 0 {
+		return
+	}
+	var err error
+	rw.dst, err = g.AdmitBatch(rw.ids, rw.rates, rw.dst[:0])
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range rw.dst {
+		if d.Reason == gateway.ReasonInvalidRate || d.Reason == gateway.ReasonDuplicate {
+			fatal(fmt.Errorf("replay schedule produced a %v admission", d.Reason))
+		}
+	}
+	rw.ids = rw.ids[:0]
+	rw.rates = rw.rates[:0]
+}
+
+// replayWindow executes one window's events against the gateway, one
+// goroutine per scratch entry. A worker batches the admits in its stride
+// and flushes before any update/depart so per-flow event order is
+// preserved within the stride. Events of a rejected flow surface as "not
+// active" errors from UpdateRate/Depart and are skipped; any other error
+// is fatal.
+func replayWindow(g *gateway.Gateway, window []event, scratch []replayWorker, batch int) {
 	if len(window) == 0 {
 		return
 	}
+	workers := len(scratch)
 	if workers > len(window) {
 		workers = len(window)
 	}
@@ -277,23 +335,35 @@ func replayWindow(g *gateway.Gateway, window []event, workers int) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			rw := &scratch[w]
 			for i := w; i < len(window); i += workers {
 				ev := window[i]
 				switch ev.kind {
 				case evAdmit:
-					if _, err := g.Admit(ev.flow, ev.rate); err != nil {
-						fatal(err)
+					if batch == 1 {
+						if _, err := g.Admit(ev.flow, ev.rate); err != nil {
+							fatal(err)
+						}
+						continue
+					}
+					rw.ids = append(rw.ids, ev.flow)
+					rw.rates = append(rw.rates, ev.rate)
+					if len(rw.ids) >= batch {
+						rw.flush(g)
 					}
 				case evUpdate:
+					rw.flush(g)
 					if err := g.UpdateRate(ev.flow, ev.rate); err != nil && !notActive(err) {
 						fatal(err)
 					}
 				case evDepart:
+					rw.flush(g)
 					if err := g.Depart(ev.flow); err != nil && !notActive(err) {
 						fatal(err)
 					}
 				}
 			}
+			rw.flush(g)
 		}()
 	}
 	wg.Wait()

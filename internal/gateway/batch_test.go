@@ -1,0 +1,258 @@
+package gateway
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/estimator"
+)
+
+// TestAdmitBatchMatchesSequential pins AdmitBatch's core contract: a batch
+// decides exactly as the same requests issued one by one through Admit —
+// same decisions, same counters, same shard aggregates.
+func TestAdmitBatchMatchesSequential(t *testing.T) {
+	seqG, _ := perfectGateway(t, 10, 1, 0, 1e-2, 4) // m* = 10 exactly
+	batG, _ := perfectGateway(t, 10, 1, 0, 1e-2, 4)
+
+	ids := make([]uint64, 0, 14)
+	rates := make([]float64, 0, 14)
+	for i := 0; i < 14; i++ { // overruns the bound: tail items are refused
+		ids = append(ids, uint64(i))
+		rates = append(rates, 0.5+float64(i%5)*0.1)
+	}
+
+	want := make([]Decision, 0, len(ids))
+	for i := range ids {
+		d, err := seqG.Admit(ids[i], rates[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, d)
+	}
+	got, err := batG.AdmitBatch(ids, rates, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("batch returned %d decisions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("decision %d: batch %+v, sequential %+v", i, got[i], want[i])
+		}
+	}
+	seqSt, batSt := seqG.Tick(1), batG.Tick(1)
+	if seqSt != batSt {
+		t.Fatalf("stats diverged:\nsequential %+v\nbatch      %+v", seqSt, batSt)
+	}
+	// Both paths feed the latency histogram once per decision.
+	if c := batG.Snapshot().AdmitLatency.Count; c != int64(len(ids)) {
+		t.Fatalf("batch latency count = %d, want %d", c, len(ids))
+	}
+}
+
+// TestAdmitBatchPerItemReasons covers the batch-only outcomes: invalid
+// inputs become per-item Decisions instead of aborting the batch.
+func TestAdmitBatchPerItemReasons(t *testing.T) {
+	g, _ := perfectGateway(t, 10, 1, 0, 1e-2, 4)
+	if _, err := g.Admit(7, 1); err != nil { // pre-existing flow for the dup case
+		t.Fatal(err)
+	}
+
+	if _, err := g.AdmitBatch([]uint64{1, 2}, []float64{1}, nil); err == nil {
+		t.Fatal("length mismatch: want error")
+	}
+	if ds, err := g.AdmitBatch(nil, nil, nil); err != nil || len(ds) != 0 {
+		t.Fatalf("empty batch: %v, %v", ds, err)
+	}
+
+	ids := []uint64{1, 7, 2, 2, 3, 4}
+	rates := []float64{1, 1, math.NaN(), 1, -1, 1}
+	ds, err := g.AdmitBatch(ids, rates, make([]Decision, 0, len(ids)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantReasons := []Reason{
+		ReasonAdmitted,
+		ReasonDuplicate,   // 7 is already active
+		ReasonInvalidRate, // NaN rate
+		ReasonAdmitted,    // 2 retried with a valid rate
+		ReasonInvalidRate, // negative rate
+		ReasonAdmitted,
+	}
+	for i, d := range ds {
+		if d.Reason != wantReasons[i] {
+			t.Errorf("item %d: reason %v, want %v", i, d.Reason, wantReasons[i])
+		}
+		if d.Admitted != (wantReasons[i] == ReasonAdmitted) {
+			t.Errorf("item %d: admitted = %v under reason %v", i, d.Admitted, d.Reason)
+		}
+	}
+	st := g.Stats()
+	if st.Admitted != 4 || st.Rejected != 0 || st.Active != 4 {
+		t.Fatalf("stats after mixed batch: %+v", st)
+	}
+	// Undecided items (invalid, duplicate) must not enter the latency
+	// histogram: count still equals admitted+rejected.
+	if c := g.Snapshot().AdmitLatency.Count; c != st.Admitted+st.Rejected {
+		t.Fatalf("latency count = %d, want %d", c, st.Admitted+st.Rejected)
+	}
+}
+
+// TestAdmitBatchConcurrent hammers AdmitBatch from several goroutines
+// against a tight bound while a ticker remeasures, asserting the CAS
+// invariant (active never exceeds ⌊m*⌋) and exact counter balance. Run
+// under -race.
+func TestAdmitBatchConcurrent(t *testing.T) {
+	g, mstar := perfectGateway(t, 32, 1, 0.3, 1e-2, 8)
+	limit := int64(math.Floor(mstar))
+
+	stop := make(chan struct{})
+	var tickWG sync.WaitGroup
+	tickWG.Add(1)
+	go func() {
+		defer tickWG.Done()
+		now := 0.0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				now += 0.01
+				g.Tick(now)
+			}
+		}
+	}()
+
+	const goroutines, batches, batchLen = 8, 60, 16
+	var admitted, rejected atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids := make([]uint64, batchLen)
+			rates := make([]float64, batchLen)
+			dst := make([]Decision, 0, batchLen)
+			for b := 0; b < batches; b++ {
+				for i := range ids {
+					ids[i] = uint64(w)<<32 | uint64(b*batchLen+i)
+					rates[i] = 1
+				}
+				dst = dst[:0]
+				ds, err := g.AdmitBatch(ids, rates, dst)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i, d := range ds {
+					if d.Active > limit {
+						t.Errorf("decision saw active %d > %d", d.Active, limit)
+					}
+					if d.Admitted {
+						admitted.Add(1)
+						if err := g.Depart(ids[i]); err != nil {
+							t.Error(err)
+							return
+						}
+					} else {
+						rejected.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	tickWG.Wait()
+
+	st := g.Stats()
+	if st.Admitted != admitted.Load() || st.Rejected != rejected.Load() {
+		t.Fatalf("counters: gateway %+v vs driver admitted=%d rejected=%d",
+			st, admitted.Load(), rejected.Load())
+	}
+	if got := st.Admitted + st.Rejected; got != goroutines*batches*batchLen {
+		t.Fatalf("decisions = %d, want %d", got, goroutines*batches*batchLen)
+	}
+	if st.Active != 0 {
+		t.Fatalf("active = %d after full churn, want 0", st.Active)
+	}
+	if c := g.Snapshot().AdmitLatency.Count; c != st.Admitted+st.Rejected {
+		t.Fatalf("latency count = %d, want %d", c, st.Admitted+st.Rejected)
+	}
+}
+
+// TestAdmitBatchAllocationFree pins the steady-state contract: with a
+// reused destination slice the batch path never allocates.
+func TestAdmitBatchAllocationFree(t *testing.T) {
+	g, _ := perfectGateway(t, 1e9, 1, 0, 1e-2, 16)
+	ids := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	rates := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	dst := make([]Decision, 0, len(ids))
+	cycle := func() {
+		var err error
+		dst, err = g.AdmitBatch(ids, rates, dst[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range ids {
+			if err := g.Depart(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cycle() // warm the shard map slots
+	if allocs := testing.AllocsPerRun(1000, cycle); allocs != 0 {
+		t.Fatalf("AdmitBatch allocates %.1f times per batch, want 0", allocs)
+	}
+}
+
+// TestLatencySampling checks the 1-in-N observation contract on a single
+// shard: only every Nth decision is timed, sampled-out decisions never
+// touch the clock, and N is rounded up to a power of two.
+func TestLatencySampling(t *testing.T) {
+	cases := []struct {
+		sample    int
+		decisions int
+		wantObs   int64
+		wantCalls int64 // clock reads: 2 per sampled-in decision, 0 otherwise
+	}{
+		{0, 16, 16, 32}, // full fidelity: every decision, 2 reads each
+		{1, 16, 16, 32},
+		{4, 16, 4, 8},
+		{5, 16, 2, 4}, // rounds up to 8
+	}
+	for _, tc := range cases {
+		ctrl, err := core.NewPerfectKnowledge(1e9, 1, 0, 1e-2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var calls atomic.Int64
+		g, err := New(Config{
+			Capacity:      1e9,
+			Controller:    ctrl,
+			Estimator:     &estimator.Oracle{Mu: 1, Sigma: 0},
+			Shards:        1,
+			LatencySample: tc.sample,
+			LatencyClock:  func() int64 { return calls.Add(1) * 250 },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < tc.decisions; i++ {
+			if _, err := g.Admit(uint64(i), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if c := g.Snapshot().AdmitLatency.Count; c != tc.wantObs {
+			t.Errorf("sample %d: observed %d decisions, want %d", tc.sample, c, tc.wantObs)
+		}
+		if c := calls.Load(); c != tc.wantCalls {
+			t.Errorf("sample %d: %d clock reads, want %d", tc.sample, c, tc.wantCalls)
+		}
+	}
+}

@@ -21,12 +21,13 @@
 // # Concurrency design
 //
 // Flow state is sharded by a mixed hash of the flow ID; each shard is
-// protected by its own mutex, so Admit/Depart/UpdateRate on different
-// flows contend only on the shard level and on three atomic counters. The
-// admission check itself is lock-free: a compare-and-swap loop on the
-// global active-flow counter against the last published bound, which
-// guarantees the active count never exceeds ⌊M⌋ no matter how many
-// goroutines race.
+// protected by its own mutex, and all hot-path instrumentation (admission
+// counters, the latency histogram) is striped per shard inside that same
+// critical section, so Admit/Depart/UpdateRate on different flows contend
+// only on one shared atomic: the active-flow count. The admission check
+// itself is lock-free: a compare-and-swap loop on that counter against the
+// last published bound, which guarantees the active count never exceeds
+// ⌊M⌋ no matter how many goroutines race.
 //
 // Measurement is decoupled from admission, as in any real MBAC: between
 // ticks the bound is (deliberately) stale. Tests and the simulator call
@@ -39,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +61,13 @@ const (
 	// ReasonCapacity: admitting would push the active count past the
 	// controller's bound M.
 	ReasonCapacity
+	// ReasonInvalidRate: the declared rate was non-positive, infinite or
+	// NaN. Batch admissions report it per item; Admit returns an error
+	// instead.
+	ReasonInvalidRate
+	// ReasonDuplicate: the flow ID is already active. Batch admissions
+	// report it per item; Admit returns an error instead.
+	ReasonDuplicate
 )
 
 // String implements fmt.Stringer.
@@ -68,6 +77,10 @@ func (r Reason) String() string {
 		return "admitted"
 	case ReasonCapacity:
 		return "capacity"
+	case ReasonInvalidRate:
+		return "invalid-rate"
+	case ReasonDuplicate:
+		return "duplicate"
 	}
 	return fmt.Sprintf("Reason(%d)", int(r))
 }
@@ -98,6 +111,17 @@ type Config struct {
 	// runs produce bit-identical snapshots.
 	LatencyClock func() int64
 
+	// LatencySample controls admission-latency fidelity: the gateway
+	// observes one in every LatencySample decisions per shard, rounded up
+	// to a power of two. 0 or 1 keeps full fidelity — every decision is
+	// timed from just after validation to just after the decision. Load
+	// drivers set a larger N: sampled-out decisions then skip the latency
+	// clock entirely (zero clock reads), and sampled-in decisions time the
+	// admission critical section (the sampling choice lives under the
+	// shard lock, so the measured interval starts there and excludes lock
+	// wait).
+	LatencySample int
+
 	// EstimateRing is the number of per-tick (μ̂, σ̂) points retained for
 	// observability (default 256).
 	EstimateRing int
@@ -114,14 +138,27 @@ var processStart = time.Now()
 // defaultLatencyClock returns monotonic nanoseconds since process start.
 func defaultLatencyClock() int64 { return int64(time.Since(processStart)) }
 
-// shard is one lock domain of the flow table. The padding keeps shards on
+// shard is one lock domain of the flow table, and also one stripe of the
+// hot-path instrumentation: admit/reject/depart counts and the latency
+// histogram are plain (non-atomic) fields updated inside the critical
+// section the admission path already holds, then merged across shards only
+// when Stats or Snapshot asks. Compared to global atomic counters this
+// removes every cross-shard cache-line bounce from the hot path — the
+// three-way contention on admitted/rejected/admitLat was what doubled
+// Admit's cost when instrumentation landed. The padding keeps shards on
 // separate cache lines so uncontended shards don't false-share.
 type shard struct {
 	mu      sync.Mutex
 	flows   map[uint64]float64 // flow ID -> current rate
 	sumRate float64            // ΣX_i over this shard
 	sumSq   float64            // ΣX_i² over this shard
-	_       [24]byte
+
+	admitted uint64 // striped counters, merged at read time
+	rejected uint64
+	departed uint64
+	latSeq   uint64                  // decision sequence for 1-in-N latency sampling
+	lat      *metrics.LocalHistogram // admission latency, single-writer under mu
+	_        [48]byte
 }
 
 // Gateway is a concurrent online admission controller. Construct with New;
@@ -133,14 +170,12 @@ type Gateway struct {
 
 	active atomic.Int64 // CAS-reserved active-flow count (admission invariant)
 
-	// Hot-path instrumentation: wait-free counters and the admission
-	// latency histogram. These are read by Snapshot without stopping
-	// admissions.
-	admitted metrics.Counter
-	rejected metrics.Counter
-	departed metrics.Counter
-	admitLat *metrics.Histogram
-	clock    func() int64
+	// Hot-path instrumentation lives striped in the shards (see shard);
+	// here only the latency clock and the sampling mask. sampleMask is a
+	// power of two minus one: a decision is timed when latSeq&sampleMask
+	// == 0, so mask 0 means every decision (full fidelity).
+	clock      func() int64
+	sampleMask uint64
 
 	bound metrics.Gauge // the published admissible count M (eq. 42)
 
@@ -149,17 +184,19 @@ type Gateway struct {
 	ring *metrics.Ring
 	tm   float64
 
-	// measMu guards the estimator, the overflow window, and the last-tick
-	// snapshot below.
-	measMu    sync.Mutex
-	overflow  *stats.SlidingCounter
-	lastTick  float64
-	lastMu    float64
-	lastSigma float64
-	lastOK    bool
-	lastAgg   float64
-	lastFlows int
-	ticks     int64
+	// measMu guards the estimator, the overflow window, the rotation
+	// recompute state, and the last-tick snapshot below.
+	measMu     sync.Mutex
+	overflow   *stats.SlidingCounter
+	rot        int       // next shard for the per-tick exact-sum recompute
+	rotScratch []float64 // reusable sorted-rate buffer for the recompute
+	lastTick   float64
+	lastMu     float64
+	lastSigma  float64
+	lastOK     bool
+	lastAgg    float64
+	lastFlows  int
+	ticks      int64
 }
 
 // Stats is a consistent snapshot of the gateway's aggregate state.
@@ -212,14 +249,24 @@ func New(cfg Config) (*Gateway, error) {
 		cfg:      cfg,
 		shards:   make([]shard, nshards),
 		mask:     uint64(nshards - 1),
-		admitLat: metrics.NewHistogram(metrics.DefaultLatencyBounds()),
 		clock:    cfg.LatencyClock,
 		ring:     metrics.NewRing(cfg.EstimateRing),
 		tm:       estimator.Memory(cfg.Estimator),
 		overflow: stats.NewSlidingCounter(cfg.OverflowWindow),
 	}
+	if cfg.LatencySample > 1 {
+		n := 1
+		for n < cfg.LatencySample {
+			n <<= 1
+		}
+		g.sampleMask = uint64(n - 1)
+	}
+	// All striped histograms alias one bounds slice so Snapshot merges stay
+	// layout-compatible by construction.
+	bounds := metrics.DefaultLatencyBounds()
 	for i := range g.shards {
 		g.shards[i].flows = make(map[uint64]float64)
+		g.shards[i].lat = metrics.NewLocalHistogram(bounds)
 	}
 	g.cfg.Estimator.Reset(0)
 	g.Tick(0)
@@ -241,14 +288,37 @@ func (g *Gateway) Admissible() float64 {
 	return g.bound.Load()
 }
 
+// startTimingLocked decides whether this decision's latency is observed
+// and, if so, reads the clock; the caller holds s.mu. At full fidelity the
+// caller already read start before the lock (timing the whole call), so
+// this is a no-op; in sampled mode the 1-in-N choice happens here, under
+// the lock that owns latSeq, and sampled-out decisions never touch the
+// clock at all — the measurement cost the paper's philosophy (§4) says
+// must not perturb the measured system.
+func (g *Gateway) startTimingLocked(s *shard, start int64) (int64, bool) {
+	if g.sampleMask == 0 {
+		return start, true
+	}
+	s.latSeq++
+	if s.latSeq&g.sampleMask != 0 {
+		return 0, false
+	}
+	return g.clock(), true
+}
+
 // Admit requests admission for flowID at the given declared (or
 // pre-measured, per Qadir et al.) rate. A capacity refusal is a normal
 // Decision, not an error; errors indicate invalid input (non-positive or
-// non-finite rate, duplicate active flow ID).
+// non-finite rate, duplicate active flow ID). Invalid requests are refused
+// before the latency clock starts: they are not admission decisions and do
+// not perturb the latency distribution.
 func (g *Gateway) Admit(flowID uint64, declaredRate float64) (Decision, error) {
-	start := g.clock()
 	if !(declaredRate > 0) || math.IsInf(declaredRate, 0) {
 		return Decision{}, fmt.Errorf("gateway: declared rate %g must be positive and finite", declaredRate)
+	}
+	var start int64
+	if g.sampleMask == 0 {
+		start = g.clock()
 	}
 	m := g.Admissible()
 	s := g.shardFor(flowID)
@@ -257,29 +327,102 @@ func (g *Gateway) Admit(flowID uint64, declaredRate float64) (Decision, error) {
 		s.mu.Unlock()
 		return Decision{}, fmt.Errorf("gateway: flow %d is already active", flowID)
 	}
+	start, timed := g.startTimingLocked(s, start)
 	// Reserve a slot lock-free: the CAS loop ensures the active count can
 	// never exceed ⌊M⌋ even when many goroutines race a single free slot.
 	// (Spinning while holding the shard lock is safe: other threads
-	// advance the counter without needing this shard.)
+	// advance the counter without needing this shard.) Counters and the
+	// latency observation stay inside the critical section the path already
+	// owns — striped plain fields, merged only when a reader asks.
 	for {
 		cur := g.active.Load()
 		if float64(cur)+1 > m {
+			s.rejected++
+			if timed {
+				s.lat.Observe(float64(g.clock()-start) * 1e-9)
+			}
 			s.mu.Unlock()
-			g.rejected.Inc()
-			g.admitLat.Observe(float64(g.clock()-start) * 1e-9)
 			return Decision{Admitted: false, Reason: ReasonCapacity, Admissible: m, Active: cur}, nil
 		}
 		if g.active.CompareAndSwap(cur, cur+1) {
-			break
+			s.flows[flowID] = declaredRate
+			s.sumRate += declaredRate
+			s.sumSq += declaredRate * declaredRate
+			s.admitted++
+			if timed {
+				s.lat.Observe(float64(g.clock()-start) * 1e-9)
+			}
+			s.mu.Unlock()
+			return Decision{Admitted: true, Reason: ReasonAdmitted, Admissible: m, Active: cur + 1}, nil
 		}
 	}
-	s.flows[flowID] = declaredRate
-	s.sumRate += declaredRate
-	s.sumSq += declaredRate * declaredRate
-	s.mu.Unlock()
-	g.admitted.Inc()
-	g.admitLat.Observe(float64(g.clock()-start) * 1e-9)
-	return Decision{Admitted: true, Reason: ReasonAdmitted, Admissible: m, Active: g.active.Load()}, nil
+}
+
+// AdmitBatch decides a batch of admission requests in one call, appending
+// one Decision per request to dst (pass a reused dst with spare capacity
+// for an allocation-free steady state) and returning the extended slice.
+// Semantically each item is decided exactly as by Admit, in order, except
+// that invalid inputs become per-item Decisions (ReasonInvalidRate,
+// ReasonDuplicate) rather than errors — a batch replay must not abort on
+// one bad record. The only error is a length mismatch between ids and
+// rates.
+//
+// The batch pays one clock-read pair and one bound load total: the latency
+// histogram receives the per-decision mean, once per decided item, so
+// AdmitLatency.Count still equals Admitted+Rejected. Batches bypass
+// LatencySample — the clock cost is already amortized across the batch.
+func (g *Gateway) AdmitBatch(ids []uint64, rates []float64, dst []Decision) ([]Decision, error) {
+	if len(ids) != len(rates) {
+		return dst, fmt.Errorf("gateway: batch length mismatch: %d ids, %d rates", len(ids), len(rates))
+	}
+	if len(ids) == 0 {
+		return dst, nil
+	}
+	start := g.clock()
+	m := g.Admissible()
+	decided := 0
+	for i, id := range ids {
+		rate := rates[i]
+		if !(rate > 0) || math.IsInf(rate, 0) {
+			dst = append(dst, Decision{Reason: ReasonInvalidRate, Admissible: m, Active: g.active.Load()})
+			continue
+		}
+		s := g.shardFor(id)
+		s.mu.Lock()
+		if _, dup := s.flows[id]; dup {
+			s.mu.Unlock()
+			dst = append(dst, Decision{Reason: ReasonDuplicate, Admissible: m, Active: g.active.Load()})
+			continue
+		}
+		d := Decision{Admissible: m, Reason: ReasonCapacity}
+		for {
+			cur := g.active.Load()
+			if float64(cur)+1 > m {
+				s.rejected++
+				d.Active = cur
+				break
+			}
+			if g.active.CompareAndSwap(cur, cur+1) {
+				s.flows[id] = rate
+				s.sumRate += rate
+				s.sumSq += rate * rate
+				s.admitted++
+				d.Admitted, d.Reason, d.Active = true, ReasonAdmitted, cur+1
+				break
+			}
+		}
+		s.mu.Unlock()
+		decided++
+		dst = append(dst, d)
+	}
+	if decided > 0 {
+		mean := float64(g.clock()-start) * 1e-9 / float64(decided)
+		s := g.shardFor(ids[0])
+		s.mu.Lock()
+		s.lat.ObserveN(mean, decided)
+		s.mu.Unlock()
+	}
+	return dst, nil
 }
 
 // UpdateRate records a renegotiated rate for an active flow — the online
@@ -315,14 +458,14 @@ func (g *Gateway) Depart(flowID uint64) error {
 	s.sumRate -= rate
 	s.sumSq -= rate * rate
 	// With churn the incremental shard sums accumulate floating-point
-	// drift; renormalize from the table whenever a shard empties, which
-	// under flow churn happens often enough to keep the drift bounded.
+	// drift; renormalize from the table whenever a shard empties, and rely
+	// on Tick's rotating exact recompute for shards that never drain.
 	if len(s.flows) == 0 {
 		s.sumRate, s.sumSq = 0, 0
 	}
+	s.departed++
 	s.mu.Unlock()
 	g.active.Add(-1)
-	g.departed.Inc()
 	return nil
 }
 
@@ -335,19 +478,34 @@ func (g *Gateway) Depart(flowID uint64) error {
 // A flow mid-admission (slot reserved, shard insert pending) may be
 // missed by the sweep; that is ordinary measurement noise, identical to a
 // flow arriving just after a tick.
+//
+// Each tick also renormalizes one shard (round-robin) by recomputing its
+// sums exactly from the flow table, so incremental floating-point drift on
+// a long-lived shard is bounded by one rotation period instead of growing
+// without bound. The recompute sums rates in sorted order — map iteration
+// order is randomized, and a deterministic summation order keeps equally
+// seeded virtual-clock runs bit-identical.
 func (g *Gateway) Tick(now float64) Stats {
+	g.measMu.Lock()
+	rot := g.rot
+	g.rot++
+	if g.rot >= len(g.shards) {
+		g.rot = 0
+	}
 	var sumRate, sumSq float64
 	var n int
 	for i := range g.shards {
 		s := &g.shards[i]
 		s.mu.Lock()
+		if i == rot {
+			g.recomputeLocked(s)
+		}
 		sumRate += s.sumRate
 		sumSq += s.sumSq
 		n += len(s.flows)
 		s.mu.Unlock()
 	}
 
-	g.measMu.Lock()
 	if !(now > g.lastTick) {
 		now = g.lastTick
 	}
@@ -377,6 +535,23 @@ func (g *Gateway) Tick(now float64) Stats {
 	return st
 }
 
+// recomputeLocked replaces s's incremental sums with exact recomputations
+// from the flow table; the caller holds measMu (which owns rotScratch) and
+// s.mu.
+func (g *Gateway) recomputeLocked(s *shard) {
+	g.rotScratch = g.rotScratch[:0]
+	for _, r := range s.flows {
+		g.rotScratch = append(g.rotScratch, r)
+	}
+	sort.Float64s(g.rotScratch)
+	var sumRate, sumSq float64
+	for _, r := range g.rotScratch {
+		sumRate += r
+		sumSq += r * r
+	}
+	s.sumRate, s.sumSq = sumRate, sumSq
+}
+
 // Stats returns a snapshot of counters and the last tick's measurements.
 func (g *Gateway) Stats() Stats {
 	g.measMu.Lock()
@@ -384,13 +559,24 @@ func (g *Gateway) Stats() Stats {
 	return g.statsLocked()
 }
 
-// statsLocked assembles a snapshot; the caller holds measMu.
+// statsLocked assembles a snapshot; the caller holds measMu. The striped
+// hot-path counters are merged under the shard locks (taken after measMu,
+// the gateway's lock order).
 func (g *Gateway) statsLocked() Stats {
+	var admitted, rejected, departed uint64
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.Lock()
+		admitted += s.admitted
+		rejected += s.rejected
+		departed += s.departed
+		s.mu.Unlock()
+	}
 	return Stats{
 		Active:        g.active.Load(),
-		Admitted:      g.admitted.Load(),
-		Rejected:      g.rejected.Load(),
-		Departed:      g.departed.Load(),
+		Admitted:      int64(admitted),
+		Rejected:      int64(rejected),
+		Departed:      int64(departed),
 		Admissible:    g.Admissible(),
 		Mu:            g.lastMu,
 		Sigma:         g.lastSigma,
@@ -429,10 +615,10 @@ type Snapshot struct {
 }
 
 // Snapshot assembles the observability snapshot. The tick-path state is
-// read under the measurement mutex; the hot-path counters and the latency
-// histogram are sampled atomically without pausing admissions, so they may
-// run a few operations ahead of the tick state — the standard
-// weakly-consistent metrics contract.
+// read under the measurement mutex; the striped hot-path counters and
+// latency histograms are then merged shard by shard, so they may run a few
+// operations ahead of the tick state — the standard weakly-consistent
+// metrics contract.
 func (g *Gateway) Snapshot() Snapshot {
 	g.measMu.Lock()
 	snap := Snapshot{
@@ -448,12 +634,23 @@ func (g *Gateway) Snapshot() Snapshot {
 		Overflow:      g.overflow.Estimate(0),
 	}
 	g.measMu.Unlock()
+	var admitted, rejected, departed uint64
+	lat := g.shards[0].lat.EmptySnapshot()
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.Lock()
+		admitted += s.admitted
+		rejected += s.rejected
+		departed += s.departed
+		s.lat.AddTo(&lat)
+		s.mu.Unlock()
+	}
 	snap.Active = g.active.Load()
-	snap.Admitted = g.admitted.Load()
-	snap.Rejected = g.rejected.Load()
-	snap.Departed = g.departed.Load()
+	snap.Admitted = int64(admitted)
+	snap.Rejected = int64(rejected)
+	snap.Departed = int64(departed)
 	snap.Bound = g.Admissible()
-	snap.AdmitLatency = g.admitLat.Snapshot()
+	snap.AdmitLatency = lat
 	snap.Estimates = g.ring.Snapshot()
 	return snap
 }

@@ -16,11 +16,12 @@ import (
 
 // impulsiveFill drives one replication of the paper's impulsive-load
 // scenario through the online gateway: flows with rates drawn from the
-// RCBR marginal request admission one after another, with a measurement
-// tick after every event, until the certainty-equivalent bound refuses
-// one. The admitted count is the gateway-shaped analog of the paper's M0
+// RCBR marginal request admission in batches of the given size (1 = the
+// single-call Admit path), with a measurement tick after every batch,
+// until the certainty-equivalent bound refuses one. The admitted count at
+// the first refusal is the gateway-shaped analog of the paper's M0
 // (Proposition 3.1: mean ≈ m*, stddev ≈ (σ/μ)·√n).
-func impulsiveFill(tb testing.TB, n, svr, pce float64, r *rng.PCG) int64 {
+func impulsiveFill(tb testing.TB, n, svr, pce float64, r *rng.PCG, batch int) int64 {
 	ctrl, err := core.NewCertaintyEquivalent(pce, 1, svr)
 	if err != nil {
 		tb.Fatal(err)
@@ -35,18 +36,36 @@ func impulsiveFill(tb testing.TB, n, svr, pce float64, r *rng.PCG) int64 {
 		tb.Fatal(err)
 	}
 	model := traffic.NewRCBR(1, svr, 1)
-	for i := 0; ; i++ {
-		rate := model.New(r.Split(uint64(i))).Next().Rate
-		d, err := g.Admit(uint64(i), rate)
-		if err != nil {
-			tb.Fatal(err)
+	ids := make([]uint64, batch)
+	rates := make([]float64, batch)
+	dst := make([]Decision, 0, batch)
+	next := uint64(0)
+	for tick := 1; ; tick++ {
+		for i := range ids {
+			ids[i] = next
+			rates[i] = model.New(r.Split(next)).Next().Rate
+			next++
 		}
-		g.Tick(float64(i+1) * 1e-3)
-		if !d.Admitted {
-			return d.Active
+		if batch == 1 {
+			d, err := g.Admit(ids[0], rates[0])
+			if err != nil {
+				tb.Fatal(err)
+			}
+			dst = append(dst[:0], d)
+		} else {
+			dst, err = g.AdmitBatch(ids, rates, dst[:0])
+			if err != nil {
+				tb.Fatal(err)
+			}
 		}
-		if i > int(4*n) {
-			tb.Fatalf("fill did not terminate: %d admissions at capacity %g", i, n)
+		for _, d := range dst {
+			if !d.Admitted {
+				return d.Active
+			}
+		}
+		g.Tick(float64(tick) * 1e-3)
+		if next > uint64(4*n)+4*uint64(batch) {
+			tb.Fatalf("fill did not terminate: %d admissions at capacity %g", next, n)
 		}
 	}
 }
@@ -67,9 +86,13 @@ func TestSoakAdmittedTracksMStar(t *testing.T) {
 		n, svr float64
 		pce    float64
 		seed   uint64
+		batch  int
 	}{
-		{"n100-svr0.3", 100, 0.3, 1e-2, 0x736f616b},
-		{"n64-svr0.5", 64, 0.5, 1e-2, 0x736f616c},
+		{"n100-svr0.3", 100, 0.3, 1e-2, 0x736f616b, 1},
+		{"n64-svr0.5", 64, 0.5, 1e-2, 0x736f616c, 1},
+		// The batched admission path must show the same Prop 3.1 statistics:
+		// AdmitBatch is a transport, not a different admission policy.
+		{"n100-svr0.3-batch16", 100, 0.3, 1e-2, 0x736f616d, 16},
 	}
 	for _, pt := range points {
 		pt := pt
@@ -80,7 +103,7 @@ func TestSoakAdmittedTracksMStar(t *testing.T) {
 			pool := sim.Replicated{Replications: reps, Seed: pt.seed, Tag: 0x6777}
 			accs := make([]stats.Moments, pool.NumStripes())
 			err := pool.Run(context.Background(), func(stripe, rep int, r *rng.PCG) error {
-				accs[stripe].Add(float64(impulsiveFill(t, pt.n, pt.svr, pt.pce, r)))
+				accs[stripe].Add(float64(impulsiveFill(t, pt.n, pt.svr, pt.pce, r, pt.batch)))
 				return nil
 			})
 			if err != nil {

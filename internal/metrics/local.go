@@ -1,0 +1,91 @@
+package metrics
+
+import "math"
+
+// LocalHistogram is the single-writer counterpart of Histogram: plain
+// (non-atomic) buckets, count and sum, intended to live under a lock the
+// writer already holds — e.g. one per gateway shard, updated inside the
+// shard's critical section and merged into a global snapshot only when a
+// reader asks. Compared to the atomic Histogram this removes two atomic
+// adds and a CAS loop from every observation, which is what makes striped
+// per-shard latency recording affordable on the admission hot path.
+//
+// A LocalHistogram is NOT safe for concurrent use; the owner must
+// serialize Observe/AddTo calls externally.
+type LocalHistogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last catches v > bounds[len-1]
+	count  uint64
+	sum    float64
+}
+
+// NewLocalHistogram returns a histogram over the given strictly
+// increasing, finite upper bounds, with the same validation (and panics)
+// as NewHistogram. The bounds slice is aliased, not copied, so many
+// striped histograms can share one layout allocation.
+func NewLocalHistogram(bounds []float64) *LocalHistogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic("metrics: histogram bounds must be finite")
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly increasing")
+		}
+	}
+	return &LocalHistogram{
+		bounds: bounds,
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records v. NaN observations are dropped, matching Histogram.
+func (h *LocalHistogram) Observe(v float64) { h.ObserveN(v, 1) }
+
+// ObserveN records n observations of value v in one call — the batch-admit
+// path observes the per-item mean latency once for the whole batch. n <= 0
+// and NaN values are no-ops.
+func (h *LocalHistogram) ObserveN(v float64, n int) {
+	if n <= 0 || math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i] += uint64(n)
+	h.count += uint64(n)
+	h.sum += v * float64(n)
+}
+
+// Count returns the total number of observations.
+func (h *LocalHistogram) Count() int64 { return int64(h.count) }
+
+// Sum returns the running sum of observations.
+func (h *LocalHistogram) Sum() float64 { return h.sum }
+
+// AddTo accumulates this histogram into s, which must have the same bucket
+// layout (it panics otherwise: mixing layouts is a programming error, not
+// a runtime condition). It is how striped per-shard histograms merge into
+// the single exported snapshot.
+func (h *LocalHistogram) AddTo(s *HistogramSnapshot) {
+	if len(s.Counts) != len(h.counts) || len(s.Bounds) != len(h.bounds) {
+		panic("metrics: AddTo bucket layout mismatch")
+	}
+	for i, c := range h.counts {
+		s.Counts[i] += int64(c)
+	}
+	s.Count += int64(h.count)
+	s.Sum += h.sum
+}
+
+// EmptySnapshot returns a zeroed snapshot with this histogram's layout,
+// ready to AddTo into.
+func (h *LocalHistogram) EmptySnapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+	}
+}

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLocalHistogramValidation(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"empty":          {},
+		"nan":            {1, math.NaN()},
+		"inf":            {1, math.Inf(1)},
+		"non-increasing": {1, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s bounds: want panic", name)
+				}
+			}()
+			NewLocalHistogram(bounds)
+		}()
+	}
+}
+
+// TestLocalHistogramMatchesAtomic pins the contract that LocalHistogram is
+// a drop-in single-writer replacement: the same observation stream must
+// produce an identical snapshot to the atomic Histogram's.
+func TestLocalHistogramMatchesAtomic(t *testing.T) {
+	bounds := DefaultLatencyBounds()
+	local := NewLocalHistogram(bounds)
+	atomicH := NewHistogram(bounds)
+	obs := []float64{0, 100e-9, 250e-9, 251e-9, 1e-6, 3e-3, 10e-3, math.NaN(), -1}
+	for _, v := range obs {
+		local.Observe(v)
+		atomicH.Observe(v)
+	}
+	want := atomicH.Snapshot()
+	got := local.EmptySnapshot()
+	local.AddTo(&got)
+	if got.Count != want.Count || got.Sum != want.Sum {
+		t.Fatalf("count/sum mismatch: local (%d, %v), atomic (%d, %v)",
+			got.Count, got.Sum, want.Count, want.Sum)
+	}
+	for i := range want.Counts {
+		if got.Counts[i] != want.Counts[i] {
+			t.Fatalf("bucket %d: local %d, atomic %d", i, got.Counts[i], want.Counts[i])
+		}
+	}
+	if local.Count() != atomicH.Count() || local.Sum() != atomicH.Sum() {
+		t.Fatal("accessor mismatch between local and atomic histograms")
+	}
+}
+
+func TestLocalHistogramObserveN(t *testing.T) {
+	h := NewLocalHistogram([]float64{1, 2})
+	h.ObserveN(1.5, 3)
+	h.ObserveN(1.5, 0)  // no-op
+	h.ObserveN(1.5, -4) // no-op
+	h.ObserveN(math.NaN(), 5)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if h.Sum() != 4.5 {
+		t.Fatalf("sum = %v, want 4.5", h.Sum())
+	}
+	s := h.EmptySnapshot()
+	h.AddTo(&s)
+	if s.Counts[1] != 3 {
+		t.Fatalf("bucket 1 = %d, want 3", s.Counts[1])
+	}
+}
+
+// TestLocalHistogramMerge checks that striped histograms AddTo-merge into
+// one snapshot equal to a single histogram fed the union of observations.
+func TestLocalHistogramMerge(t *testing.T) {
+	bounds := []float64{1, 10, 100}
+	stripes := []*LocalHistogram{
+		NewLocalHistogram(bounds), NewLocalHistogram(bounds), NewLocalHistogram(bounds),
+	}
+	whole := NewLocalHistogram(bounds)
+	vals := []float64{0.5, 2, 3, 50, 200, 7, 0.1, 99}
+	for i, v := range vals {
+		stripes[i%len(stripes)].Observe(v)
+		whole.Observe(v)
+	}
+	merged := stripes[0].EmptySnapshot()
+	for _, st := range stripes {
+		st.AddTo(&merged)
+	}
+	want := whole.EmptySnapshot()
+	whole.AddTo(&want)
+	if merged.Count != want.Count || merged.Sum != want.Sum {
+		t.Fatalf("merged (%d, %v) != whole (%d, %v)", merged.Count, merged.Sum, want.Count, want.Sum)
+	}
+	for i := range want.Counts {
+		if merged.Counts[i] != want.Counts[i] {
+			t.Fatalf("bucket %d: merged %d, whole %d", i, merged.Counts[i], want.Counts[i])
+		}
+	}
+}
+
+func TestLocalHistogramAddToLayoutMismatch(t *testing.T) {
+	h := NewLocalHistogram([]float64{1, 2})
+	s := HistogramSnapshot{Bounds: []float64{1}, Counts: make([]int64, 2)}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("layout mismatch: want panic")
+		}
+	}()
+	h.AddTo(&s)
+}

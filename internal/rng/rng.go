@@ -36,17 +36,23 @@ type PCG struct {
 // New returns a generator seeded with seed on stream stream. Different
 // (seed, stream) pairs yield statistically independent sequences.
 func New(seed, stream uint64) *PCG {
-	p := &PCG{
-		incHi: stream,
-		incLo: stream*0x9e3779b97f4a7c15 + 0xda3e39cb94b95bdb | 1,
-	}
+	p := new(PCG)
+	p.seed(seed, stream)
+	return p
+}
+
+// seed (re)initializes p in place with the same construction as New, so a
+// PCG value can be reused without heap allocation (SplitInto).
+func (p *PCG) seed(seed, stream uint64) {
+	p.incHi = stream
+	p.incLo = stream*0x9e3779b97f4a7c15 + 0xda3e39cb94b95bdb | 1
 	p.hi, p.lo = 0, 0
+	p.haveSpare, p.spare = false, 0
 	p.step()
 	p.lo += seed
 	p.hi += 0x9e3779b97f4a7c15 ^ seed
 	p.step()
 	p.step()
-	return p
 }
 
 // Split derives a new generator from p whose stream is a deterministic
@@ -54,20 +60,85 @@ func New(seed, stream uint64) *PCG {
 // simulated flow its own substream so that changing one component of an
 // experiment does not perturb the random inputs of the others.
 func (p *PCG) Split(tag uint64) *PCG {
-	return New(p.Uint64()^mix(tag), p.Uint64()^mix(tag+0x632be59bd9b4e019))
+	q := new(PCG)
+	p.SplitInto(tag, q)
+	return q
+}
+
+// SplitInto is Split without the allocation: it consumes the same two draws
+// from p and seeds dst in place with exactly the stream Split(tag) would
+// have returned. Hot loops that derive one substream per flow or per
+// replication use it with a reused PCG value to stay off the heap.
+func (p *PCG) SplitInto(tag uint64, dst *PCG) {
+	dst.seed(p.Uint64()^mix(tag), p.Uint64()^mix(tag+0x632be59bd9b4e019))
 }
 
 // SplitN derives n independent substreams from p, tagged 0..n-1. It is the
-// bulk form of Split used by the replicated worker pool (internal/sim): all
+// bulk form of Split used historically by the replicated worker pool: all
 // streams are drawn up-front, single-threaded, so that the assignment of
 // substream to replication index is deterministic no matter how the
-// replications are later scheduled across workers.
+// replications are later scheduled across workers. Large ensembles should
+// prefer SplitAt, which derives the same streams lazily in O(1) memory.
 func (p *PCG) SplitN(n int) []*PCG {
 	out := make([]*PCG, n)
 	for i := range out {
 		out[i] = p.Split(uint64(i))
 	}
 	return out
+}
+
+// SplitAt returns the stream SplitN(n)[i] would have produced, for any
+// i >= 0, without materializing the preceding streams and without advancing
+// p: the first i Split calls consume exactly 2i draws from the parent, so a
+// copy of p is jumped 2i steps ahead (O(log i) via Jump) and split once.
+// SplitAt does not mutate p, so concurrent SplitAt calls on a shared parent
+// are safe as long as nothing else advances it.
+func (p *PCG) SplitAt(i int) *PCG {
+	cur := *p
+	cur.Jump(2 * uint64(i))
+	return cur.Split(uint64(i))
+}
+
+// Jump advances the generator by n steps (n calls of Uint64) in O(log n)
+// time, using the standard LCG jump-ahead: with state update s' = A·s + C
+// (mod 2^128), n steps compose to s' = A^n·s + (A^n-1)/(A-1)·C, computed by
+// square-and-multiply without divisions. Jump(0) is the identity.
+func (p *PCG) Jump(n uint64) {
+	// Accumulated affine map (accMul, accAdd), initially the identity.
+	accMulHi, accMulLo := uint64(0), uint64(1)
+	accAddHi, accAddLo := uint64(0), uint64(0)
+	// Current squared step (curMul, curAdd), initially one LCG step.
+	curMulHi, curMulLo := uint64(mulHi), uint64(mulLo)
+	curAddHi, curAddLo := p.incHi, p.incLo
+	for n > 0 {
+		if n&1 == 1 {
+			accMulHi, accMulLo = mul128(accMulHi, accMulLo, curMulHi, curMulLo)
+			accAddHi, accAddLo = mul128(accAddHi, accAddLo, curMulHi, curMulLo)
+			accAddHi, accAddLo = add128(accAddHi, accAddLo, curAddHi, curAddLo)
+		}
+		// (curMul, curAdd) composed with itself: mul squares, add becomes
+		// (curMul+1)·curAdd.
+		m1Hi, m1Lo := add128(curMulHi, curMulLo, 0, 1)
+		curAddHi, curAddLo = mul128(m1Hi, m1Lo, curAddHi, curAddLo)
+		curMulHi, curMulLo = mul128(curMulHi, curMulLo, curMulHi, curMulLo)
+		n >>= 1
+	}
+	sHi, sLo := mul128(accMulHi, accMulLo, p.hi, p.lo)
+	p.hi, p.lo = add128(sHi, sLo, accAddHi, accAddLo)
+}
+
+// mul128 returns a·b mod 2^128 for 128-bit operands given as (hi, lo).
+func mul128(aHi, aLo, bHi, bLo uint64) (hi, lo uint64) {
+	hi, lo = bits.Mul64(aLo, bLo)
+	hi += aHi*bLo + aLo*bHi
+	return hi, lo
+}
+
+// add128 returns a+b mod 2^128 for 128-bit operands given as (hi, lo).
+func add128(aHi, aLo, bHi, bLo uint64) (hi, lo uint64) {
+	lo, carry := bits.Add64(aLo, bLo, 0)
+	hi, _ = bits.Add64(aHi, bHi, carry)
+	return hi, lo
 }
 
 // mix is SplitMix64's finalizer, used to decorrelate small integer tags.
@@ -145,9 +216,19 @@ func (p *PCG) Exp(mean float64) float64 {
 	return -mean * math.Log(p.Float64Open())
 }
 
-// Normal returns a standard normal sample via the polar (Marsaglia) method
-// with caching of the second variate.
+// Normal returns a standard normal sample via the ziggurat method (see
+// ziggurat.go): ~99% of draws cost one Uint64 and one multiply, with no
+// transcendental functions. Traffic sources draw one normal per RCBR
+// segment, so this is the hottest sampler in every ensemble.
 func (p *PCG) Normal() float64 {
+	return p.normalZiggurat()
+}
+
+// NormalPolar returns a standard normal sample via the polar (Marsaglia)
+// method with caching of the second variate. It is the pre-ziggurat sampler,
+// kept as an independent implementation for cross-validation tests; new code
+// should use Normal.
+func (p *PCG) NormalPolar() float64 {
 	if p.haveSpare {
 		p.haveSpare = false
 		return p.spare

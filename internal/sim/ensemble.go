@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/rng"
@@ -47,6 +48,50 @@ type ensFlow struct {
 	rate    float64
 	segEnd  float64 // absolute end time of the current segment
 	departs float64 // absolute departure time (+Inf if none)
+}
+
+// impPending is a measured-but-not-yet-admitted flow.
+type impPending struct {
+	src traffic.Source
+	seg traffic.Segment
+}
+
+// impulseScratch is one stripe's reusable replication state. A stripe runs
+// sequentially on a single worker by the pool's construction, so its
+// buffers can be recycled across that stripe's replications without
+// synchronization; after the first few replications the steady state
+// allocates only the per-flow sources.
+type impulseScratch struct {
+	waiting []impPending
+	flows   []ensFlow
+	streams []rng.PCG        // per-flow substream storage for SplitInto
+	sources []traffic.Source // per-flow sources, recycled via traffic.Renewer
+	renew   traffic.Renewer  // cfg.Model's optional recycling capability (may be nil)
+}
+
+// newSource derives the next per-flow source: it splits a substream from r
+// with the given tag into the scratch backing array and binds a source to
+// it, recycling the slot's previous source when the model supports it.
+// Stream-array growth may reallocate, which is safe: earlier sources keep
+// drawing from their pointers into the old array.
+func (sc *impulseScratch) newSource(model traffic.Model, r *rng.PCG, tag uint64) traffic.Source {
+	sc.streams = append(sc.streams, rng.PCG{})
+	st := &sc.streams[len(sc.streams)-1]
+	r.SplitInto(tag, st)
+	i := len(sc.streams) - 1
+	var src traffic.Source
+	if i < len(sc.sources) && sc.renew != nil {
+		src = sc.renew.Renew(sc.sources[i], st)
+		sc.sources[i] = src
+	} else {
+		src = model.New(st)
+		if i < len(sc.sources) {
+			sc.sources[i] = src
+		} else {
+			sc.sources = append(sc.sources, src)
+		}
+	}
+	return src
 }
 
 // RunImpulsive executes the ensemble and returns the aggregated overflow
@@ -92,14 +137,51 @@ func RunImpulsive(cfg ImpulsiveConfig) (*ImpulsiveResult, error) {
 		m0   stats.Moments
 		pfAt []stats.Counter
 	}
-	accs := make([]stripeAcc, pool.NumStripes())
+	stripes := pool.NumStripes()
+	accs := make([]stripeAcc, stripes)
+	renew, _ := cfg.Model.(traffic.Renewer)
+	// One backing array for every stripe's counters: the slices are disjoint
+	// (full-slice expressions), so stripes still own their rows exclusively.
+	pfBacking := make([]stats.Counter, stripes*len(cfg.Grid))
 	for i := range accs {
-		accs[i].pfAt = make([]stats.Counter, len(cfg.Grid))
+		lo, hi := i*len(cfg.Grid), (i+1)*len(cfg.Grid)
+		accs[i].pfAt = pfBacking[lo:hi:hi]
 	}
+	// Scratch buffers are handed off between stripes through a free list
+	// rather than pinned one per stripe: a worker acquires a scratch at a
+	// stripe's first replication and releases it after the last, so at most
+	// numWorkers scratches ever exist and their buffers (and recycled
+	// sources) amortize across the whole run even when stripes outnumber
+	// replications per stripe. Scratch identity cannot affect results:
+	// every buffer is fully overwritten per replication and Renew is
+	// output-identical to New.
+	var (
+		scMu   sync.Mutex
+		scFree []*impulseScratch
+	)
+	held := make([]*impulseScratch, stripes)
 	err := pool.Run(context.Background(), func(stripe, rep int, r *rng.PCG) error {
+		sc := held[stripe]
+		if sc == nil {
+			scMu.Lock()
+			if n := len(scFree); n > 0 {
+				sc, scFree = scFree[n-1], scFree[:n-1]
+			}
+			scMu.Unlock()
+			if sc == nil {
+				sc = &impulseScratch{renew: renew}
+			}
+			held[stripe] = sc
+		}
 		acc := &accs[stripe]
-		m0 := runOneImpulse(cfg, r, acc.pfAt)
+		m0 := runOneImpulse(cfg, r, acc.pfAt, sc)
 		acc.m0.Add(float64(m0))
+		if rep+stripes >= cfg.Replications { // stripe's last replication
+			held[stripe] = nil
+			scMu.Lock()
+			scFree = append(scFree, sc)
+			scMu.Unlock()
+		}
 		return nil
 	})
 	if err != nil {
@@ -117,20 +199,25 @@ func RunImpulsive(cfg ImpulsiveConfig) (*ImpulsiveResult, error) {
 
 // runOneImpulse performs a single replication, recording overflow
 // indicators into pfAt (one counter per grid time), and returns the
-// admitted count.
-func runOneImpulse(cfg ImpulsiveConfig, r *rng.PCG, pfAt []stats.Counter) int {
+// admitted count. sc provides reusable buffers; the caller guarantees it
+// is not shared across concurrent replications.
+func runOneImpulse(cfg ImpulsiveConfig, r *rng.PCG, pfAt []stats.Counter, sc *impulseScratch) int {
+	if cap(sc.streams) < cfg.MeasureCount {
+		sc.streams = make([]rng.PCG, 0, cfg.MeasureCount)
+		sc.sources = make([]traffic.Source, 0, cfg.MeasureCount)
+	}
+	sc.streams = sc.streams[:0]
 	// Draw the waiting flows the MBAC measures (eq. 7): their initial
 	// segments provide both the estimate and, if admitted, their traffic.
-	type pending struct {
-		src traffic.Source
-		seg traffic.Segment
+	if cap(sc.waiting) < cfg.MeasureCount {
+		sc.waiting = make([]impPending, cfg.MeasureCount)
 	}
-	waiting := make([]pending, cfg.MeasureCount)
+	waiting := sc.waiting[:cfg.MeasureCount]
 	var sumRate, sumSq float64
 	for i := range waiting {
-		src := cfg.Model.New(r.Split(uint64(i)))
+		src := sc.newSource(cfg.Model, r, uint64(i))
 		seg := src.Next()
-		waiting[i] = pending{src: src, seg: seg}
+		waiting[i] = impPending{src: src, seg: seg}
 		sumRate += seg.Rate
 		sumSq += seg.Rate * seg.Rate
 	}
@@ -157,14 +244,17 @@ func runOneImpulse(cfg ImpulsiveConfig, r *rng.PCG, pfAt []stats.Counter) int {
 	// Materialize the admitted flows: measured flows first (the paper's
 	// M0 ~ n regime), extra draws if the controller admits more than were
 	// measured.
-	flows := make([]ensFlow, m0)
+	if cap(sc.flows) < m0 {
+		sc.flows = make([]ensFlow, m0)
+	}
+	flows := sc.flows[:m0]
 	for i := 0; i < m0; i++ {
-		var p pending
+		var p impPending
 		if i < len(waiting) {
 			p = waiting[i]
 		} else {
-			src := cfg.Model.New(r.Split(uint64(cfg.MeasureCount + i)))
-			p = pending{src: src, seg: src.Next()}
+			src := sc.newSource(cfg.Model, r, uint64(cfg.MeasureCount+i))
+			p = impPending{src: src, seg: src.Next()}
 		}
 		departs := math.Inf(1)
 		if cfg.HoldingTime > 0 {

@@ -178,6 +178,7 @@ func TestImpulsiveDeterminism(t *testing.T) {
 func BenchmarkImpulsiveReplication(b *testing.B) {
 	model := traffic.NewRCBR(1, 0.3, 1)
 	ce, _ := core.NewCertaintyEquivalent(1e-2, 1, 0.3)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := RunImpulsive(ImpulsiveConfig{
 			Capacity: 100, Model: model, Controller: ce,

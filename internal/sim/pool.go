@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/rng"
 )
@@ -20,9 +21,11 @@ const DefaultStripes = 64
 // future Monte Carlo study. It executes Replications independent jobs on a
 // bounded worker pool with three guarantees:
 //
-//   - every replication draws from its own PCG substream, split from
-//     (Seed, Tag) up-front in replication order, so results are
-//     reproducible for a fixed seed and invariant to worker count;
+//   - every replication draws from its own PCG substream, derived lazily
+//     inside the worker (rng.SplitInto after an O(log n) rng.Jump) but
+//     bit-identical to an up-front SplitN in replication order, so results
+//     are reproducible for a fixed seed and invariant to worker count
+//     while setup stays O(1) in memory;
 //   - replications are grouped into stripes (replication index mod stripe
 //     count) and each stripe's work runs on a single worker, so callers
 //     may keep one accumulator per stripe with no locking and merge them
@@ -38,12 +41,21 @@ type Replicated struct {
 }
 
 // NumStripes returns the effective stripe count; callers size their
-// per-stripe accumulator slices with it.
+// per-stripe accumulator slices with it. It never exceeds Replications:
+// stripes beyond the replication count would stay empty, and clamping them
+// away keeps small ensembles from paying accumulator setup for idle
+// stripes. (The clamp cannot change results: when Replications < stripes,
+// replication rep lands on stripe rep and stripes merge in replication
+// order under either count.)
 func (p Replicated) NumStripes() int {
-	if p.Stripes > 0 {
-		return p.Stripes
+	s := p.Stripes
+	if s <= 0 {
+		s = DefaultStripes
 	}
-	return DefaultStripes
+	if p.Replications > 0 && s > p.Replications {
+		s = p.Replications
+	}
+	return s
 }
 
 // numWorkers returns the effective worker count.
@@ -65,10 +77,16 @@ func (p Replicated) numWorkers() int {
 // [0, Replications), where stripe = rep mod NumStripes() and r is the
 // replication's private PCG substream. All replications of one stripe run
 // sequentially (in increasing rep order) on one worker, so body may mutate
-// a per-stripe accumulator without synchronization. Run returns the first
-// body error, or the context's error if cancelled; either stops the pool
-// promptly (stripes not yet started are skipped, in-flight replications
-// finish).
+// a per-stripe accumulator without synchronization. The substream pointer
+// is only valid for the duration of the call: the pool reseeds one PCG
+// value per worker in place, so body must not retain r after returning
+// (sources split from r own their own state and may outlive the call).
+//
+// Run returns the first body error if any replication failed, else the
+// context's error if the run was cancelled, else nil — so callers always
+// see the root cause even when a body error and the resulting pool
+// cancellation race. Either condition stops the pool promptly (stripes not
+// yet started are skipped, in-flight replications finish).
 func (p Replicated) Run(ctx context.Context, body func(stripe, rep int, r *rng.PCG) error) error {
 	if p.Replications <= 0 {
 		return fmt.Errorf("sim: replications %d must be positive", p.Replications)
@@ -77,44 +95,60 @@ func (p Replicated) Run(ctx context.Context, body func(stripe, rep int, r *rng.P
 		return fmt.Errorf("sim: nil pool body")
 	}
 	stripes := p.NumStripes()
-	streams := rng.New(p.Seed, p.Tag).SplitN(p.Replications)
-
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	stripeCh := make(chan int, stripes)
-	for s := 0; s < stripes; s++ {
-		stripeCh <- s
-	}
-	close(stripeCh)
+	// The master generator is never advanced by the workers: each stripe
+	// derives its substreams lazily from a private copy. SplitN(n)[rep]
+	// consumes exactly two parent draws per split, so positioning the copy
+	// 2·rep draws ahead (O(log rep) via Jump) and splitting once reproduces
+	// the historical up-front materialization bit-for-bit with O(1) setup
+	// memory instead of O(Replications) pointers.
+	base := rng.New(p.Seed, p.Tag)
 
 	var (
-		wg     sync.WaitGroup
-		errMu  sync.Mutex
-		runErr error
+		wg      sync.WaitGroup
+		errMu   sync.Mutex
+		bodyErr error
+		stop    atomic.Bool  // set on the first body error
+		next    atomic.Int64 // stripe claim counter
 	)
 	fail := func(err error) {
 		errMu.Lock()
-		if runErr == nil {
-			runErr = err
+		if bodyErr == nil {
+			bodyErr = err
 		}
 		errMu.Unlock()
-		cancel()
+		stop.Store(true)
+	}
+	// Done() is nil for contexts that can never be cancelled (Background),
+	// letting the per-replication check skip the Err() call entirely.
+	done := ctx.Done()
+	stopped := func() bool {
+		return stop.Load() || (done != nil && ctx.Err() != nil)
 	}
 	for w := 0; w < p.numWorkers(); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for s := range stripeCh {
+			var stream rng.PCG // reseeded in place per replication
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= stripes || stopped() {
+					return
+				}
+				cur := *base
+				cur.Jump(2 * uint64(s))
 				for rep := s; rep < p.Replications; rep += stripes {
-					if err := ctx.Err(); err != nil {
+					if stopped() {
+						return
+					}
+					cur.SplitInto(uint64(rep), &stream)
+					if err := body(s, rep, &stream); err != nil {
 						fail(err)
 						return
 					}
-					if err := body(s, rep, streams[rep]); err != nil {
-						fail(err)
-						return
-					}
+					// SplitInto consumed 2 of the 2·stripes draws separating
+					// this replication's parent position from the next one in
+					// the stripe.
+					cur.Jump(2 * uint64(stripes-1))
 				}
 			}
 		}()
@@ -122,5 +156,8 @@ func (p Replicated) Run(ctx context.Context, body func(stripe, rep int, r *rng.P
 	wg.Wait()
 	errMu.Lock()
 	defer errMu.Unlock()
-	return runErr
+	if bodyErr != nil {
+		return bodyErr
+	}
+	return ctx.Err()
 }

@@ -71,6 +71,33 @@ func TestReplicatedCoversEveryReplication(t *testing.T) {
 	}
 }
 
+// TestReplicatedMatchesSplitN pins the lazy-derivation refactor: the
+// substream handed to replication rep must be bit-identical to the stream
+// the historical up-front materialization rng.New(seed, tag).SplitN(n)[rep]
+// produced, for every rep and irrespective of worker count.
+func TestReplicatedMatchesSplitN(t *testing.T) {
+	const reps = 300
+	pool := Replicated{Replications: reps, Workers: 4, Seed: 2024, Tag: 0x706f6f6c}
+	want := rng.New(pool.Seed, pool.Tag).SplitN(reps)
+	var got [reps][4]uint64
+	err := pool.Run(context.Background(), func(stripe, rep int, r *rng.PCG) error {
+		for j := range got[rep] {
+			got[rep][j] = r.Uint64()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < reps; rep++ {
+		for j := range got[rep] {
+			if w := want[rep].Uint64(); got[rep][j] != w {
+				t.Fatalf("replication %d draw %d: lazy stream diverges from SplitN", rep, j)
+			}
+		}
+	}
+}
+
 func TestReplicatedStopsOnError(t *testing.T) {
 	boom := errors.New("boom")
 	var ran atomic.Int64
@@ -86,6 +113,41 @@ func TestReplicatedStopsOnError(t *testing.T) {
 	}
 	if n := ran.Load(); n == 10_000 {
 		t.Fatal("pool did not stop early after the error")
+	}
+}
+
+// TestReplicatedBodyErrorWinsOverCancellation checks root-cause reporting:
+// a body error triggers internal cancellation, and the sibling workers'
+// resulting context.Canceled must never mask the real error, no matter how
+// the two race. With many workers and a hard error this used to flake to
+// context.Canceled under the old fail-on-ctx.Err() pattern.
+func TestReplicatedBodyErrorWinsOverCancellation(t *testing.T) {
+	boom := errors.New("boom")
+	for trial := 0; trial < 20; trial++ {
+		err := Replicated{Replications: 50_000, Workers: 8, Seed: uint64(trial)}.Run(
+			context.Background(),
+			func(stripe, rep int, r *rng.PCG) error {
+				if rep == 1234 {
+					return boom
+				}
+				return nil
+			})
+		if !errors.Is(err, boom) {
+			t.Fatalf("trial %d: err = %v, want boom (cancellation masked the root cause)", trial, err)
+		}
+	}
+}
+
+// TestReplicatedExternalCancellationReported checks the complementary leg:
+// when no body errored, an external cancellation surfaces as the parent
+// context's error rather than nil.
+func TestReplicatedExternalCancellationReported(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the pool even starts
+	err := Replicated{Replications: 100, Seed: 1}.Run(ctx,
+		func(stripe, rep int, r *rng.PCG) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

@@ -56,6 +56,17 @@ type Model interface {
 	Stats() Stats
 }
 
+// Renewer is an optional Model capability: a model whose sources can be
+// reinitialized in place implements it so that Monte Carlo ensembles can
+// recycle source allocations across replications. Renew must behave
+// exactly like New(r) — same output segments, same draws consumed — but
+// may reuse old's storage when old came from an identical model. Models
+// whose construction consumes randomness (e.g. a stationary initial-state
+// draw) must still perform that draw in Renew to preserve determinism.
+type Renewer interface {
+	Renew(old Source, r *rng.PCG) Source
+}
+
 // ---------------------------------------------------------------------------
 // RCBR: the paper's workload.
 
@@ -84,6 +95,16 @@ func (m RCBR) Stats() Stats {
 // New implements Model.
 func (m RCBR) New(r *rng.PCG) Source {
 	return &rcbrSource{m: m, r: r}
+}
+
+// Renew implements Renewer: an RCBR source carries no state beyond its
+// parameters and stream, so reseeding in place is exactly New.
+func (m RCBR) Renew(old Source, r *rng.PCG) Source {
+	if s, ok := old.(*rcbrSource); ok && s.m == m {
+		s.r = r
+		return s
+	}
+	return m.New(r)
 }
 
 type rcbrSource struct {
