@@ -12,10 +12,18 @@
 #              allocs/op growth)
 #   fuzz     — short adversarial-input fuzzing of the estimator and
 #              controller (checked-in corpora replay in plain `go test`)
+#   vet      — go vet plus cmd/vetenum, which proves every enum constant
+#              (gateway.Reason, gateway.DegradedPolicy, fault.Mode) has an
+#              explicit String() case — the fallback "Reason(%d)" form would
+#              silently leak into logs, goldens, and ParseReason round-trips
+#   chaos    — fault-injection soaks (build tag "chaos") under -race:
+#              estimator NaN/Inf bursts, stalled ticks, leaked clients; ends
+#              with bench-cmp so the lifecycle/degradation machinery is also
+#              held to the serving-path perf budget
 
 GO ?= go
 
-.PHONY: all build test race test-stat bench bench-json bench-cmp fuzz golden
+.PHONY: all build test race test-stat bench bench-json bench-cmp fuzz golden vet test-chaos
 
 all: build test
 
@@ -60,3 +68,17 @@ fuzz:
 
 golden:
 	$(GO) test ./internal/experiments -run TestGolden -update-golden
+
+# Static tier: the standard vet pass plus the repo-local enum/String
+# exhaustiveness check.
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/vetenum -dir internal/gateway -type Reason,DegradedPolicy
+	$(GO) run ./cmd/vetenum -dir internal/fault -type Mode
+
+# Chaos tier: seeded fault-injection soaks under the race detector, then
+# the serving-path perf guard — leases and degradation must not tax the
+# admission hot path beyond the committed budget.
+test-chaos:
+	$(GO) test -tags chaos -race -run 'TestChaos' -v ./internal/gateway
+	$(MAKE) bench-cmp

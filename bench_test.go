@@ -281,7 +281,10 @@ func BenchmarkPlanRobust(b *testing.B) {
 // counter updates — not capacity refusals — dominate. It runs the gateway
 // as a load driver deploys it: counters at exact fidelity, latency sampled
 // 1-in-8 (see Config.LatencySample), so the measurement does not perturb
-// the measured path. This is the baseline for future gateway perf PRs
+// the measured path. Leases are enabled (FlowTTL), so every admission also
+// pays the deadline stamp and per-shard min-deadline upkeep — the
+// lifecycle machinery is inside the measured budget, not bolted on.
+// This is the baseline for future gateway perf PRs
 // (recorded in CHANGES.md and BENCH_gateway.json).
 func BenchmarkGatewayAdmit(b *testing.B) {
 	ctrl, err := NewCertaintyEquivalent(1e-2, 1, 0.3)
@@ -294,6 +297,7 @@ func BenchmarkGatewayAdmit(b *testing.B) {
 		Estimator:     NewExponentialEstimator(100),
 		Shards:        64,
 		LatencySample: 8,
+		FlowTTL:       30,
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -45,6 +45,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/estimator"
+	"repro/internal/fault"
 	"repro/internal/gateway"
 	"repro/internal/qos"
 	"repro/internal/rng"
@@ -89,6 +90,13 @@ func main() {
 		hold      = flag.Bool("hold", false, "keep serving after the replay finishes (requires -listen)")
 		pq        = flag.Float64("pq", 0, "QoS target p_q for the audit (default: the -pce value)")
 		window    = flag.Int("window", 1024, "audit/overflow window in measurement ticks")
+
+		ttl        = flag.Float64("ttl", 0, "flow lease TTL in virtual time (0 = leases off)")
+		staleAfter = flag.Int("stale-after", 0, "degrade after this many stale/faulty ticks (0 = watchdogs off)")
+		degraded   = flag.String("degraded", "freeze", "degraded admission policy: freeze, peak-rate or reject-all")
+		faults     = flag.String("faults", "", "estimator fault schedule, e.g. 'nan:100-120,drop:500-520' (virtual time)")
+		leak       = flag.Float64("leak", 0, "probability a departing flow leaks its slot instead of departing")
+		lie        = flag.Float64("lie", 1, "declared-rate multiplier for admissions (1 = honest clients)")
 	)
 	flag.Parse()
 	if *workers < 1 || *tick <= 0 || *duration <= 0 || *lambda <= 0 {
@@ -105,11 +113,32 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	policy, err := gateway.ParseDegradedPolicy(*degraded)
+	if err != nil {
+		fatal(err)
+	}
+	faultWindows, err := fault.ParseWindows(*faults)
+	if err != nil {
+		fatal(err)
+	}
+	plan := fault.ClientPlan{LeakP: *leak, Lie: *lie}
+	if err := plan.Validate(); err != nil {
+		fatal(err)
+	}
 	var est estimator.Estimator
 	if *tm > 0 {
 		est = estimator.NewExponential(*tm)
 	} else {
 		est = estimator.NewMemoryless()
+	}
+	// The fault wrapper sits between the gateway and the real estimator
+	// whenever a fault schedule is given, so injected NaN bursts and
+	// dropped updates exercise the gateway's hold-last-bound and
+	// degradation paths against otherwise-genuine measurement.
+	var faulty *fault.Estimator
+	if len(faultWindows) > 0 {
+		faulty = fault.Wrap(est)
+		est = faulty
 	}
 	g, err := gateway.New(gateway.Config{
 		Capacity:       *n,
@@ -118,6 +147,9 @@ func main() {
 		Shards:         *shards,
 		LatencySample:  *latsample,
 		OverflowWindow: *window,
+		FlowTTL:        *ttl,
+		StaleAfter:     *staleAfter,
+		Degraded:       policy,
 	})
 	if err != nil {
 		fatal(err)
@@ -137,7 +169,7 @@ func main() {
 		serveObservability(*listen, g, audit, &auditMu)
 	}
 
-	events := schedule(*lambda, *duration, *th, traffic.NewRCBR(1, *svr, *tc), rng.New(*seed, 0x677764))
+	events := schedule(*lambda, *duration, *th, traffic.NewRCBR(1, *svr, *tc), rng.New(*seed, 0x677764), plan)
 	fmt.Printf("schedule:   %d events (%d flows) over %g virtual time units\n",
 		len(events), countAdmits(events), *duration)
 
@@ -160,9 +192,12 @@ func main() {
 		}
 		replayWindow(g, events[lo:hi], scratch, *batch)
 		lo = hi
+		if faulty != nil {
+			faulty.SetMode(fault.ModeAt(faultWindows, now))
+		}
 		st := g.Tick(now)
 		auditMu.Lock()
-		audit.Observe(st.AggregateRate > *n)
+		audit.ObserveWith(st.AggregateRate > *n, st.Degraded)
 		auditMu.Unlock()
 		if now > *duration/2 { // steady-state half
 			activeSum += float64(st.Active)
@@ -179,6 +214,18 @@ func main() {
 		st.Admitted, st.Rejected,
 		float64(st.Rejected)/math.Max(1, float64(st.Admitted+st.Rejected)),
 		st.Departed, st.Active)
+	if *ttl > 0 || *staleAfter > 0 || faulty != nil {
+		degState := "healthy"
+		if st.Degraded {
+			degState = "degraded (" + st.DegradedReason + ")"
+		}
+		dropped := int64(0)
+		if faulty != nil {
+			dropped = faulty.Dropped()
+		}
+		fmt.Printf("lifecycle:  %d leases expired, %d updates dropped, policy %s, finished %s\n",
+			st.Expired, dropped, policy, degState)
+	}
 	fmt.Printf("measure:    mu^ %.4g, sigma^ %.4g (ok=%v), aggregate %.4g, %d ticks\n",
 		st.Mu, st.Sigma, st.MeasurementOK, st.AggregateRate, st.Ticks)
 	fmt.Printf("bound:      M = %.4g vs perfect-knowledge m* = %.4g\n", st.Admissible, mstar)
@@ -243,8 +290,13 @@ func serveObservability(addr string, g *gateway.Gateway, audit *qos.Audit, audit
 // schedule pregenerates the full event list: Poisson arrivals over
 // [0, duration), each flow carrying an exponential holding time and RCBR
 // rate renegotiations at its segment boundaries. Events are sorted by time
-// (ties broken by flow then kind for determinism).
-func schedule(lambda, duration, th float64, model traffic.Model, r *rng.PCG) []event {
+// (ties broken by flow then kind for determinism). The client plan shapes
+// misbehavior deterministically: lying clients declare plan.Declared of
+// their first segment rate (their true rates still arrive via updates),
+// and leaking flows simply have no departure event — their slots are the
+// lease sweep's problem. With an honest, non-leaking plan the schedule is
+// bit-identical to previous releases for the same seed.
+func schedule(lambda, duration, th float64, model traffic.Model, r *rng.PCG, plan fault.ClientPlan) []event {
 	var events []event
 	id := uint64(0)
 	for t := r.Exp(1 / lambda); t < duration; t += r.Exp(1 / lambda) {
@@ -255,13 +307,15 @@ func schedule(lambda, duration, th float64, model traffic.Model, r *rng.PCG) []e
 			hold = duration - t
 		}
 		seg := src.Next()
-		events = append(events, event{t: t, kind: evAdmit, flow: id, rate: seg.Rate})
+		events = append(events, event{t: t, kind: evAdmit, flow: id, rate: plan.Declared(seg.Rate)})
 		for st := seg.Duration; st < hold; {
 			seg = src.Next()
 			events = append(events, event{t: t + st, kind: evUpdate, flow: id, rate: seg.Rate})
 			st += seg.Duration
 		}
-		events = append(events, event{t: t + hold, kind: evDepart, flow: id})
+		if !(plan.LeakP > 0 && plan.Leaks(fr.Float64())) {
+			events = append(events, event{t: t + hold, kind: evDepart, flow: id})
+		}
 		id++
 	}
 	sort.Slice(events, func(i, j int) bool {

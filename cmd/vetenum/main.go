@@ -1,0 +1,149 @@
+// Command vetenum is the repo-local half of `make vet`: it checks that
+// every constant of an enum type has an explicit case in that type's
+// String() switch. The Reason enum has grown once already (ReasonExpired)
+// and a missing case degrades silently into the "Reason(%d)" fallback —
+// which then leaks into logs, golden files, and ParseReason round-trips.
+//
+// Usage:
+//
+//	vetenum -dir internal/gateway -type Reason,DegradedPolicy
+//
+// The check is purely syntactic (go/ast, no type checking): a constant
+// belongs to the enum when its ValueSpec names the type, or when it rides
+// an iota block whose preceding spec does. A case counts when the case
+// expression is a plain identifier naming the constant.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "package directory to scan")
+	types := flag.String("type", "", "comma-separated enum type names to check")
+	flag.Parse()
+	if *types == "" {
+		fmt.Fprintln(os.Stderr, "vetenum: -type is required")
+		os.Exit(2)
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, *dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vetenum: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, typ := range strings.Split(*types, ",") {
+		typ = strings.TrimSpace(typ)
+		consts := enumConsts(pkgs, typ)
+		if len(consts) == 0 {
+			fmt.Fprintf(os.Stderr, "vetenum: no constants of type %s found in %s\n", typ, *dir)
+			failed = true
+			continue
+		}
+		cases, ok := stringCases(pkgs, typ)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "vetenum: type %s has no String() switch in %s\n", typ, *dir)
+			failed = true
+			continue
+		}
+		for _, c := range consts {
+			if !cases[c] {
+				fmt.Fprintf(os.Stderr, "vetenum: %s constant %s has no case in String()\n", typ, c)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// enumConsts returns the names of all constants declared with type typ,
+// including unannotated specs that inherit the type inside an iota block.
+func enumConsts(pkgs map[string]*ast.Package, typ string) []string {
+	var names []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				inherited := false
+				for _, spec := range gd.Specs {
+					vs := spec.(*ast.ValueSpec)
+					switch {
+					case vs.Type != nil:
+						id, ok := vs.Type.(*ast.Ident)
+						inherited = ok && id.Name == typ
+					case len(vs.Values) > 0:
+						// An explicit value without a type annotation starts
+						// a fresh untyped run; it no longer belongs to the
+						// enum even inside the same block.
+						inherited = false
+					}
+					if !inherited {
+						continue
+					}
+					for _, n := range vs.Names {
+						if n.Name != "_" {
+							names = append(names, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return names
+}
+
+// stringCases returns the set of identifiers that appear as case
+// expressions in typ's String() method, and whether the method (with a
+// switch in it) exists at all.
+func stringCases(pkgs map[string]*ast.Package, typ string) (map[string]bool, bool) {
+	cases := map[string]bool{}
+	found := false
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name.Name != "String" || fd.Recv == nil || len(fd.Recv.List) != 1 {
+					continue
+				}
+				recv := fd.Recv.List[0].Type
+				if star, ok := recv.(*ast.StarExpr); ok {
+					recv = star.X
+				}
+				id, ok := recv.(*ast.Ident)
+				if !ok || id.Name != typ {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					cc, ok := n.(*ast.CaseClause)
+					if !ok {
+						return true
+					}
+					found = true
+					for _, expr := range cc.List {
+						if ident, ok := expr.(*ast.Ident); ok {
+							cases[ident.Name] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return cases, found
+}

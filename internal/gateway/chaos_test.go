@@ -1,0 +1,304 @@
+//go:build chaos
+
+// Chaos tier (make test-chaos): seeded fault-injection soaks driving the
+// gateway through estimator NaN bursts, stalled measurement ticks, and
+// leaked clients, with concurrent admission storms underneath. Run with
+// -race; every scenario asserts the safety contract of the ISSUE: the
+// active count never exceeds the published bound, leaked slots come back
+// within one TTL, degradation is visible in /metrics, and the bound
+// recovers within one tick of the fault clearing.
+package gateway
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/estimator"
+	"repro/internal/fault"
+)
+
+func TestChaosSoak(t *testing.T) {
+	ctrl, err := core.NewCertaintyEquivalent(1e-2, 1, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fault.Wrap(estimator.NewExponential(5))
+	clk := fault.NewClock(50)
+	g, err := New(Config{
+		Capacity:     50,
+		Controller:   ctrl,
+		Estimator:    f,
+		Shards:       8,
+		FlowTTL:      10,
+		StaleAfter:   3,
+		Degraded:     DegradedFreeze,
+		TickInterval: 100 * time.Millisecond,
+		LatencyClock: clk.Func(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rnd := uint64(0x5eed)
+	next := func() uint64 {
+		rnd ^= rnd << 13
+		rnd ^= rnd >> 7
+		rnd ^= rnd << 17
+		return rnd
+	}
+
+	// ---- Phase A: warm-up churn to a healthy steady state. ----
+	now := 0.0
+	id := uint64(0)
+	var active []uint64
+	for tick := 0; tick < 100; tick++ {
+		now++
+		for k := 0; k < 4; k++ {
+			id++
+			d, err := g.Admit(id, 0.8+float64(next()%5)*0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Admitted {
+				if float64(d.Active) > d.Admissible {
+					t.Fatalf("admission invariant: active %d > bound %g", d.Active, d.Admissible)
+				}
+				active = append(active, id)
+			}
+		}
+		keep := active[:0]
+		for _, fid := range active {
+			if next()%8 == 0 {
+				if err := g.Depart(fid); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			if err := g.UpdateRate(fid, 0.8+float64(next()%5)*0.1); err != nil {
+				t.Fatal(err)
+			}
+			keep = append(keep, fid)
+		}
+		active = keep
+		g.Tick(now)
+	}
+	healthy := g.Admissible()
+	if st := g.Stats(); healthy <= 0 || st.Degraded || st.MeasuredFlows < 2 {
+		t.Fatalf("warm-up did not reach a healthy state: bound %g, %+v", healthy, g.Stats())
+	}
+
+	// ---- Phase B: NaN burst under a concurrent admission storm. ----
+	// The bound must hold at the last healthy value, the gateway must
+	// degrade after StaleAfter faulty ticks, and no racing admission may
+	// ever land above the bound in force at its decision.
+	f.SetMode(fault.NaNEstimates)
+	var stop atomic.Bool
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := uint64(1_000_000 * (w + 1))
+			for i := uint64(1); !stop.Load(); i++ {
+				d, _ := g.Admit(base+i, 1)
+				if d.Admitted {
+					if float64(d.Active) > d.Admissible {
+						violations.Add(1)
+					}
+					g.Depart(base + i)
+				}
+			}
+		}()
+	}
+	for k := 0; k < 5; k++ {
+		now++
+		st := g.Tick(now)
+		if st.Admissible != healthy {
+			t.Errorf("tick %g: bound %g moved during NaN burst, want held %g", now, st.Admissible, healthy)
+		}
+		for _, fid := range active {
+			if err := g.UpdateRate(fid, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if st := g.Stats(); !st.Degraded || st.DegradedReason != "measurement" {
+		t.Fatalf("not degraded after NaN burst: %+v", st)
+	}
+	var prom strings.Builder
+	g.Snapshot().WritePrometheus(&prom)
+	if !strings.Contains(prom.String(), "mbac_gateway_degraded 1") {
+		t.Fatal("degradation not visible in Prometheus text")
+	}
+
+	// ---- Phase C: recovery within one tick of the fault clearing. ----
+	f.SetMode(fault.None)
+	now++
+	st := g.Tick(now)
+	if st.Degraded {
+		t.Fatalf("still degraded one tick after recovery: %+v", st)
+	}
+	want := ctrl.Admissible(core.Measurement{
+		Capacity:      50,
+		Flows:         st.MeasuredFlows,
+		AggregateRate: st.AggregateRate,
+		Mu:            st.Mu,
+		Sigma:         st.Sigma,
+		OK:            st.MeasurementOK,
+	})
+	if st.Admissible != want {
+		t.Fatalf("recovered bound %g, want controller output %g", st.Admissible, want)
+	}
+	stop.Store(true)
+	wg.Wait()
+	if violations.Load() != 0 {
+		t.Fatalf("%d admissions above the bound during the storm", violations.Load())
+	}
+
+	// ---- Phase D: leaked clients are reclaimed within one TTL. ----
+	// Free headroom, then admit 20 flows that never depart, refresh, or
+	// touch. They must all be gone by the first tick at or past their
+	// deadline, while refreshed flows survive.
+	for len(active) > 10 {
+		fid := active[len(active)-1]
+		active = active[:len(active)-1]
+		if err := g.Depart(fid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leakStart := now
+	for k := 0; k < 20; k++ {
+		id++
+		d, err := g.Admit(id, 1)
+		if err != nil || !d.Admitted {
+			t.Fatalf("leak admit %d: %+v, %v", id, d, err)
+		}
+	}
+	base := g.active.Load() - 20
+	for now < leakStart+10 {
+		now++
+		for _, fid := range active {
+			if err := g.UpdateRate(fid, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st = g.Tick(now)
+		if now < leakStart+10 && st.Active != base+20 {
+			t.Fatalf("t=%g: leaked flows reclaimed early: active %d, want %d", now, st.Active, base+20)
+		}
+	}
+	if st.Active != base {
+		t.Fatalf("leaked flows not reclaimed within one TTL: active %d, want %d", st.Active, base)
+	}
+	if st.Admitted-st.Departed-st.Expired != st.Active {
+		t.Fatalf("lifecycle identity broken after leak phase: %+v", st)
+	}
+
+	// ---- Phase E: stalled tick. ----
+	// The wedged Tick holds the measurement mutex; admissions must keep
+	// flowing against the published bound, the lock-free watchdog must
+	// flag staleness, and the completed tick must clear it.
+	resume := f.Stall()
+	tickDone := make(chan struct{})
+	go func() {
+		g.Tick(now + 1)
+		close(tickDone)
+	}()
+	// Admissions proceed while the measurement loop is wedged.
+	id++
+	if d, err := g.Admit(id, 1); err != nil || !d.Admitted {
+		t.Fatalf("admission during stalled tick: %+v, %v", d, err)
+	}
+	if err := g.Depart(id); err != nil {
+		t.Fatal(err)
+	}
+	clk.Jump(int64(time.Second)) // 10 tick intervals without a completed tick
+	if !g.checkStale() {
+		t.Fatal("watchdog did not flag the stalled tick")
+	}
+	if deg, reason := g.Degraded(); !deg || !strings.Contains(reason, "stale-ticks") {
+		t.Fatalf("degraded = (%v, %q)", deg, reason)
+	}
+	resume()
+	select {
+	case <-tickDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled tick never completed after resume")
+	}
+	if deg, reason := g.Degraded(); deg {
+		t.Fatalf("staleness not cleared by the completed tick: %q", reason)
+	}
+	now++
+
+	prom.Reset()
+	g.Snapshot().WritePrometheus(&prom)
+	if !strings.Contains(prom.String(), "mbac_gateway_degraded 0") {
+		t.Fatal("recovery not visible in Prometheus text")
+	}
+	if !strings.Contains(prom.String(), "mbac_gateway_expired_total") {
+		t.Fatal("expired counter missing from Prometheus text")
+	}
+}
+
+// TestChaosDropUpdates: a dark measurement stream (updates discarded) is
+// indistinguishable from a frozen cross-section — the estimator keeps
+// serving stale but finite estimates, the gateway keeps publishing a
+// defensible bound, and clearing the fault resynchronizes within a tick.
+func TestChaosDropUpdates(t *testing.T) {
+	ctrl, err := core.NewCertaintyEquivalent(1e-2, 1, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fault.Wrap(estimator.NewMemoryless())
+	g, err := New(Config{
+		Capacity:   50,
+		Controller: ctrl,
+		Estimator:  f,
+		Shards:     4,
+		StaleAfter: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 10; i++ {
+		if _, err := g.Admit(i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := g.Tick(1)
+	healthy := st.Admissible
+	f.SetMode(fault.DropUpdates)
+	// Triple the load while the stream is dark: the estimator never sees
+	// it, the bound stays where it was.
+	for i := uint64(1); i <= 10; i++ {
+		if err := g.UpdateRate(i, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 2; k <= 6; k++ {
+		st = g.Tick(float64(k))
+		if st.Admissible != healthy {
+			t.Fatalf("bound moved to %g on a dark stream", st.Admissible)
+		}
+		if st.Degraded {
+			t.Fatalf("dark-but-finite stream must not degrade: %+v", st)
+		}
+	}
+	if f.Dropped() != 5 {
+		t.Fatalf("Dropped = %d, want 5", f.Dropped())
+	}
+	f.SetMode(fault.None)
+	st = g.Tick(7)
+	if st.AggregateRate != 30 {
+		t.Fatalf("resync aggregate %g, want 30", st.AggregateRate)
+	}
+	if st.Admissible == healthy {
+		t.Fatal("bound did not react to the resynced measurement")
+	}
+}

@@ -1,0 +1,225 @@
+package gateway
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/estimator"
+	"repro/internal/fault"
+)
+
+// faultyGateway builds a gateway over a fault-wrapped oracle estimator.
+func faultyGateway(t *testing.T, policy DegradedPolicy, staleAfter int, clk func() int64) (*Gateway, *fault.Estimator) {
+	t.Helper()
+	ctrl, err := core.NewPerfectKnowledge(100, 1, 0.3, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fault.Wrap(&estimator.Oracle{Mu: 1, Sigma: 0.3})
+	g, err := New(Config{
+		Capacity:     100,
+		Controller:   ctrl,
+		Estimator:    f,
+		Shards:       4,
+		StaleAfter:   staleAfter,
+		Degraded:     policy,
+		TickInterval: 100 * time.Millisecond,
+		LatencyClock: clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, f
+}
+
+// fill admits n flows at unit rate.
+func fill(t *testing.T, g *Gateway, n int) {
+	t.Helper()
+	for id := uint64(1); id <= uint64(n); id++ {
+		d, err := g.Admit(id, 1)
+		if err != nil || !d.Admitted {
+			t.Fatalf("admit %d: %+v, %v", id, d, err)
+		}
+	}
+}
+
+// TestMeasurementFaultHoldsBound: a tick whose estimates are poisoned
+// holds the last healthy bound — it never republishes the controller's
+// fallback output — and StaleAfter consecutive faulty ticks degrade the
+// gateway; one healthy tick recovers it.
+func TestMeasurementFaultHoldsBound(t *testing.T) {
+	g, f := faultyGateway(t, DegradedFreeze, 2, nil)
+	fill(t, g, 5)
+	healthy := g.Tick(1).Admissible
+	if healthy <= 0 {
+		t.Fatalf("healthy bound %g", healthy)
+	}
+
+	f.SetMode(fault.NaNEstimates)
+	st := g.Tick(2)
+	if st.Admissible != healthy {
+		t.Fatalf("faulty tick republished %g, want held %g", st.Admissible, healthy)
+	}
+	if st.Degraded {
+		t.Fatal("degraded after one faulty tick with StaleAfter=2")
+	}
+	st = g.Tick(3)
+	if !st.Degraded || st.DegradedReason != "measurement" {
+		t.Fatalf("after 2 faulty ticks: degraded=%v reason=%q", st.Degraded, st.DegradedReason)
+	}
+	if st.Admissible != healthy {
+		t.Fatalf("freeze policy moved the bound: %g", st.Admissible)
+	}
+
+	snap := g.Snapshot()
+	if !snap.Degraded || snap.BoundRaw != healthy || snap.Bound != healthy {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	var b strings.Builder
+	snap.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "mbac_gateway_degraded 1") {
+		t.Fatal("degraded not visible in Prometheus text")
+	}
+
+	// Recovery within one tick of the fault clearing.
+	f.SetMode(fault.None)
+	st = g.Tick(4)
+	if st.Degraded {
+		t.Fatalf("still degraded after a healthy tick: %+v", st)
+	}
+	if st.Admissible != healthy {
+		// Oracle estimates are constant, so the recovered bound equals the
+		// pre-fault bound exactly.
+		t.Fatalf("recovered bound %g, want %g", st.Admissible, healthy)
+	}
+}
+
+// TestInfEstimatesAlsoHeld: the Inf flavor of a poisoned estimate takes
+// the same hold path as NaN.
+func TestInfEstimatesAlsoHeld(t *testing.T) {
+	g, f := faultyGateway(t, DegradedFreeze, 1, nil)
+	fill(t, g, 3)
+	healthy := g.Tick(1).Admissible
+	f.SetMode(fault.InfEstimates)
+	st := g.Tick(2)
+	if st.Admissible != healthy || !st.Degraded {
+		t.Fatalf("inf tick: %+v, want held bound %g and degraded", st, healthy)
+	}
+}
+
+// TestBootstrapNotFaulted: invalid estimates with fewer than two flows are
+// the ordinary bootstrap regime (the estimator cannot be warmed up), not a
+// measurement fault — the controller's declared-rate fallback still runs.
+func TestBootstrapNotFaulted(t *testing.T) {
+	g, f := faultyGateway(t, DegradedRejectAll, 1, nil)
+	f.SetMode(fault.NotOK)
+	st := g.Tick(1) // zero flows
+	if st.Degraded {
+		t.Fatalf("degraded with no flows: %+v", st)
+	}
+	if _, err := g.Admit(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	st = g.Tick(2) // one flow: still bootstrap
+	if st.Degraded {
+		t.Fatalf("degraded with one flow: %+v", st)
+	}
+}
+
+// TestDegradedRejectAll: the reject-all policy drives the published bound
+// to zero while degraded, so every admission is refused, and recovery
+// reopens the gate.
+func TestDegradedRejectAll(t *testing.T) {
+	g, f := faultyGateway(t, DegradedRejectAll, 1, nil)
+	fill(t, g, 3)
+	g.Tick(1)
+	f.SetMode(fault.NaNEstimates)
+	st := g.Tick(2)
+	if !st.Degraded || st.Admissible != 0 {
+		t.Fatalf("reject-all degraded: %+v", st)
+	}
+	d, err := g.Admit(100, 1)
+	if err != nil || d.Admitted || d.Reason != ReasonCapacity {
+		t.Fatalf("admission during reject-all: %+v, %v", d, err)
+	}
+	f.SetMode(fault.None)
+	st = g.Tick(3)
+	if st.Degraded || st.Admissible == 0 {
+		t.Fatalf("post-recovery: %+v", st)
+	}
+	if d, err := g.Admit(100, 1); err != nil || !d.Admitted {
+		t.Fatalf("admission after recovery: %+v, %v", d, err)
+	}
+}
+
+// TestDegradedPeakRate: the peak-rate policy falls back to c/peak — the
+// paper's a-priori, measurement-free allocation.
+func TestDegradedPeakRate(t *testing.T) {
+	g, f := faultyGateway(t, DegradedPeakRate, 1, nil)
+	fill(t, g, 3)
+	if err := g.UpdateRate(2, 4); err != nil { // peak rate 4
+		t.Fatal(err)
+	}
+	g.Tick(1)
+	f.SetMode(fault.NaNEstimates)
+	st := g.Tick(2)
+	if !st.Degraded || st.Admissible != 100.0/4 {
+		t.Fatalf("peak-rate degraded bound %g, want 25", st.Admissible)
+	}
+	snap := g.Snapshot()
+	if snap.Bound != 25 || snap.BoundRaw == 25 {
+		t.Fatalf("snapshot bound %g raw %g", snap.Bound, snap.BoundRaw)
+	}
+}
+
+// TestCheckStale: the wall-clock watchdog degrades the gateway when the
+// latency clock runs past StaleAfter tick intervals since the last
+// completed tick, and the next completed tick clears it.
+func TestCheckStale(t *testing.T) {
+	clk := fault.NewClock(0) // frozen: time moves only by Jump
+	g, _ := faultyGateway(t, DegradedRejectAll, 2, clk.Func())
+	fill(t, g, 3)
+	g.Tick(1)
+	healthy := g.Admissible()
+	if healthy == 0 {
+		t.Fatal("healthy bound is zero")
+	}
+
+	if g.checkStale() {
+		t.Fatal("stale immediately after a tick")
+	}
+	clk.Jump(int64(150 * time.Millisecond)) // 1.5 intervals: not yet
+	if g.checkStale() {
+		t.Fatal("stale before StaleAfter intervals")
+	}
+	clk.Jump(int64(100 * time.Millisecond)) // 2.5 intervals: stale
+	if !g.checkStale() {
+		t.Fatal("not stale after StaleAfter intervals")
+	}
+	if deg, reason := g.Degraded(); !deg || reason != "stale-ticks" {
+		t.Fatalf("degraded = (%v, %q)", deg, reason)
+	}
+	if g.Admissible() != 0 {
+		t.Fatalf("reject-all republish: bound %g", g.Admissible())
+	}
+
+	// The next completed tick is fresh by definition: it clears the flag
+	// and republishes the healthy bound.
+	st := g.Tick(2)
+	if st.Degraded || st.Admissible != healthy {
+		t.Fatalf("post-tick: %+v, want bound %g", st, healthy)
+	}
+}
+
+// TestCheckStaleDisarmed: StaleAfter=0 never trips the watchdog.
+func TestCheckStaleDisarmed(t *testing.T) {
+	clk := fault.NewClock(0)
+	g, _ := faultyGateway(t, DegradedRejectAll, 0, clk.Func())
+	g.Tick(1)
+	clk.Jump(int64(time.Hour))
+	if g.checkStale() {
+		t.Fatal("disarmed watchdog tripped")
+	}
+}

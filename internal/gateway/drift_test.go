@@ -11,8 +11,8 @@ import (
 // the incremental sums are compared against.
 func exactShardSums(s *shard) (sumRate, sumSq float64) {
 	rates := make([]float64, 0, len(s.flows))
-	for _, r := range s.flows {
-		rates = append(rates, r)
+	for _, e := range s.flows {
+		rates = append(rates, e.rate)
 	}
 	sort.Float64s(rates)
 	for _, r := range rates {

@@ -68,6 +68,11 @@ const (
 	// ReasonDuplicate: the flow ID is already active. Batch admissions
 	// report it per item; Admit returns an error instead.
 	ReasonDuplicate
+	// ReasonExpired: the flow's lease ran out (no UpdateRate/Touch within
+	// Config.FlowTTL) and the expiry sweep reclaimed its slot. It never
+	// appears in an admission Decision; it classifies lease-sweep
+	// departures in stats and metrics.
+	ReasonExpired
 )
 
 // String implements fmt.Stringer.
@@ -81,8 +86,84 @@ func (r Reason) String() string {
 		return "invalid-rate"
 	case ReasonDuplicate:
 		return "duplicate"
+	case ReasonExpired:
+		return "expired"
 	}
 	return fmt.Sprintf("Reason(%d)", int(r))
+}
+
+// ParseReason is the inverse of Reason.String, for CLI and replay tooling.
+func ParseReason(s string) (Reason, error) {
+	for r := ReasonAdmitted; r <= ReasonExpired; r++ {
+		if r.String() == s {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("gateway: unknown reason %q", s)
+}
+
+// DegradedPolicy selects how the gateway admits while its measurement
+// pipeline is unhealthy (stale ticks, or estimates that stay invalid with
+// flows present). The paper's controller assumes measurements keep
+// arriving; a serving gateway must pick an explicit fallback when they
+// don't.
+type DegradedPolicy int
+
+const (
+	// DegradedFreeze: keep admitting against the last healthy bound M.
+	// The default — the bound is stale but was recently defensible.
+	DegradedFreeze DegradedPolicy = iota
+	// DegradedPeakRate: fall back to peak-rate allocation, M = c / peak,
+	// where peak is the largest rate any flow has declared or reported.
+	// Zero multiplexing gain, but safe without any measurement at all
+	// (the paper's Section 2 a-priori baseline).
+	DegradedPeakRate
+	// DegradedRejectAll: admit nothing until measurement recovers.
+	DegradedRejectAll
+)
+
+// String implements fmt.Stringer.
+func (p DegradedPolicy) String() string {
+	switch p {
+	case DegradedFreeze:
+		return "freeze"
+	case DegradedPeakRate:
+		return "peak-rate"
+	case DegradedRejectAll:
+		return "reject-all"
+	}
+	return fmt.Sprintf("DegradedPolicy(%d)", int(p))
+}
+
+// ParseDegradedPolicy is the inverse of DegradedPolicy.String, for CLI
+// flags.
+func ParseDegradedPolicy(s string) (DegradedPolicy, error) {
+	for p := DegradedFreeze; p <= DegradedRejectAll; p++ {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("gateway: unknown degraded policy %q (want freeze, peak-rate or reject-all)", s)
+}
+
+// Degradation causes, kept as a bitmask so both faults can hold at once.
+const (
+	degradedStaleTicks  int32 = 1 << iota // the measurement loop stopped ticking
+	degradedMeasurement                   // estimates stayed invalid with flows present
+)
+
+// degradedReason renders a degradation bitmask for stats and logs.
+func degradedReason(flags int32) string {
+	switch {
+	case flags == 0:
+		return ""
+	case flags == degradedStaleTicks:
+		return "stale-ticks"
+	case flags == degradedMeasurement:
+		return "measurement"
+	default:
+		return "stale-ticks+measurement"
+	}
 }
 
 // Decision reports the outcome of one admission request.
@@ -130,6 +211,33 @@ type Config struct {
 	// gateway estimates the windowed overflow probability p_f — one
 	// Bernoulli indicator {ΣX_i > c} per tick (default 1024).
 	OverflowWindow int
+
+	// FlowTTL enables flow leases: a flow whose rate has not been refreshed
+	// (UpdateRate with a positive rate, or Touch) within FlowTTL units of
+	// virtual time is reclaimed by the next measurement tick's expiry sweep
+	// and counted as expired. 0 (the default) disables leases — the
+	// paper's model, where every flow departs cleanly. When enabled,
+	// FlowTTL should comfortably exceed the tick period: leases are
+	// anchored to the last tick's time, so a TTL under one tick expires
+	// flows on arrival.
+	FlowTTL float64
+
+	// StaleAfter arms the degradation watchdogs, in measurement ticks.
+	// Two faults trip them: Run's wall-clock watchdog degrades the gateway
+	// when no tick completes for StaleAfter tick intervals (the bound is
+	// silently stale), and the measurement watchdog degrades it when the
+	// estimator reports invalid estimates (not-OK, NaN or Inf) for
+	// StaleAfter consecutive ticks while at least two flows are active.
+	// 0 (the default) disables both watchdogs. Either way, a tick whose
+	// estimates are invalid with flows present never republishes the
+	// controller's fallback output — the gateway holds the last healthy
+	// bound instead.
+	StaleAfter int
+
+	// Degraded selects the admission policy applied while degraded:
+	// freeze the last healthy bound (default), fall back to peak-rate
+	// allocation, or reject all arrivals until measurement recovers.
+	Degraded DegradedPolicy
 }
 
 // processStart anchors the default monotonic latency clock.
@@ -149,16 +257,32 @@ func defaultLatencyClock() int64 { return int64(time.Since(processStart)) }
 // separate cache lines so uncontended shards don't false-share.
 type shard struct {
 	mu      sync.Mutex
-	flows   map[uint64]float64 // flow ID -> current rate
-	sumRate float64            // ΣX_i over this shard
-	sumSq   float64            // ΣX_i² over this shard
+	flows   map[uint64]flowEntry // flow ID -> rate and lease deadline
+	sumRate float64              // ΣX_i over this shard
+	sumSq   float64              // ΣX_i² over this shard
+
+	// minDeadline is a conservative lower bound on the earliest lease
+	// deadline in this shard (+Inf when leases are off or the shard holds
+	// none): the expiry sweep scans a shard's flows only when minDeadline
+	// has come due, so an all-healthy tick stays O(shards), not O(flows).
+	// Lease refreshes only extend deadlines, so the cached bound can run
+	// low — the cost is a wasted scan, never a missed expiry.
+	minDeadline float64
 
 	admitted uint64 // striped counters, merged at read time
 	rejected uint64
 	departed uint64
+	expired  uint64                  // lease-sweep reclaims (ReasonExpired departures)
 	latSeq   uint64                  // decision sequence for 1-in-N latency sampling
 	lat      *metrics.LocalHistogram // admission latency, single-writer under mu
 	_        [48]byte
+}
+
+// flowEntry is one active flow's per-shard state: its current rate and,
+// with leases enabled, the virtual time at which its lease expires.
+type flowEntry struct {
+	rate     float64
+	deadline float64
 }
 
 // Gateway is a concurrent online admission controller. Construct with New;
@@ -177,7 +301,23 @@ type Gateway struct {
 	clock      func() int64
 	sampleMask uint64
 
-	bound metrics.Gauge // the published admissible count M (eq. 42)
+	bound metrics.Gauge // the effective published admissible count (eq. 42, post-policy)
+	raw   metrics.Gauge // the controller's last healthy bound, pre-degradation
+
+	// Flow-lifecycle state. vnow republishes the last tick's virtual time
+	// so the admission path can stamp lease deadlines without touching the
+	// measurement mutex; peakBits tracks the largest rate ever declared or
+	// reported (float64 bits — positive floats order like their bits), the
+	// denominator of the peak-rate degraded fallback.
+	ttl       float64
+	trackPeak bool
+	vnow      metrics.Gauge
+	peakBits  atomic.Uint64
+
+	// Degradation state: the cause bitmask and the wall-clock (LatencyClock)
+	// time of the last completed tick, compared by Run's watchdog.
+	degraded     atomic.Int32
+	lastTickWall atomic.Int64
 
 	// Tick-path instrumentation: the (μ̂, σ̂) snapshot ring tagged with the
 	// estimator memory T_m, and the windowed overflow indicator ring.
@@ -197,6 +337,7 @@ type Gateway struct {
 	lastAgg    float64
 	lastFlows  int
 	ticks      int64
+	notOK      int // consecutive invalid-measurement ticks with flows present
 }
 
 // Stats is a consistent snapshot of the gateway's aggregate state.
@@ -205,6 +346,10 @@ type Stats struct {
 	Admitted int64 // cumulative admissions
 	Rejected int64 // cumulative capacity rejections
 	Departed int64 // cumulative departures
+	Expired  int64 // cumulative lease-sweep reclaims (ReasonExpired)
+
+	Degraded       bool   // serving under the degraded policy
+	DegradedReason string // "", "stale-ticks", "measurement", or both
 
 	Admissible    float64 // published bound M
 	Mu            float64 // estimated per-flow mean μ̂ (last tick)
@@ -245,14 +390,25 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.OverflowWindow <= 0 {
 		cfg.OverflowWindow = 1024
 	}
+	if math.IsNaN(cfg.FlowTTL) || math.IsInf(cfg.FlowTTL, 0) || cfg.FlowTTL < 0 {
+		return nil, fmt.Errorf("gateway: flow TTL %g must be a non-negative finite duration", cfg.FlowTTL)
+	}
+	if cfg.Degraded < DegradedFreeze || cfg.Degraded > DegradedRejectAll {
+		return nil, fmt.Errorf("gateway: unknown degraded policy %d", int(cfg.Degraded))
+	}
+	if cfg.StaleAfter < 0 {
+		return nil, fmt.Errorf("gateway: StaleAfter %d must be non-negative", cfg.StaleAfter)
+	}
 	g := &Gateway{
-		cfg:      cfg,
-		shards:   make([]shard, nshards),
-		mask:     uint64(nshards - 1),
-		clock:    cfg.LatencyClock,
-		ring:     metrics.NewRing(cfg.EstimateRing),
-		tm:       estimator.Memory(cfg.Estimator),
-		overflow: stats.NewSlidingCounter(cfg.OverflowWindow),
+		cfg:       cfg,
+		shards:    make([]shard, nshards),
+		mask:      uint64(nshards - 1),
+		clock:     cfg.LatencyClock,
+		ring:      metrics.NewRing(cfg.EstimateRing),
+		tm:        estimator.Memory(cfg.Estimator),
+		overflow:  stats.NewSlidingCounter(cfg.OverflowWindow),
+		ttl:       cfg.FlowTTL,
+		trackPeak: cfg.Degraded == DegradedPeakRate,
 	}
 	if cfg.LatencySample > 1 {
 		n := 1
@@ -265,8 +421,9 @@ func New(cfg Config) (*Gateway, error) {
 	// layout-compatible by construction.
 	bounds := metrics.DefaultLatencyBounds()
 	for i := range g.shards {
-		g.shards[i].flows = make(map[uint64]float64)
+		g.shards[i].flows = make(map[uint64]flowEntry)
 		g.shards[i].lat = metrics.NewLocalHistogram(bounds)
+		g.shards[i].minDeadline = math.Inf(1)
 	}
 	g.cfg.Estimator.Reset(0)
 	g.Tick(0)
@@ -306,15 +463,53 @@ func (g *Gateway) startTimingLocked(s *shard, start int64) (int64, bool) {
 	return g.clock(), true
 }
 
+// insertLocked records an admitted flow in s; the caller holds s.mu and
+// has already CAS-reserved the active slot. With leases enabled the flow's
+// deadline is stamped from the last published tick time, so a flow that
+// never refreshes expires one TTL after (at most) its admission tick.
+func (g *Gateway) insertLocked(s *shard, flowID uint64, rate float64) {
+	e := flowEntry{rate: rate}
+	if g.ttl > 0 {
+		e.deadline = g.vnow.Load() + g.ttl
+		if e.deadline < s.minDeadline {
+			s.minDeadline = e.deadline
+		}
+	}
+	s.flows[flowID] = e
+	s.sumRate += rate
+	s.sumSq += rate * rate
+	s.admitted++
+	if g.trackPeak {
+		g.notePeak(rate)
+	}
+}
+
+// notePeak folds rate into the running peak (the degraded peak-rate
+// denominator). Positive float64s order like their bit patterns, so the
+// monotone max is a plain CAS on the bits; the fast path is one load.
+func (g *Gateway) notePeak(rate float64) {
+	for {
+		old := g.peakBits.Load()
+		if rate <= math.Float64frombits(old) {
+			return
+		}
+		if g.peakBits.CompareAndSwap(old, math.Float64bits(rate)) {
+			return
+		}
+	}
+}
+
 // Admit requests admission for flowID at the given declared (or
 // pre-measured, per Qadir et al.) rate. A capacity refusal is a normal
 // Decision, not an error; errors indicate invalid input (non-positive or
-// non-finite rate, duplicate active flow ID). Invalid requests are refused
-// before the latency clock starts: they are not admission decisions and do
-// not perturb the latency distribution.
+// non-finite rate, duplicate active flow ID) and carry a Decision whose
+// Reason says why — error-path Decisions are never ReasonAdmitted. Invalid
+// requests are refused before the latency clock starts: they are not
+// admission decisions and do not perturb the latency distribution.
 func (g *Gateway) Admit(flowID uint64, declaredRate float64) (Decision, error) {
 	if !(declaredRate > 0) || math.IsInf(declaredRate, 0) {
-		return Decision{}, fmt.Errorf("gateway: declared rate %g must be positive and finite", declaredRate)
+		return Decision{Reason: ReasonInvalidRate, Admissible: g.Admissible(), Active: g.active.Load()},
+			fmt.Errorf("gateway: declared rate %g must be positive and finite", declaredRate)
 	}
 	var start int64
 	if g.sampleMask == 0 {
@@ -325,7 +520,8 @@ func (g *Gateway) Admit(flowID uint64, declaredRate float64) (Decision, error) {
 	s.mu.Lock()
 	if _, dup := s.flows[flowID]; dup {
 		s.mu.Unlock()
-		return Decision{}, fmt.Errorf("gateway: flow %d is already active", flowID)
+		return Decision{Reason: ReasonDuplicate, Admissible: m, Active: g.active.Load()},
+			fmt.Errorf("gateway: flow %d is already active", flowID)
 	}
 	start, timed := g.startTimingLocked(s, start)
 	// Reserve a slot lock-free: the CAS loop ensures the active count can
@@ -345,10 +541,7 @@ func (g *Gateway) Admit(flowID uint64, declaredRate float64) (Decision, error) {
 			return Decision{Admitted: false, Reason: ReasonCapacity, Admissible: m, Active: cur}, nil
 		}
 		if g.active.CompareAndSwap(cur, cur+1) {
-			s.flows[flowID] = declaredRate
-			s.sumRate += declaredRate
-			s.sumSq += declaredRate * declaredRate
-			s.admitted++
+			g.insertLocked(s, flowID, declaredRate)
 			if timed {
 				s.lat.Observe(float64(g.clock()-start) * 1e-9)
 			}
@@ -367,10 +560,17 @@ func (g *Gateway) Admit(flowID uint64, declaredRate float64) (Decision, error) {
 // one bad record. The only error is a length mismatch between ids and
 // rates.
 //
-// The batch pays one clock-read pair and one bound load total: the latency
-// histogram receives the per-decision mean, once per decided item, so
-// AdmitLatency.Count still equals Admitted+Rejected. Batches bypass
-// LatencySample — the clock cost is already amortized across the batch.
+// The batch amortizes instrumentation: an all-valid batch pays one
+// clock-read pair and one bound load total, and the latency histogram
+// receives the per-decision mean, once per decided item, so
+// AdmitLatency.Count still equals Admitted+Rejected. Undecided items
+// (invalid rate, duplicate) are excluded from the averaged interval — the
+// clock is stopped across runs of invalid items and restarted at the next
+// valid one — and the mean is attributed to the shard that decided the
+// first item, never to a shard that only saw invalid input. (A duplicate's
+// table lookup is the one sliver that rides on an open interval: it is
+// indistinguishable from a decision until the lookup returns.) Batches
+// bypass LatencySample — the clock cost is already amortized.
 func (g *Gateway) AdmitBatch(ids []uint64, rates []float64, dst []Decision) ([]Decision, error) {
 	if len(ids) != len(rates) {
 		return dst, fmt.Errorf("gateway: batch length mismatch: %d ids, %d rates", len(ids), len(rates))
@@ -378,19 +578,34 @@ func (g *Gateway) AdmitBatch(ids []uint64, rates []float64, dst []Decision) ([]D
 	if len(ids) == 0 {
 		return dst, nil
 	}
-	start := g.clock()
 	m := g.Admissible()
-	decided := 0
+	var (
+		latNanos int64 // decided-interval time, accumulated across runs
+		start    int64 // open interval start
+		timing   bool  // an interval is open
+		decided  int
+		latShard *shard // the first shard that decided an item
+	)
 	for i, id := range ids {
 		rate := rates[i]
 		if !(rate > 0) || math.IsInf(rate, 0) {
+			if timing {
+				latNanos += g.clock() - start
+				timing = false
+			}
 			dst = append(dst, Decision{Reason: ReasonInvalidRate, Admissible: m, Active: g.active.Load()})
 			continue
+		}
+		if !timing {
+			start = g.clock()
+			timing = true
 		}
 		s := g.shardFor(id)
 		s.mu.Lock()
 		if _, dup := s.flows[id]; dup {
 			s.mu.Unlock()
+			latNanos += g.clock() - start
+			timing = false
 			dst = append(dst, Decision{Reason: ReasonDuplicate, Admissible: m, Active: g.active.Load()})
 			continue
 		}
@@ -403,24 +618,25 @@ func (g *Gateway) AdmitBatch(ids []uint64, rates []float64, dst []Decision) ([]D
 				break
 			}
 			if g.active.CompareAndSwap(cur, cur+1) {
-				s.flows[id] = rate
-				s.sumRate += rate
-				s.sumSq += rate * rate
-				s.admitted++
+				g.insertLocked(s, id, rate)
 				d.Admitted, d.Reason, d.Active = true, ReasonAdmitted, cur+1
 				break
 			}
 		}
 		s.mu.Unlock()
+		if latShard == nil {
+			latShard = s
+		}
 		decided++
 		dst = append(dst, d)
 	}
+	if timing {
+		latNanos += g.clock() - start
+	}
 	if decided > 0 {
-		mean := float64(g.clock()-start) * 1e-9 / float64(decided)
-		s := g.shardFor(ids[0])
-		s.mu.Lock()
-		s.lat.ObserveN(mean, decided)
-		s.mu.Unlock()
+		latShard.mu.Lock()
+		latShard.lat.ObserveN(float64(latNanos)*1e-9/float64(decided), decided)
+		latShard.mu.Unlock()
 	}
 	return dst, nil
 }
@@ -428,6 +644,16 @@ func (g *Gateway) AdmitBatch(ids []uint64, rates []float64, dst []Decision) ([]D
 // UpdateRate records a renegotiated rate for an active flow — the online
 // rate-measurement path: callers feed measured per-flow rates here and the
 // next tick folds them into (μ̂, σ̂).
+//
+// Zero is a valid rate: a paused flow keeps its admission slot and
+// contributes a zero sample to the cross-section (eq. 7 averages over the
+// flows in the system, silent or not — Admit's rate > 0 requirement is
+// about the *declaration* an unmeasured newcomer is admitted on, not about
+// what measurement later reports). With leases enabled, though, a zero
+// report does NOT refresh the flow's lease: a flow that only ever reports
+// zero is indistinguishable from a crashed client holding a slot, so it
+// expires one TTL after its last positive report (or Touch — the explicit
+// keepalive for deliberately idle flows).
 func (g *Gateway) UpdateRate(flowID uint64, rate float64) error {
 	if !(rate >= 0) || math.IsInf(rate, 0) {
 		return fmt.Errorf("gateway: rate %g must be non-negative and finite", rate)
@@ -439,9 +665,34 @@ func (g *Gateway) UpdateRate(flowID uint64, rate float64) error {
 	if !ok {
 		return fmt.Errorf("gateway: flow %d is not active", flowID)
 	}
-	s.flows[flowID] = rate
-	s.sumRate += rate - old
-	s.sumSq += rate*rate - old*old
+	e := flowEntry{rate: rate, deadline: old.deadline}
+	if g.ttl > 0 && rate > 0 {
+		e.deadline = g.vnow.Load() + g.ttl
+	}
+	s.flows[flowID] = e
+	s.sumRate += rate - old.rate
+	s.sumSq += rate*rate - old.rate*old.rate
+	if g.trackPeak && rate > 0 {
+		g.notePeak(rate)
+	}
+	return nil
+}
+
+// Touch refreshes an active flow's lease without changing its rate — the
+// keepalive for flows that are legitimately idle (rate 0) or whose rate
+// reports arrive out of band. A no-op when leases are disabled.
+func (g *Gateway) Touch(flowID uint64) error {
+	s := g.shardFor(flowID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.flows[flowID]
+	if !ok {
+		return fmt.Errorf("gateway: flow %d is not active", flowID)
+	}
+	if g.ttl > 0 {
+		e.deadline = g.vnow.Load() + g.ttl
+		s.flows[flowID] = e
+	}
 	return nil
 }
 
@@ -449,19 +700,20 @@ func (g *Gateway) UpdateRate(flowID uint64, rate float64) error {
 func (g *Gateway) Depart(flowID uint64) error {
 	s := g.shardFor(flowID)
 	s.mu.Lock()
-	rate, ok := s.flows[flowID]
+	e, ok := s.flows[flowID]
 	if !ok {
 		s.mu.Unlock()
 		return fmt.Errorf("gateway: flow %d is not active", flowID)
 	}
 	delete(s.flows, flowID)
-	s.sumRate -= rate
-	s.sumSq -= rate * rate
+	s.sumRate -= e.rate
+	s.sumSq -= e.rate * e.rate
 	// With churn the incremental shard sums accumulate floating-point
 	// drift; renormalize from the table whenever a shard empties, and rely
 	// on Tick's rotating exact recompute for shards that never drain.
 	if len(s.flows) == 0 {
 		s.sumRate, s.sumSq = 0, 0
+		s.minDeadline = math.Inf(1)
 	}
 	s.departed++
 	s.mu.Unlock()
@@ -485,8 +737,26 @@ func (g *Gateway) Depart(flowID uint64) error {
 // without bound. The recompute sums rates in sorted order — map iteration
 // order is randomized, and a deterministic summation order keeps equally
 // seeded virtual-clock runs bit-identical.
+//
+// With leases enabled the tick starts with the expiry sweep: any shard
+// whose cached earliest deadline has come due is scanned, expired flows
+// are reclaimed (ReasonExpired) before the cross-section is gathered, and
+// the shard's sums are recomputed exactly. A silent flow is therefore gone
+// by the first tick at or past its deadline — within one TTL of its last
+// refresh — and never pollutes (μ̂, σ̂) after expiry.
+//
+// A tick whose estimates come back invalid (not-OK, NaN or Inf) while at
+// least two flows are active is a measurement fault, not a measurement:
+// the gateway holds the last healthy bound instead of republishing
+// whatever the controller derives from a poisoned input, and — with
+// Config.StaleAfter armed — degrades to the configured policy after
+// StaleAfter consecutive faulty ticks. One healthy tick exits degraded
+// mode and republishes the controller's fresh bound.
 func (g *Gateway) Tick(now float64) Stats {
 	g.measMu.Lock()
+	if !(now > g.lastTick) {
+		now = g.lastTick
+	}
 	rot := g.rot
 	g.rot++
 	if g.rot >= len(g.shards) {
@@ -497,7 +767,9 @@ func (g *Gateway) Tick(now float64) Stats {
 	for i := range g.shards {
 		s := &g.shards[i]
 		s.mu.Lock()
-		if i == rot {
+		if g.ttl > 0 && s.minDeadline <= now {
+			g.sweepLocked(s, now)
+		} else if i == rot {
 			g.recomputeLocked(s)
 		}
 		sumRate += s.sumRate
@@ -506,24 +778,42 @@ func (g *Gateway) Tick(now float64) Stats {
 		s.mu.Unlock()
 	}
 
-	if !(now > g.lastTick) {
-		now = g.lastTick
-	}
 	g.cfg.Estimator.Advance(now)
 	g.cfg.Estimator.Update(sumRate, sumSq, n)
 	mu, sigma, ok := g.cfg.Estimator.Estimate()
-	m := g.cfg.Controller.Admissible(core.Measurement{
-		Capacity:      g.cfg.Capacity,
-		Flows:         n,
-		AggregateRate: sumRate,
-		Mu:            mu,
-		Sigma:         sigma,
-		OK:            ok,
-	})
-	if math.IsNaN(m) || m < 0 {
-		m = 0
+	valid := ok && !math.IsNaN(mu) && !math.IsInf(mu, 0) &&
+		!math.IsNaN(sigma) && !math.IsInf(sigma, 0)
+	faulted := n >= 2 && !valid
+	var m float64
+	if faulted {
+		g.notOK++
+		m = g.raw.Load() // hold the last healthy bound
+	} else {
+		g.notOK = 0
+		m = g.cfg.Controller.Admissible(core.Measurement{
+			Capacity:      g.cfg.Capacity,
+			Flows:         n,
+			AggregateRate: sumRate,
+			Mu:            mu,
+			Sigma:         sigma,
+			OK:            ok,
+		})
+		if math.IsNaN(m) || m < 0 {
+			m = 0
+		}
 	}
-	g.bound.Set(m)
+	if g.cfg.StaleAfter > 0 {
+		if g.notOK >= g.cfg.StaleAfter {
+			g.setDegraded(degradedMeasurement)
+		} else {
+			g.clearDegraded(degradedMeasurement)
+		}
+		g.clearDegraded(degradedStaleTicks) // a completed tick is fresh
+		g.lastTickWall.Store(g.clock())
+	}
+	g.raw.Set(m)
+	g.bound.Set(g.effectiveBound(m))
+	g.vnow.Set(now)
 	g.overflow.Add(sumRate > g.cfg.Capacity)
 	g.ring.Push(metrics.EstimatePoint{Time: now, Mu: mu, Sigma: sigma, OK: ok, Tm: g.tm})
 	g.lastTick = now
@@ -535,13 +825,40 @@ func (g *Gateway) Tick(now float64) Stats {
 	return st
 }
 
+// sweepLocked reclaims expired leases from s at virtual time now and
+// refreshes the shard's cached earliest deadline; the caller holds measMu
+// and s.mu. After any reclaim the shard's sums are recomputed exactly (in
+// sorted order — see recomputeLocked), so expiry never leaves incremental
+// drift or an order-dependent residue behind.
+func (g *Gateway) sweepLocked(s *shard, now float64) {
+	expired := 0
+	min := math.Inf(1)
+	for id, e := range s.flows {
+		if e.deadline <= now {
+			delete(s.flows, id)
+			expired++
+			continue
+		}
+		if e.deadline < min {
+			min = e.deadline
+		}
+	}
+	s.minDeadline = min
+	if expired == 0 {
+		return
+	}
+	s.expired += uint64(expired)
+	g.active.Add(-int64(expired))
+	g.recomputeLocked(s)
+}
+
 // recomputeLocked replaces s's incremental sums with exact recomputations
 // from the flow table; the caller holds measMu (which owns rotScratch) and
 // s.mu.
 func (g *Gateway) recomputeLocked(s *shard) {
 	g.rotScratch = g.rotScratch[:0]
-	for _, r := range s.flows {
-		g.rotScratch = append(g.rotScratch, r)
+	for _, e := range s.flows {
+		g.rotScratch = append(g.rotScratch, e.rate)
 	}
 	sort.Float64s(g.rotScratch)
 	var sumRate, sumSq float64
@@ -550,6 +867,56 @@ func (g *Gateway) recomputeLocked(s *shard) {
 		sumSq += r * r
 	}
 	s.sumRate, s.sumSq = sumRate, sumSq
+}
+
+// setDegraded and clearDegraded maintain the degradation bitmask with CAS
+// (several writers: ticks, Run's watchdog).
+func (g *Gateway) setDegraded(bit int32) {
+	for {
+		old := g.degraded.Load()
+		if old&bit != 0 || g.degraded.CompareAndSwap(old, old|bit) {
+			return
+		}
+	}
+}
+
+func (g *Gateway) clearDegraded(bit int32) {
+	for {
+		old := g.degraded.Load()
+		if old&bit == 0 || g.degraded.CompareAndSwap(old, old&^bit) {
+			return
+		}
+	}
+}
+
+// effectiveBound maps the controller's bound through the degraded policy:
+// healthy gateways publish raw; degraded ones publish what the policy
+// allows. Freezing publishes raw too — raw itself is held during
+// measurement faults, and a stalled tick leaves it untouched by nature.
+func (g *Gateway) effectiveBound(raw float64) float64 {
+	if g.degraded.Load() == 0 {
+		return raw
+	}
+	switch g.cfg.Degraded {
+	case DegradedPeakRate:
+		peak := math.Float64frombits(g.peakBits.Load())
+		if !(peak > 0) {
+			return 0
+		}
+		return g.cfg.Capacity / peak
+	case DegradedRejectAll:
+		return 0
+	default:
+		return raw
+	}
+}
+
+// Degraded reports whether the gateway is serving under its degraded
+// policy, and why ("stale-ticks", "measurement", or both; empty when
+// healthy).
+func (g *Gateway) Degraded() (bool, string) {
+	flags := g.degraded.Load()
+	return flags != 0, degradedReason(flags)
 }
 
 // Stats returns a snapshot of counters and the last tick's measurements.
@@ -563,28 +930,33 @@ func (g *Gateway) Stats() Stats {
 // hot-path counters are merged under the shard locks (taken after measMu,
 // the gateway's lock order).
 func (g *Gateway) statsLocked() Stats {
-	var admitted, rejected, departed uint64
+	var admitted, rejected, departed, expired uint64
 	for i := range g.shards {
 		s := &g.shards[i]
 		s.mu.Lock()
 		admitted += s.admitted
 		rejected += s.rejected
 		departed += s.departed
+		expired += s.expired
 		s.mu.Unlock()
 	}
+	deg, reason := g.Degraded()
 	return Stats{
-		Active:        g.active.Load(),
-		Admitted:      int64(admitted),
-		Rejected:      int64(rejected),
-		Departed:      int64(departed),
-		Admissible:    g.Admissible(),
-		Mu:            g.lastMu,
-		Sigma:         g.lastSigma,
-		MeasurementOK: g.lastOK,
-		AggregateRate: g.lastAgg,
-		MeasuredFlows: g.lastFlows,
-		LastTick:      g.lastTick,
-		Ticks:         g.ticks,
+		Active:         g.active.Load(),
+		Admitted:       int64(admitted),
+		Rejected:       int64(rejected),
+		Departed:       int64(departed),
+		Expired:        int64(expired),
+		Degraded:       deg,
+		DegradedReason: reason,
+		Admissible:     g.Admissible(),
+		Mu:             g.lastMu,
+		Sigma:          g.lastSigma,
+		MeasurementOK:  g.lastOK,
+		AggregateRate:  g.lastAgg,
+		MeasuredFlows:  g.lastFlows,
+		LastTick:       g.lastTick,
+		Ticks:          g.ticks,
 	}
 }
 
@@ -595,23 +967,27 @@ func (g *Gateway) statsLocked() Stats {
 // expvar/HTTP payload) and convertible to Prometheus text via
 // WritePrometheus. DESIGN.md maps each field to its paper quantity.
 type Snapshot struct {
-	Time          float64                   `json:"time"`           // virtual time of the last tick
-	Capacity      float64                   `json:"capacity"`       // link capacity c
-	Active        int64                     `json:"active"`         // flows currently admitted
-	Admitted      int64                     `json:"admitted"`       // cumulative admissions
-	Rejected      int64                     `json:"rejected"`       // cumulative capacity rejections
-	Departed      int64                     `json:"departed"`       // cumulative departures
-	Ticks         int64                     `json:"ticks"`          // measurement ticks performed
-	Bound         float64                   `json:"bound"`          // published admissible count M (eq. 42)
-	Mu            float64                   `json:"mu"`             // μ̂ at the last tick (eq. 6)
-	Sigma         float64                   `json:"sigma"`          // σ̂ at the last tick (eq. 6)
-	MeasurementOK bool                      `json:"measurement_ok"` // estimator warmed up
-	AggregateRate float64                   `json:"aggregate_rate"` // ΣX_i at the last tick (eq. 7)
-	MeasuredFlows int                       `json:"measured_flows"` // flows seen by the last tick
-	Tm            float64                   `json:"tm"`             // estimator filter memory (Section 4.3)
-	Overflow      stats.WindowedEstimate    `json:"overflow"`       // windowed p_f with Wilson CI
-	AdmitLatency  metrics.HistogramSnapshot `json:"admit_latency"`  // seconds
-	Estimates     []metrics.EstimatePoint   `json:"estimates"`      // recent (μ̂, σ̂) ring, oldest first
+	Time           float64                   `json:"time"`            // virtual time of the last tick
+	Capacity       float64                   `json:"capacity"`        // link capacity c
+	Active         int64                     `json:"active"`          // flows currently admitted
+	Admitted       int64                     `json:"admitted"`        // cumulative admissions
+	Rejected       int64                     `json:"rejected"`        // cumulative capacity rejections
+	Departed       int64                     `json:"departed"`        // cumulative departures
+	Expired        int64                     `json:"expired"`         // cumulative lease-sweep reclaims
+	Ticks          int64                     `json:"ticks"`           // measurement ticks performed
+	Bound          float64                   `json:"bound"`           // published admissible count M (eq. 42, post-policy)
+	BoundRaw       float64                   `json:"bound_raw"`       // the controller's last healthy bound, pre-degradation
+	Degraded       bool                      `json:"degraded"`        // serving under the degraded policy
+	DegradedReason string                    `json:"degraded_reason"` // "", "stale-ticks", "measurement", or both
+	Mu             float64                   `json:"mu"`              // μ̂ at the last tick (eq. 6)
+	Sigma          float64                   `json:"sigma"`           // σ̂ at the last tick (eq. 6)
+	MeasurementOK  bool                      `json:"measurement_ok"`  // estimator warmed up
+	AggregateRate  float64                   `json:"aggregate_rate"`  // ΣX_i at the last tick (eq. 7)
+	MeasuredFlows  int                       `json:"measured_flows"`  // flows seen by the last tick
+	Tm             float64                   `json:"tm"`              // estimator filter memory (Section 4.3)
+	Overflow       stats.WindowedEstimate    `json:"overflow"`        // windowed p_f with Wilson CI
+	AdmitLatency   metrics.HistogramSnapshot `json:"admit_latency"`   // seconds
+	Estimates      []metrics.EstimatePoint   `json:"estimates"`       // recent (μ̂, σ̂) ring, oldest first
 }
 
 // Snapshot assembles the observability snapshot. The tick-path state is
@@ -634,7 +1010,7 @@ func (g *Gateway) Snapshot() Snapshot {
 		Overflow:      g.overflow.Estimate(0),
 	}
 	g.measMu.Unlock()
-	var admitted, rejected, departed uint64
+	var admitted, rejected, departed, expired uint64
 	lat := g.shards[0].lat.EmptySnapshot()
 	for i := range g.shards {
 		s := &g.shards[i]
@@ -642,6 +1018,7 @@ func (g *Gateway) Snapshot() Snapshot {
 		admitted += s.admitted
 		rejected += s.rejected
 		departed += s.departed
+		expired += s.expired
 		s.lat.AddTo(&lat)
 		s.mu.Unlock()
 	}
@@ -649,7 +1026,10 @@ func (g *Gateway) Snapshot() Snapshot {
 	snap.Admitted = int64(admitted)
 	snap.Rejected = int64(rejected)
 	snap.Departed = int64(departed)
+	snap.Expired = int64(expired)
 	snap.Bound = g.Admissible()
+	snap.BoundRaw = g.raw.Load()
+	snap.Degraded, snap.DegradedReason = g.Degraded()
 	snap.AdmitLatency = lat
 	snap.Estimates = g.ring.Snapshot()
 	return snap
@@ -663,8 +1043,15 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 	metrics.WriteCounter(w, "mbac_gateway_admitted_total", "cumulative admitted flows", s.Admitted)
 	metrics.WriteCounter(w, "mbac_gateway_rejected_total", "cumulative capacity rejections", s.Rejected)
 	metrics.WriteCounter(w, "mbac_gateway_departed_total", "cumulative departed flows", s.Departed)
+	metrics.WriteCounter(w, "mbac_gateway_expired_total", "cumulative lease-expired flows", s.Expired)
 	metrics.WriteCounter(w, "mbac_gateway_ticks_total", "measurement ticks performed", s.Ticks)
-	metrics.WriteGauge(w, "mbac_gateway_bound", "published admissible flow count M (eq. 42)", s.Bound)
+	metrics.WriteGauge(w, "mbac_gateway_bound", "published admissible flow count M (eq. 42, post-policy)", s.Bound)
+	metrics.WriteGauge(w, "mbac_gateway_bound_raw", "controller's last healthy bound, pre-degradation", s.BoundRaw)
+	deg := 0.0
+	if s.Degraded {
+		deg = 1
+	}
+	metrics.WriteGauge(w, "mbac_gateway_degraded", "1 while serving under the degraded policy", deg)
 	metrics.WriteGauge(w, "mbac_gateway_mu", "estimated per-flow mean rate (eq. 6)", s.Mu)
 	metrics.WriteGauge(w, "mbac_gateway_sigma", "estimated per-flow rate stddev (eq. 6)", s.Sigma)
 	ok := 0.0
@@ -685,10 +1072,25 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 // Run ticks the gateway on the configured wall-clock interval until ctx is
 // done, mapping wall time to the estimator's virtual time in seconds since
 // Run started. It blocks; run it in its own goroutine.
+//
+// With Config.StaleAfter armed, Run also starts the tick-staleness
+// watchdog: a side goroutine that compares the latency clock against the
+// last completed tick and flips the gateway into its degraded policy when
+// the bound has gone StaleAfter tick intervals without refresh — the
+// failure mode where the measurement loop itself is wedged (an estimator
+// stall holds the measurement mutex mid-Tick) and nothing else would
+// notice. The watchdog is deliberately lock-free so it keeps working while
+// Tick is stuck.
 func (g *Gateway) Run(ctx context.Context) {
 	ticker := time.NewTicker(g.cfg.TickInterval)
 	defer ticker.Stop()
 	start := time.Now()
+	if g.cfg.StaleAfter > 0 {
+		g.lastTickWall.Store(g.clock())
+		wctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		go g.watchdog(wctx)
+	}
 	for {
 		select {
 		case <-ctx.Done():
@@ -697,4 +1099,36 @@ func (g *Gateway) Run(ctx context.Context) {
 			g.Tick(time.Since(start).Seconds())
 		}
 	}
+}
+
+// watchdog polls checkStale every tick interval until ctx is done.
+func (g *Gateway) watchdog(ctx context.Context) {
+	ticker := time.NewTicker(g.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			g.checkStale()
+		}
+	}
+}
+
+// checkStale degrades the gateway if no measurement tick has completed for
+// more than StaleAfter tick intervals of latency-clock time, republishing
+// the bound through the degraded policy, and reports whether the gateway
+// is (now) stale. It takes no locks — it must work while Tick is wedged —
+// and the flag is cleared by the next completed tick.
+func (g *Gateway) checkStale() bool {
+	if g.cfg.StaleAfter == 0 {
+		return false
+	}
+	stale := int64(g.cfg.StaleAfter) * int64(g.cfg.TickInterval)
+	if g.clock()-g.lastTickWall.Load() <= stale {
+		return false
+	}
+	g.setDegraded(degradedStaleTicks)
+	g.bound.Set(g.effectiveBound(g.raw.Load()))
+	return true
 }

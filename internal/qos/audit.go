@@ -37,6 +37,12 @@ const (
 	// VerdictViolatesSqrt2Law: p_f is significantly above even
 	// Q(α_q/√2) — outside what certainty-equivalence alone explains.
 	VerdictViolatesSqrt2Law
+	// VerdictDegraded: the window contains ticks served under the
+	// gateway's degraded policy (stale ticks or invalid measurements), so
+	// the overflow statistics do not grade the controller — the paper's
+	// model assumes a live measurement loop, and a degraded gateway is
+	// outside it. Takes precedence over every statistical verdict.
+	VerdictDegraded
 )
 
 // String implements fmt.Stringer.
@@ -50,6 +56,8 @@ func (v Verdict) String() string {
 		return "violates-target"
 	case VerdictViolatesSqrt2Law:
 		return "violates-sqrt2-law"
+	case VerdictDegraded:
+		return "degraded"
 	}
 	return fmt.Sprintf("Verdict(%d)", int(v))
 }
@@ -79,22 +87,25 @@ type AuditConfig struct {
 // Report is one audit result: the measurement, the two thresholds it was
 // graded against, and the verdict.
 type Report struct {
-	Estimate stats.WindowedEstimate `json:"estimate"`  // windowed p_f with Wilson CI
-	TargetPf float64                `json:"target_pf"` // the QoS target p_q
-	Sqrt2Law float64                `json:"sqrt2_law"` // Q(α_q/√2), eq. 14
-	Verdict  Verdict                `json:"verdict"`
+	Estimate      stats.WindowedEstimate `json:"estimate"`       // windowed p_f with Wilson CI
+	TargetPf      float64                `json:"target_pf"`      // the QoS target p_q
+	Sqrt2Law      float64                `json:"sqrt2_law"`      // Q(α_q/√2), eq. 14
+	DegradedTicks int64                  `json:"degraded_ticks"` // window ticks served degraded
+	Verdict       Verdict                `json:"verdict"`
 }
 
 // Audit continuously grades windowed overflow measurements against the QoS
 // target and the √2-law prediction. Not safe for concurrent use; callers
 // feeding it from ticks synchronize (one goroutine per audit is typical).
 type Audit struct {
-	cfg   AuditConfig
-	sqrt2 float64 // Q(Q⁻¹(p_q)/√2), precomputed
-	win   *stats.SlidingCounter
+	cfg    AuditConfig
+	sqrt2  float64 // Q(Q⁻¹(p_q)/√2), precomputed
+	win    *stats.SlidingCounter
+	degWin *stats.SlidingCounter // degraded-tick indicators, same window
 
-	flaggedTarget int64 // reports graded violates-target
-	flaggedSqrt2  int64 // reports graded violates-sqrt2-law
+	flaggedTarget   int64 // reports graded violates-target
+	flaggedSqrt2    int64 // reports graded violates-sqrt2-law
+	flaggedDegraded int64 // reports graded degraded
 }
 
 // NewAudit validates the configuration and returns an audit.
@@ -115,9 +126,10 @@ func NewAudit(cfg AuditConfig) (*Audit, error) {
 		cfg.MinSamples = 50
 	}
 	return &Audit{
-		cfg:   cfg,
-		sqrt2: gauss.Q(gauss.Qinv(cfg.TargetPf) / gauss.Sqrt2),
-		win:   stats.NewSlidingCounter(cfg.Window),
+		cfg:    cfg,
+		sqrt2:  gauss.Q(gauss.Qinv(cfg.TargetPf) / gauss.Sqrt2),
+		win:    stats.NewSlidingCounter(cfg.Window),
+		degWin: stats.NewSlidingCounter(cfg.Window),
 	}, nil
 }
 
@@ -128,18 +140,33 @@ func (a *Audit) TargetPf() float64 { return a.cfg.TargetPf }
 func (a *Audit) Sqrt2Law() float64 { return a.sqrt2 }
 
 // Observe feeds one overflow indicator (one measurement tick) into the
-// audit's own sliding window.
-func (a *Audit) Observe(overflowed bool) { a.win.Add(overflowed) }
+// audit's own sliding window, for a tick served healthy.
+func (a *Audit) Observe(overflowed bool) { a.ObserveWith(overflowed, false) }
 
-// Report grades the audit's own window (fed via Observe) and records the
-// violation in the flag counters.
+// ObserveWith feeds one tick's overflow indicator together with whether
+// the gateway was serving under its degraded policy at that tick. While
+// any degraded tick remains in the window, Report grades the window
+// VerdictDegraded instead of a statistical verdict.
+func (a *Audit) ObserveWith(overflowed, degraded bool) {
+	a.win.Add(overflowed)
+	a.degWin.Add(degraded)
+}
+
+// Report grades the audit's own window (fed via Observe/ObserveWith) and
+// records the violation in the flag counters.
 func (a *Audit) Report() Report {
 	r := a.Evaluate(a.win.Estimate(a.cfg.Z))
+	r.DegradedTicks = a.degWin.Estimate(0).Hits
+	if r.DegradedTicks > 0 {
+		r.Verdict = VerdictDegraded
+	}
 	switch r.Verdict {
 	case VerdictViolatesTarget:
 		a.flaggedTarget++
 	case VerdictViolatesSqrt2Law:
 		a.flaggedSqrt2++
+	case VerdictDegraded:
+		a.flaggedDegraded++
 	}
 	return r
 }
@@ -147,6 +174,9 @@ func (a *Audit) Report() Report {
 // Flagged returns how many Report calls were graded as violating the
 // target and the √2 law respectively.
 func (a *Audit) Flagged() (target, sqrt2 int64) { return a.flaggedTarget, a.flaggedSqrt2 }
+
+// FlaggedDegraded returns how many Report calls were graded degraded.
+func (a *Audit) FlaggedDegraded() int64 { return a.flaggedDegraded }
 
 // Evaluate grades an externally produced windowed estimate (e.g. the
 // link's WindowedOverflow or a gateway snapshot's Overflow field) without

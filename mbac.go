@@ -322,6 +322,29 @@ type GatewayDecision = gateway.Decision
 // NewGateway validates the configuration and returns a ready gateway.
 func NewGateway(cfg GatewayConfig) (*Gateway, error) { return gateway.New(cfg) }
 
+// GatewayReason classifies one admission outcome (GatewayDecision.Reason).
+type GatewayReason = gateway.Reason
+
+// Admission outcomes, including the lease expiry produced by the TTL sweep.
+const (
+	GatewayAdmitted    = gateway.ReasonAdmitted
+	GatewayCapacity    = gateway.ReasonCapacity
+	GatewayInvalidRate = gateway.ReasonInvalidRate
+	GatewayDuplicate   = gateway.ReasonDuplicate
+	GatewayExpired     = gateway.ReasonExpired
+)
+
+// GatewayDegradedPolicy selects the fallback bound a degraded gateway
+// enforces (GatewayConfig.Degraded): freeze the last healthy bound, fall
+// back to the paper's a-priori peak-rate allocation c/peak, or reject all.
+type GatewayDegradedPolicy = gateway.DegradedPolicy
+
+const (
+	GatewayDegradedFreeze    = gateway.DegradedFreeze
+	GatewayDegradedPeakRate  = gateway.DegradedPeakRate
+	GatewayDegradedRejectAll = gateway.DegradedRejectAll
+)
+
 // ---------------------------------------------------------------------------
 // Observability.
 //
