@@ -20,10 +20,14 @@
 #              estimator NaN/Inf bursts, stalled ticks, leaked clients; ends
 #              with bench-cmp so the lifecycle/degradation machinery is also
 #              held to the serving-path perf budget
+#   net      — network serving tier (build tag "net"): the loopback
+#              end-to-end soak (client -> server -> gateway, open loop,
+#              concurrent, graceful drain) under -race, then bench-cmp so
+#              the serving layer can't regress the admission hot path
 
 GO ?= go
 
-.PHONY: all build test race test-stat bench bench-json bench-cmp fuzz golden vet test-chaos
+.PHONY: all build test race test-stat bench bench-json bench-cmp fuzz golden vet test-chaos test-net
 
 all: build test
 
@@ -65,6 +69,7 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzExponentialEstimator -fuzztime $(FUZZTIME) ./internal/estimator
 	$(GO) test -run '^$$' -fuzz FuzzCertaintyEquivalent -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME) ./internal/wire
 
 golden:
 	$(GO) test ./internal/experiments -run TestGolden -update-golden
@@ -75,10 +80,18 @@ vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/vetenum -dir internal/gateway -type Reason,DegradedPolicy
 	$(GO) run ./cmd/vetenum -dir internal/fault -type Mode
+	$(GO) run ./cmd/vetenum -dir internal/wire -type Op,Status,Refusal
 
 # Chaos tier: seeded fault-injection soaks under the race detector, then
 # the serving-path perf guard — leases and degradation must not tax the
 # admission hot path beyond the committed budget.
 test-chaos:
 	$(GO) test -tags chaos -race -run 'TestChaos' -v ./internal/gateway
+	$(MAKE) bench-cmp
+
+# Network tier: the loopback end-to-end soak under the race detector, then
+# the serving-path perf guard — the network layer must not tax the
+# admission hot path it fronts.
+test-net:
+	$(GO) test -tags net -race -run 'TestSoak' -v ./internal/loadgen
 	$(MAKE) bench-cmp

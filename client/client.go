@@ -1,0 +1,403 @@
+// Package client is the Go client for the admission gateway's wire
+// protocol (internal/wire, served by internal/server). It is pipelined —
+// many requests may be in flight on one connection, correlated by request
+// id — and pooled: requests round-robin across Config.Conns connections,
+// each with a single reader goroutine demultiplexing responses to
+// waiters. Concurrent callers sharing a connection naturally emit
+// back-to-back frames, which is exactly the shape the server's
+// per-connection micro-batcher coalesces into single AdmitBatch calls.
+//
+// Failure semantics: per-request errors (unknown flow, invalid rate)
+// come back as ErrNotActive / ErrInvalidRate; a connection-scoped
+// Refusal frame from the server (overloaded, draining, shed,
+// rate-limited) fails every request pending on that connection with a
+// *RefusedError and retires the connection. Retired connections are
+// redialed lazily on next use, so a client survives a server restart or
+// drain without being rebuilt.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/wire"
+)
+
+// Errors mapping the protocol's per-request statuses.
+var (
+	// ErrNotActive reports an operation on a flow the gateway does not
+	// consider active (never admitted, departed, or lease-expired).
+	ErrNotActive = errors.New("client: flow is not active")
+	// ErrInvalidRate reports a rate the gateway refuses to accept
+	// (negative, NaN, or infinite).
+	ErrInvalidRate = errors.New("client: invalid rate")
+	// ErrClosed reports use of a closed client.
+	ErrClosed = errors.New("client: closed")
+)
+
+// RefusedError is a connection-scoped refusal from the server: the
+// connection carrying the request was refused or closed for cause, and
+// the request outcome is unknown (admits may or may not have landed —
+// the gateway's leases reclaim the orphans either way).
+type RefusedError struct{ Refusal wire.Refusal }
+
+func (e *RefusedError) Error() string {
+	return fmt.Sprintf("client: connection refused by server: %s", e.Refusal)
+}
+
+// Config parameterizes a Client.
+type Config struct {
+	// Addr is the server's TCP address (required).
+	Addr string
+	// Conns is the connection-pool size (default 1). More connections
+	// spread load across the server's per-connection reader goroutines;
+	// fewer concentrate pipelining and thus server-side batching.
+	Conns int
+	// DialTimeout bounds one dial (default 5s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds one request when the caller's context has no
+	// earlier deadline (default 10s).
+	RequestTimeout time.Duration
+}
+
+// Client is a pooled, pipelined protocol client. Safe for concurrent use.
+type Client struct {
+	cfg    Config
+	conns  []*poolConn
+	next   atomic.Uint64
+	closed atomic.Bool
+}
+
+// New validates cfg and returns a Client. Connections are dialed lazily
+// on first use, so New succeeds even while the server is still coming up.
+func New(cfg Config) (*Client, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("client: Addr is required")
+	}
+	if cfg.Conns < 0 {
+		return nil, fmt.Errorf("client: Conns %d is invalid", cfg.Conns)
+	}
+	if cfg.Conns == 0 {
+		cfg.Conns = 1
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	c := &Client{cfg: cfg, conns: make([]*poolConn, cfg.Conns)}
+	for i := range c.conns {
+		c.conns[i] = &poolConn{client: c}
+	}
+	return c, nil
+}
+
+// Close fails all pending requests and closes every pooled connection.
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	for _, pc := range c.conns {
+		pc.retire(ErrClosed)
+	}
+	return nil
+}
+
+// Admit asks the gateway to admit flowID at rate.
+func (c *Client) Admit(ctx context.Context, flowID uint64, rate float64) (gateway.Decision, error) {
+	res, err := c.roundTrip(ctx, func(dst []byte, reqID uint64) []byte {
+		return wire.AppendAdmit(dst, reqID, flowID, rate)
+	})
+	if err != nil {
+		return gateway.Decision{}, err
+	}
+	if res.op != wire.OpDecision {
+		return gateway.Decision{}, fmt.Errorf("client: got %s in reply to Admit", res.op)
+	}
+	return fromWire(res.decision), nil
+}
+
+// AdmitBatch decides a whole batch in one request frame — one network
+// round trip and one gateway AdmitBatch call for the lot. Decisions come
+// back in request order, one per flow.
+func (c *Client) AdmitBatch(ctx context.Context, flowIDs []uint64, rates []float64) ([]gateway.Decision, error) {
+	if len(flowIDs) != len(rates) || len(flowIDs) == 0 || len(flowIDs) > wire.MaxBatch {
+		return nil, fmt.Errorf("client: invalid batch: %d flows, %d rates (max %d)",
+			len(flowIDs), len(rates), wire.MaxBatch)
+	}
+	res, err := c.roundTrip(ctx, func(dst []byte, reqID uint64) []byte {
+		dst, _ = wire.AppendAdmitBatch(dst, reqID, flowIDs, rates)
+		return dst
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.op != wire.OpDecisionBatch || len(res.decisions) != len(flowIDs) {
+		return nil, fmt.Errorf("client: got %s with %d decisions in reply to AdmitBatch(%d)",
+			res.op, len(res.decisions), len(flowIDs))
+	}
+	out := make([]gateway.Decision, len(res.decisions))
+	for i, d := range res.decisions {
+		out[i] = fromWire(d)
+	}
+	return out, nil
+}
+
+// UpdateRate republishes flowID's rate for the next measurement tick.
+func (c *Client) UpdateRate(ctx context.Context, flowID uint64, rate float64) error {
+	return c.ackCall(ctx, func(dst []byte, reqID uint64) []byte {
+		return wire.AppendUpdateRate(dst, reqID, flowID, rate)
+	})
+}
+
+// Touch renews flowID's lease without changing its rate.
+func (c *Client) Touch(ctx context.Context, flowID uint64) error {
+	return c.ackCall(ctx, func(dst []byte, reqID uint64) []byte {
+		return wire.AppendTouch(dst, reqID, flowID)
+	})
+}
+
+// Depart releases flowID's admission slot.
+func (c *Client) Depart(ctx context.Context, flowID uint64) error {
+	return c.ackCall(ctx, func(dst []byte, reqID uint64) []byte {
+		return wire.AppendDepart(dst, reqID, flowID)
+	})
+}
+
+// Ping round-trips a liveness probe (also a lease-keepalive for the
+// connection's idle timer).
+func (c *Client) Ping(ctx context.Context) error {
+	res, err := c.roundTrip(ctx, func(dst []byte, reqID uint64) []byte {
+		return wire.AppendPing(dst, reqID)
+	})
+	if err != nil {
+		return err
+	}
+	if res.op != wire.OpPong {
+		return fmt.Errorf("client: got %s in reply to Ping", res.op)
+	}
+	return nil
+}
+
+// ackCall issues a request whose reply is an Ack and maps its status.
+func (c *Client) ackCall(ctx context.Context, enc func([]byte, uint64) []byte) error {
+	res, err := c.roundTrip(ctx, enc)
+	if err != nil {
+		return err
+	}
+	if res.op != wire.OpAck {
+		return fmt.Errorf("client: got %s, want Ack", res.op)
+	}
+	switch res.status {
+	case wire.StatusOK:
+		return nil
+	case wire.StatusNotActive:
+		return ErrNotActive
+	case wire.StatusInvalidRate:
+		return ErrInvalidRate
+	default:
+		return fmt.Errorf("client: unknown status %d", res.status)
+	}
+}
+
+// fromWire rebuilds the gateway's decision struct from its wire form.
+func fromWire(d wire.Decision) gateway.Decision {
+	return gateway.Decision{
+		Admitted:   d.Reason == uint8(gateway.ReasonAdmitted),
+		Reason:     gateway.Reason(d.Reason),
+		Admissible: d.Admissible,
+		Active:     d.Active,
+	}
+}
+
+// result is the demultiplexed reply to one request. Slices are owned by
+// the result (copied out of the reader's reused frame).
+type result struct {
+	op        wire.Op
+	status    wire.Status
+	decision  wire.Decision
+	decisions []wire.Decision
+}
+
+// call is one in-flight request's rendezvous.
+type call struct {
+	done chan struct{}
+	res  result
+	err  error
+}
+
+// roundTrip sends one encoded request on a pooled connection and waits
+// for its correlated reply, honoring ctx and the request timeout.
+func (c *Client) roundTrip(ctx context.Context, enc func(dst []byte, reqID uint64) []byte) (result, error) {
+	if c.closed.Load() {
+		return result{}, ErrClosed
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.RequestTimeout)
+		defer cancel()
+	}
+	pc := c.conns[c.next.Add(1)%uint64(len(c.conns))]
+	cl, reqID, err := pc.send(ctx, enc)
+	if err != nil {
+		return result{}, err
+	}
+	select {
+	case <-cl.done:
+		return cl.res, cl.err
+	case <-ctx.Done():
+		pc.forget(reqID)
+		return result{}, ctx.Err()
+	}
+}
+
+// poolConn is one pooled connection: a lazily dialed socket, a writer
+// mutex serializing encodes, and a reader goroutine routing replies to
+// pending calls by request id.
+type poolConn struct {
+	client *Client
+
+	mu      sync.Mutex
+	nc      net.Conn
+	enc     []byte // encode scratch, guarded by mu
+	nextReq uint64
+
+	pmu     sync.Mutex
+	pending map[uint64]*call
+	gen     uint64 // bumped on retire so a stale reader can't touch a redial
+}
+
+// send dials if needed, registers a call, and writes the request frame.
+func (p *poolConn) send(ctx context.Context, enc func([]byte, uint64) []byte) (*call, uint64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.nc == nil {
+		if err := p.dialLocked(ctx); err != nil {
+			return nil, 0, err
+		}
+	}
+	p.nextReq++
+	reqID := p.nextReq
+	cl := &call{done: make(chan struct{})}
+	p.pmu.Lock()
+	p.pending[reqID] = cl
+	p.pmu.Unlock()
+	p.enc = enc(p.enc[:0], reqID)
+	if d, ok := ctx.Deadline(); ok {
+		p.nc.SetWriteDeadline(d)
+	}
+	if _, err := p.nc.Write(p.enc); err != nil {
+		p.retireLocked(fmt.Errorf("client: write: %w", err))
+		return nil, 0, fmt.Errorf("client: write: %w", err)
+	}
+	return cl, reqID, nil
+}
+
+// dialLocked establishes the socket and starts its reader. Caller holds mu.
+func (p *poolConn) dialLocked(ctx context.Context) error {
+	if p.client.closed.Load() {
+		return ErrClosed
+	}
+	d := net.Dialer{Timeout: p.client.cfg.DialTimeout}
+	nc, err := d.DialContext(ctx, "tcp", p.client.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("client: dial %s: %w", p.client.cfg.Addr, err)
+	}
+	p.nc = nc
+	p.pmu.Lock()
+	p.pending = make(map[uint64]*call)
+	gen := p.gen
+	p.pmu.Unlock()
+	go p.readLoop(nc, gen)
+	return nil
+}
+
+// forget abandons a call the caller stopped waiting for (context expiry);
+// a late reply for it is dropped by the reader.
+func (p *poolConn) forget(reqID uint64) {
+	p.pmu.Lock()
+	delete(p.pending, reqID)
+	p.pmu.Unlock()
+}
+
+// retire fails all pending calls and closes the socket; the next send
+// redials.
+func (p *poolConn) retire(err error) {
+	p.mu.Lock()
+	p.retireLocked(err)
+	p.mu.Unlock()
+}
+
+func (p *poolConn) retireLocked(err error) {
+	if p.nc != nil {
+		p.nc.Close()
+		p.nc = nil
+	}
+	p.pmu.Lock()
+	p.gen++ // invalidate the reader that served this socket
+	for id, cl := range p.pending {
+		delete(p.pending, id)
+		cl.err = err
+		close(cl.done)
+	}
+	p.pmu.Unlock()
+}
+
+// readLoop demultiplexes replies from one socket until it dies. gen ties
+// the loop to the socket it was started for, so a loop outliving a
+// retire/redial cycle cannot fail the new socket's calls.
+func (p *poolConn) readLoop(nc net.Conn, gen uint64) {
+	rd := wire.NewReader(nc)
+	var f wire.Frame
+	for {
+		if err := rd.Next(&f); err != nil {
+			p.retireFor(nc, gen, readErr(err))
+			return
+		}
+		if f.Op == wire.OpRefusal {
+			// Connection-scoped: the server is closing us for cause.
+			p.retireFor(nc, gen, &RefusedError{Refusal: f.Refusal})
+			return
+		}
+		p.pmu.Lock()
+		cl := p.pending[f.ReqID]
+		delete(p.pending, f.ReqID)
+		p.pmu.Unlock()
+		if cl == nil {
+			continue // reply to a forgotten (timed-out) call
+		}
+		cl.res = result{op: f.Op, status: f.Status, decision: f.Decision}
+		if f.Op == wire.OpDecisionBatch {
+			cl.res.decisions = append([]wire.Decision(nil), f.Decisions...)
+		}
+		close(cl.done)
+	}
+}
+
+// retireFor retires the pool slot only if it still serves the socket this
+// reader was started for.
+func (p *poolConn) retireFor(nc net.Conn, gen uint64, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pmu.Lock()
+	stale := p.gen != gen
+	p.pmu.Unlock()
+	if stale {
+		return
+	}
+	p.retireLocked(err)
+}
+
+// readErr normalizes reader errors into something actionable for callers.
+func readErr(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return fmt.Errorf("client: connection closed by server: %w", err)
+	}
+	return fmt.Errorf("client: read: %w", err)
+}

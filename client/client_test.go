@@ -1,0 +1,269 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/estimator"
+	"repro/internal/gateway"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// startServer brings up a real gateway+server on loopback and returns the
+// address plus the server for snapshot assertions.
+func startServer(tb testing.TB, scfg server.Config) (*server.Server, string) {
+	tb.Helper()
+	if scfg.Gateway == nil {
+		ctrl, err := core.NewCertaintyEquivalent(1e-6, 1, 1)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		var lat atomic.Int64
+		scfg.Gateway, err = gateway.New(gateway.Config{
+			Capacity:     1e9,
+			Controller:   ctrl,
+			Estimator:    estimator.NewMemoryless(),
+			Shards:       4,
+			EstimateRing: 1,
+			LatencyClock: func() int64 { return lat.Add(1) },
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	srv, err := server.New(scfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	tb.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if !srv.Draining() {
+			srv.Shutdown(ctx)
+		}
+		<-done
+	})
+	return srv, ln.Addr().String()
+}
+
+func TestClientLifecycleOps(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	c, err := New(Config{Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	if err := c.Ping(ctx); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	d, err := c.Admit(ctx, 1, 2.5)
+	if err != nil || !d.Admitted {
+		t.Fatalf("admit: %+v, %v", d, err)
+	}
+	if err := c.UpdateRate(ctx, 1, 3.5); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if err := c.Touch(ctx, 1); err != nil {
+		t.Fatalf("touch: %v", err)
+	}
+	if err := c.Depart(ctx, 1); err != nil {
+		t.Fatalf("depart: %v", err)
+	}
+	if err := c.Depart(ctx, 1); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("double depart: got %v, want ErrNotActive", err)
+	}
+	if err := c.UpdateRate(ctx, 1, -2); !errors.Is(err, ErrInvalidRate) {
+		t.Fatalf("negative rate: got %v, want ErrInvalidRate", err)
+	}
+	d, err = c.Admit(ctx, 2, -1)
+	if err != nil {
+		t.Fatalf("invalid-rate admit transport error: %v", err)
+	}
+	if d.Admitted || d.Reason != gateway.ReasonInvalidRate {
+		t.Fatalf("invalid-rate admit: %+v", d)
+	}
+}
+
+func TestClientAdmitBatch(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	c, err := New(Config{Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ds, err := c.AdmitBatch(context.Background(), []uint64{10, 11, 10}, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 3 || !ds[0].Admitted || !ds[1].Admitted || ds[2].Reason != gateway.ReasonDuplicate {
+		t.Fatalf("batch decisions: %+v", ds)
+	}
+	if _, err := c.AdmitBatch(context.Background(), []uint64{1}, nil); err == nil {
+		t.Fatal("mismatched batch accepted")
+	}
+}
+
+// TestConcurrentPipelining hammers one pooled connection from many
+// goroutines: every reply must land on its own request (correlation), and
+// the server must see coalesced batches (pipelining actually happened).
+func TestConcurrentPipelining(t *testing.T) {
+	srv, addr := startServer(t, server.Config{})
+	c, err := New(Config{Addr: addr, Conns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const workers, perWorker = 16, 64
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < perWorker; i++ {
+				flow := uint64(w*perWorker + i)
+				d, err := c.Admit(ctx, flow, 1)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !d.Admitted {
+					errs <- errors.New("unexpected refusal")
+					return
+				}
+				if err := c.Depart(ctx, flow); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	snap := srv.Snapshot()
+	if snap.Decisions != workers*perWorker {
+		t.Fatalf("server served %d decisions, want %d", snap.Decisions, workers*perWorker)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	// A listener that accepts and then goes silent: the request must fail
+	// with a deadline error, not hang.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer nc.Close()
+		}
+	}()
+	c, err := New(Config{Addr: ln.Addr().String(), RequestTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(context.Background()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer nc.Close()
+		}
+	}()
+	c, err := New(Config{Addr: ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	if err := c.Ping(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestRefusalFailsPendingAndRedials drives the client into a rate-limit
+// refusal, then checks the pool heals by redialing.
+func TestRefusalFailsPendingAndRedials(t *testing.T) {
+	_, addr := startServer(t, server.Config{FrameRate: 1})
+	c, err := New(Config{Addr: addr, RequestTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if err := c.Ping(ctx); err != nil { // burns the single token
+		t.Fatal(err)
+	}
+	var refused *RefusedError
+	err = c.Ping(ctx) // immediately over the cap
+	if !errors.As(err, &refused) || refused.Refusal != wire.RefuseRateLimited {
+		t.Fatalf("got %v, want RefusedError(rate-limited)", err)
+	}
+	// The bucket refills within a second; the pool must redial on its own.
+	time.Sleep(1100 * time.Millisecond)
+	if err := c.Ping(ctx); err != nil {
+		t.Fatalf("pool did not heal after refusal: %v", err)
+	}
+}
+
+func TestClosedClient(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	c, err := New(Config{Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := c.Ping(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing Addr accepted")
+	}
+	if _, err := New(Config{Addr: "x", Conns: -1}); err == nil {
+		t.Error("negative Conns accepted")
+	}
+}

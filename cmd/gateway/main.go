@@ -28,31 +28,44 @@
 // The QoS audit grades the windowed overflow probability p_f against the
 // target -pq (default: the -pce value) and the √2-law prediction
 // Q(α_q/√2) of Prop 3.3; the final verdict is printed after the replay.
+//
+// # Serving
+//
+// With -serve the binary stops being a replay driver and becomes the
+// admission server: it listens on -addr for the internal/wire protocol
+// (see cmd/loadgen and the client package), ticks the measurement loop
+// on the wall clock every -tick-interval, and drains gracefully on
+// SIGINT/SIGTERM — stop accepting, flush in-flight decisions, depart
+// nothing (flow leases reclaim abandoned flows). The observability
+// endpoint gains the mbac_server_* families and a /server JSON snapshot:
+//
+//	gateway -serve -addr :9000 -n 100 -svr 0.3 -pce 1e-2 -ttl 60 -listen :8080
 package main
 
 import (
-	"expvar"
+	"context"
 	"flag"
 	"fmt"
 	"math"
-	"net/http"
-	_ "net/http/pprof"
+	"net"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/estimator"
 	"repro/internal/fault"
 	"repro/internal/gateway"
+	"repro/internal/obs"
 	"repro/internal/qos"
 	"repro/internal/rng"
+	"repro/internal/server"
 	"repro/internal/theory"
 	"repro/internal/traffic"
-
-	"encoding/json"
 )
 
 type evKind int
@@ -97,6 +110,12 @@ func main() {
 		faults     = flag.String("faults", "", "estimator fault schedule, e.g. 'nan:100-120,drop:500-520' (virtual time)")
 		leak       = flag.Float64("leak", 0, "probability a departing flow leaks its slot instead of departing")
 		lie        = flag.Float64("lie", 1, "declared-rate multiplier for admissions (1 = honest clients)")
+
+		serve        = flag.Bool("serve", false, "serve the wire admission protocol instead of replaying a schedule")
+		addr         = flag.String("addr", ":9000", "admission protocol listen address (with -serve)")
+		tickInterval = flag.Duration("tick-interval", 100*time.Millisecond, "wall-clock measurement tick period (with -serve)")
+		maxConns     = flag.Int("max-conns", 1024, "served connection limit (with -serve)")
+		frameRate    = flag.Int("frame-rate", 0, "per-connection frame-rate cap in frames/sec, 0 = off (with -serve)")
 	)
 	flag.Parse()
 	if *workers < 1 || *tick <= 0 || *duration <= 0 || *lambda <= 0 {
@@ -145,6 +164,7 @@ func main() {
 		Controller:     ctrl,
 		Estimator:      est,
 		Shards:         *shards,
+		TickInterval:   *tickInterval,
 		LatencySample:  *latsample,
 		OverflowWindow: *window,
 		FlowTTL:        *ttl,
@@ -153,6 +173,11 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	if *serve {
+		runServe(g, *addr, *listen, *maxConns, *frameRate)
+		return
 	}
 
 	auditTarget := *pq
@@ -165,8 +190,15 @@ func main() {
 	}
 	var auditMu sync.Mutex // audit is single-writer; HTTP readers snapshot under this
 
+	// The observability endpoint runs on its own http.Server; listener
+	// failures surface on Err() and are checked from the replay loop in
+	// the main goroutine rather than exiting asynchronously mid-replay.
+	var endpoint *obs.Endpoint
 	if *listen != "" {
-		serveObservability(*listen, g, audit, &auditMu)
+		endpoint, err = obs.Start(obs.Config{Addr: *listen, Gateway: g, Audit: audit, AuditMu: &auditMu})
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	events := schedule(*lambda, *duration, *th, traffic.NewRCBR(1, *svr, *tc), rng.New(*seed, 0x677764), plan)
@@ -202,6 +234,15 @@ func main() {
 		if now > *duration/2 { // steady-state half
 			activeSum += float64(st.Active)
 			ticks++
+		}
+		if endpoint != nil {
+			select {
+			case err, ok := <-endpoint.Err():
+				if ok && err != nil {
+					fatal(err)
+				}
+			default:
+			}
 		}
 	}
 	wall := time.Since(start)
@@ -245,46 +286,105 @@ func main() {
 		rep.Estimate.P, rep.Estimate.Lo, rep.Estimate.Hi, rep.Estimate.N,
 		rep.TargetPf, rep.Sqrt2Law, rep.Verdict)
 
-	if *listen != "" && *hold {
-		fmt.Printf("holding:    observability endpoint serving on %s (Ctrl-C to exit)\n", *listen)
-		select {}
+	if endpoint != nil {
+		if *hold {
+			fmt.Printf("holding:    observability endpoint serving on %s (Ctrl-C to exit)\n", *listen)
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+			select {
+			case <-ctx.Done():
+			case err := <-endpoint.Err():
+				if err != nil {
+					stop()
+					fatal(err)
+				}
+			}
+			stop()
+		}
+		// Drain the scrape port instead of letting process exit sever
+		// in-flight scrapes.
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := endpoint.Shutdown(sctx); err != nil {
+			fatal(fmt.Errorf("observability shutdown: %w", err))
+		}
 	}
 }
 
-// serveObservability starts the HTTP observability endpoint in the
-// background: Prometheus text on /metrics, JSON snapshot and audit
-// reports, and the stdlib expvar/pprof debug handlers (registered on the
-// default mux by their imports).
-func serveObservability(addr string, g *gateway.Gateway, audit *qos.Audit, auditMu *sync.Mutex) {
-	expvar.Publish("mbac", expvar.Func(func() any { return g.Snapshot() }))
-	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		g.Snapshot().WritePrometheus(w)
+// runServe is the -serve mode: the gateway becomes a long-running network
+// admission server. The measurement loop ticks on the wall clock, the
+// wire protocol is served on addr, and SIGINT/SIGTERM trigger the
+// graceful drain — stop accepting, flush in-flight decisions, depart
+// nothing and let the flow leases reclaim what clients abandoned.
+func runServe(g *gateway.Gateway, addr, listen string, maxConns, frameRate int) {
+	srv, err := server.New(server.Config{
+		Gateway:   g,
+		MaxConns:  maxConns,
+		FrameRate: frameRate,
 	})
-	http.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(g.Snapshot()); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	var endpoint *obs.Endpoint
+	if listen != "" {
+		endpoint, err = obs.Start(obs.Config{Addr: listen, Gateway: g, Server: srv})
+		if err != nil {
+			fatal(err)
 		}
-	})
-	http.HandleFunc("/audit", func(w http.ResponseWriter, _ *http.Request) {
-		auditMu.Lock()
-		rep := audit.Report()
-		auditMu.Unlock()
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	tickDone := make(chan struct{})
+	go func() { defer close(tickDone); g.Run(ctx) }()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	fmt.Printf("serving:    admission protocol on %s (Ctrl-C to drain)\n", ln.Addr())
+	if endpoint != nil {
+		fmt.Printf("observing:  metrics/snapshot/pprof on %s\n", endpoint.Addr())
+	}
+
+	var obsErr <-chan error
+	if endpoint != nil {
+		obsErr = endpoint.Err()
+	}
+	select {
+	case <-ctx.Done():
+		// Signal: fall through to the drain.
+	case err := <-serveDone:
+		if err != nil {
+			fatal(fmt.Errorf("admission server: %w", err))
 		}
-	})
-	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
-			fatal(fmt.Errorf("observability endpoint: %w", err))
+	case err := <-obsErr:
+		if err != nil {
+			fatal(err)
 		}
-	}()
+	}
+	stop()
+	<-tickDone
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "gateway: drain incomplete: %v\n", err)
+	}
+	if err := <-serveDone; err != nil {
+		fatal(fmt.Errorf("admission server: %w", err))
+	}
+	if endpoint != nil {
+		if err := endpoint.Shutdown(drainCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "gateway: observability shutdown: %v\n", err)
+		}
+	}
+	snap := srv.Snapshot()
+	st := g.Stats()
+	fmt.Printf("served:     %d conns (%d refused), %d frames, %d decisions in %d batches (mean %.2f)\n",
+		snap.ConnsAccepted, snap.ConnsRefused+snap.ConnsDrainRef, snap.Frames,
+		snap.Decisions, snap.Batches, snap.MeanBatch())
+	fmt.Printf("admission:  %d admitted, %d rejected, %d departed, %d expired, %d active at drain\n",
+		st.Admitted, st.Rejected, st.Departed, st.Expired, st.Active)
 }
 
 // schedule pregenerates the full event list: Poisson arrivals over

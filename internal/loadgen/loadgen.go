@@ -1,0 +1,347 @@
+// Package loadgen generates and replays open-loop admission workloads:
+// Poisson flow arrivals at a configurable offered load, exponential
+// holding times, RCBR-marginal flow rates. The same seeded schedule can
+// be replayed against an in-process gateway or through the network
+// client — the deterministic single-worker replay produces identical
+// decision counts on both substrates, which is the end-to-end
+// correctness check for the serving layer (the wire, the server's
+// micro-batching and the client's correlation must all be transparent
+// to the admission outcome).
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/client"
+	"repro/internal/gateway"
+	"repro/internal/rng"
+	"repro/internal/traffic"
+)
+
+// Kind is an event type in the generated workload.
+type Kind uint8
+
+const (
+	KindAdmit Kind = iota
+	KindDepart
+)
+
+// Event is one scheduled admission action at virtual time T.
+type Event struct {
+	T    float64
+	Kind Kind
+	Flow uint64
+	Rate float64
+}
+
+// Config parameterizes a workload.
+type Config struct {
+	Seed     uint64  // schedule RNG seed
+	Lambda   float64 // Poisson flow arrival rate (flows per virtual time unit)
+	Hold     float64 // mean exponential holding time
+	SVR      float64 // sigma/mu of the flow-rate distribution
+	TC       float64 // RCBR correlation time of the rate model
+	Duration float64 // virtual schedule length
+}
+
+func (c Config) validate() error {
+	if c.Lambda <= 0 || c.Hold <= 0 || c.SVR <= 0 || c.TC <= 0 || c.Duration <= 0 {
+		return fmt.Errorf("loadgen: lambda, hold, svr, tc and duration must be positive")
+	}
+	return nil
+}
+
+// Schedule pregenerates the deterministic event list for cfg: one admit
+// per arriving flow (rate drawn from the RCBR marginal) and one depart at
+// the end of its holding time. Events are sorted by time with flow/kind
+// tie-breaks, so a given seed always yields the same list.
+func Schedule(cfg Config) ([]Event, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed, 0x6c6f6164) // "load"
+	model := traffic.NewRCBR(1, cfg.SVR, cfg.TC)
+	var events []Event
+	id := uint64(0)
+	for t := r.Exp(1 / cfg.Lambda); t < cfg.Duration; t += r.Exp(1 / cfg.Lambda) {
+		fr := r.Split(id)
+		rate := model.New(fr).Next().Rate
+		hold := fr.Exp(cfg.Hold)
+		if t+hold > cfg.Duration {
+			hold = cfg.Duration - t
+		}
+		events = append(events, Event{T: t, Kind: KindAdmit, Flow: id, Rate: rate})
+		events = append(events, Event{T: t + hold, Kind: KindDepart, Flow: id})
+		id++
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].T != events[j].T {
+			return events[i].T < events[j].T
+		}
+		if events[i].Flow != events[j].Flow {
+			return events[i].Flow < events[j].Flow
+		}
+		return events[i].Kind < events[j].Kind
+	})
+	return events, nil
+}
+
+// Stats counts replay outcomes. NotActive counts departs that raced a
+// rejected (or never-admitted) flow — the schedule departs every flow,
+// admitted or not.
+type Stats struct {
+	Admitted  int64
+	Rejected  int64
+	Departed  int64
+	NotActive int64
+}
+
+// Target is an admission substrate a schedule can replay against: the
+// in-process gateway or the network client, interchangeably.
+type Target interface {
+	// AdmitBatch decides the batch in order; decisions index-align with
+	// the flows.
+	AdmitBatch(ctx context.Context, flows []uint64, rates []float64) ([]gateway.Decision, error)
+	// Depart releases one flow; active reports whether the flow was
+	// actually active (false for the gateway's not-active outcome).
+	Depart(ctx context.Context, flow uint64) (active bool, err error)
+}
+
+// GatewayTarget replays against an in-process gateway.
+type GatewayTarget struct {
+	G   *gateway.Gateway
+	dst []gateway.Decision
+}
+
+// AdmitBatch implements Target.
+func (t *GatewayTarget) AdmitBatch(_ context.Context, flows []uint64, rates []float64) ([]gateway.Decision, error) {
+	var err error
+	t.dst, err = t.G.AdmitBatch(flows, rates, t.dst[:0])
+	return t.dst, err
+}
+
+// Depart implements Target.
+func (t *GatewayTarget) Depart(_ context.Context, flow uint64) (bool, error) {
+	if err := t.G.Depart(flow); err != nil {
+		return false, nil // the gateway's only Depart error is not-active
+	}
+	return true, nil
+}
+
+// ClientTarget replays through the network client.
+type ClientTarget struct{ C *client.Client }
+
+// AdmitBatch implements Target.
+func (t ClientTarget) AdmitBatch(ctx context.Context, flows []uint64, rates []float64) ([]gateway.Decision, error) {
+	return t.C.AdmitBatch(ctx, flows, rates)
+}
+
+// Depart implements Target.
+func (t ClientTarget) Depart(ctx context.Context, flow uint64) (bool, error) {
+	switch err := t.C.Depart(ctx, flow); {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, client.ErrNotActive):
+		return false, nil
+	default:
+		return false, err
+	}
+}
+
+// Replay runs the schedule against tgt deterministically: one goroutine,
+// strict event order, consecutive admits coalesced into AdmitBatch calls
+// of up to batch (flushed before any depart, so per-flow order holds).
+// tick, when non-nil, is called at each multiple of window virtual time —
+// the hook through which a test drives measurement ticks identically on
+// two substrates.
+func Replay(ctx context.Context, tgt Target, events []Event, batch int, window float64, tick func(now float64)) (Stats, error) {
+	if batch < 1 {
+		batch = 1
+	}
+	var st Stats
+	ids := make([]uint64, 0, batch)
+	rates := make([]float64, 0, batch)
+	flush := func() error {
+		if len(ids) == 0 {
+			return nil
+		}
+		ds, err := tgt.AdmitBatch(ctx, ids, rates)
+		if err != nil {
+			return err
+		}
+		for _, d := range ds {
+			if d.Admitted {
+				st.Admitted++
+			} else {
+				st.Rejected++
+			}
+		}
+		ids = ids[:0]
+		rates = rates[:0]
+		return nil
+	}
+	now := 0.0
+	for _, ev := range events {
+		if tick != nil && window > 0 {
+			for ev.T > now {
+				if err := flush(); err != nil {
+					return st, err
+				}
+				now += window
+				tick(now)
+			}
+		}
+		switch ev.Kind {
+		case KindAdmit:
+			ids = append(ids, ev.Flow)
+			rates = append(rates, ev.Rate)
+			if len(ids) >= batch {
+				if err := flush(); err != nil {
+					return st, err
+				}
+			}
+		case KindDepart:
+			if err := flush(); err != nil {
+				return st, err
+			}
+			active, err := tgt.Depart(ctx, ev.Flow)
+			if err != nil {
+				return st, err
+			}
+			if active {
+				st.Departed++
+			} else {
+				st.NotActive++
+			}
+		}
+	}
+	return st, flush()
+}
+
+// RunConfig parameterizes a concurrent open-loop run (the cmd/loadgen
+// tool and the soak test).
+type RunConfig struct {
+	Workers int // concurrent replay goroutines (flows shard by id)
+	Batch   int // admits coalesced per AdmitBatch call within a worker
+	// Timescale maps one virtual time unit to a wall duration, pacing the
+	// open-loop arrivals (departures follow the schedule's holding
+	// times). 0 replays as fast as the substrate allows.
+	Timescale time.Duration
+}
+
+// Run replays the schedule concurrently and open-loop: each worker owns
+// the flows with id % Workers == its index and walks their events in
+// time order, sleeping toward each event's wall time under Timescale.
+// Per-flow event order is exact; cross-flow interleaving is whatever the
+// race produces — this is the load tool, not the determinism check.
+func Run(ctx context.Context, tgt func(worker int) Target, events []Event, cfg RunConfig) (Stats, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	per := make([][]Event, cfg.Workers)
+	for _, ev := range events {
+		w := int(ev.Flow % uint64(cfg.Workers))
+		per[w] = append(per[w], ev)
+	}
+	var admitted, rejected, departed, notActive atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Workers)
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t := tgt(w)
+			ids := make([]uint64, 0, cfg.Batch)
+			rates := make([]float64, 0, cfg.Batch)
+			flush := func() error {
+				if len(ids) == 0 {
+					return nil
+				}
+				ds, err := t.AdmitBatch(ctx, ids, rates)
+				if err != nil {
+					return err
+				}
+				for _, d := range ds {
+					if d.Admitted {
+						admitted.Add(1)
+					} else {
+						rejected.Add(1)
+					}
+				}
+				ids = ids[:0]
+				rates = rates[:0]
+				return nil
+			}
+			for _, ev := range per[w] {
+				if ctx.Err() != nil {
+					errs <- ctx.Err()
+					return
+				}
+				if cfg.Timescale > 0 {
+					due := start.Add(time.Duration(ev.T * float64(cfg.Timescale)))
+					if d := time.Until(due); d > 0 {
+						// Pace the open loop: flush what we have, then wait.
+						if err := flush(); err != nil {
+							errs <- err
+							return
+						}
+						select {
+						case <-time.After(d):
+						case <-ctx.Done():
+							errs <- ctx.Err()
+							return
+						}
+					}
+				}
+				switch ev.Kind {
+				case KindAdmit:
+					ids = append(ids, ev.Flow)
+					rates = append(rates, ev.Rate)
+					if len(ids) >= max(cfg.Batch, 1) {
+						if err := flush(); err != nil {
+							errs <- err
+							return
+						}
+					}
+				case KindDepart:
+					if err := flush(); err != nil {
+						errs <- err
+						return
+					}
+					active, err := t.Depart(ctx, ev.Flow)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if active {
+						departed.Add(1)
+					} else {
+						notActive.Add(1)
+					}
+				}
+			}
+			errs <- flush()
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	st := Stats{
+		Admitted:  admitted.Load(),
+		Rejected:  rejected.Load(),
+		Departed:  departed.Load(),
+		NotActive: notActive.Load(),
+	}
+	for err := range errs {
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}

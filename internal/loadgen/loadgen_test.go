@@ -1,0 +1,184 @@
+package loadgen
+
+import (
+	"context"
+	"net"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/core"
+	"repro/internal/estimator"
+	"repro/internal/gateway"
+	"repro/internal/server"
+)
+
+func testConfig() Config {
+	return Config{Seed: 7, Lambda: 3, Hold: 12, SVR: 0.3, TC: 1, Duration: 60}
+}
+
+func newGateway(tb testing.TB) *gateway.Gateway {
+	tb.Helper()
+	ctrl, err := core.NewCertaintyEquivalent(1e-2, 1, 0.3)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var lat atomic.Int64
+	g, err := gateway.New(gateway.Config{
+		Capacity:     25, // small enough that the offered load forces rejections
+		Controller:   ctrl,
+		Estimator:    estimator.NewMemoryless(),
+		Shards:       4,
+		EstimateRing: 8,
+		LatencyClock: func() int64 { return lat.Add(1) },
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+func TestScheduleDeterminism(t *testing.T) {
+	a, err := Schedule(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Schedule(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	admits, departs := 0, 0
+	for _, ev := range a {
+		switch ev.Kind {
+		case KindAdmit:
+			admits++
+		case KindDepart:
+			departs++
+		}
+	}
+	if admits == 0 || admits != departs {
+		t.Fatalf("schedule has %d admits, %d departs", admits, departs)
+	}
+	other := testConfig()
+	other.Seed = 8
+	c, err := Schedule(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if _, err := Schedule(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+// TestReplayMatchesAcrossSubstrates is the end-to-end acceptance check for
+// the serving layer: the same seeded schedule replayed (a) against an
+// in-process gateway and (b) through client -> server -> an identically
+// configured gateway must yield identical admit/reject/depart counts —
+// the wire protocol, the server's micro-batching and the client's
+// request correlation are all transparent to the admission outcome.
+func TestReplayMatchesAcrossSubstrates(t *testing.T) {
+	events, err := Schedule(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch, window = 8, 0.5
+
+	// Substrate (a): the in-process gateway.
+	gA := newGateway(t)
+	direct, err := Replay(context.Background(), &GatewayTarget{G: gA}, events, batch, window,
+		func(now float64) { gA.Tick(now) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Substrate (b): an identical gateway behind the network stack.
+	gB := newGateway(t)
+	srv, err := server.New(server.Config{Gateway: gB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	cl, err := client.New(client.Config{Addr: ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// The tick hook fires between windows, after every response for the
+	// window has been received (Replay is synchronous), so both gateways
+	// measure exactly the same populations.
+	netted, err := Replay(context.Background(), ClientTarget{C: cl}, events, batch, window,
+		func(now float64) { gB.Tick(now) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if direct != netted {
+		t.Fatalf("substrates disagree:\n  in-process %+v\n  networked  %+v", direct, netted)
+	}
+	if direct.Admitted == 0 || direct.Rejected == 0 {
+		t.Fatalf("degenerate workload (no admissions or no rejections): %+v", direct)
+	}
+	// Sanity: the two gateways finished in the same admission state.
+	sa, sb := gA.Stats(), gB.Stats()
+	if sa.Admitted != sb.Admitted || sa.Rejected != sb.Rejected ||
+		sa.Departed != sb.Departed || sa.Active != sb.Active {
+		t.Fatalf("gateway states diverged:\n  in-process %+v\n  networked  %+v", sa, sb)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunConcurrent exercises the open-loop concurrent runner against the
+// in-process gateway: totals must account for every scheduled event even
+// though cross-flow interleaving is nondeterministic.
+func TestRunConcurrent(t *testing.T) {
+	events, err := Schedule(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := 0
+	for _, ev := range events {
+		if ev.Kind == KindAdmit {
+			flows++
+		}
+	}
+	g := newGateway(t)
+	targets := make([]GatewayTarget, 4)
+	for i := range targets {
+		targets[i] = GatewayTarget{G: g}
+	}
+	st, err := Run(context.Background(), func(w int) Target { return &targets[w] },
+		events, RunConfig{Workers: 4, Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(st.Admitted+st.Rejected) != flows {
+		t.Fatalf("decided %d flows, scheduled %d: %+v", st.Admitted+st.Rejected, flows, st)
+	}
+	if int(st.Departed+st.NotActive) != flows {
+		t.Fatalf("departed %d flows, scheduled %d: %+v", st.Departed+st.NotActive, flows, st)
+	}
+	if st.Departed != st.Admitted {
+		t.Fatalf("departed %d but admitted %d", st.Departed, st.Admitted)
+	}
+}

@@ -1,0 +1,101 @@
+//go:build net
+
+package loadgen
+
+// The network soak tier (`make test-net`, build tag "net"): a loopback
+// end-to-end soak meant to run under -race — many client connections,
+// concurrent open-loop replay, the gateway ticking itself in real time,
+// and a graceful drain at the end. Slower and schedule-dependent, so it
+// lives behind a tag like the stat and chaos tiers.
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/server"
+)
+
+func TestSoakLoopbackConcurrent(t *testing.T) {
+	events, err := Schedule(Config{
+		Seed: 11, Lambda: 8, Hold: 10, SVR: 0.3, TC: 1, Duration: 120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := 0
+	for _, ev := range events {
+		if ev.Kind == KindAdmit {
+			flows++
+		}
+	}
+
+	g := newGateway(t)
+	srv, err := server.New(server.Config{Gateway: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	// The gateway ticks itself on the wall clock for the soak — the
+	// real-serving regime, not the virtual-clock replay.
+	runCtx, stopRun := context.WithCancel(context.Background())
+	defer stopRun()
+	tickDone := make(chan struct{})
+	go func() { defer close(tickDone); g.Run(runCtx) }()
+
+	cl, err := client.New(client.Config{Addr: ln.Addr().String(), Conns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	st, err := Run(context.Background(),
+		func(int) Target { return ClientTarget{C: cl} },
+		events, RunConfig{Workers: 8, Batch: 16})
+	if err != nil {
+		t.Fatalf("soak replay: %v (stats %+v)", err, st)
+	}
+	if int(st.Admitted+st.Rejected) != flows {
+		t.Fatalf("decided %d of %d flows: %+v", st.Admitted+st.Rejected, flows, st)
+	}
+	if int(st.Departed+st.NotActive) != flows {
+		t.Fatalf("departed %d of %d flows: %+v", st.Departed+st.NotActive, flows, st)
+	}
+	if st.Departed != st.Admitted {
+		t.Fatalf("departed %d but admitted %d", st.Departed, st.Admitted)
+	}
+
+	snap := srv.Snapshot()
+	if snap.Decisions != st.Admitted+st.Rejected {
+		t.Fatalf("server served %d decisions, client saw %d", snap.Decisions, st.Admitted+st.Rejected)
+	}
+	// Concurrent workers over pooled connections must have engaged
+	// batching (client-side AdmitBatch frames and/or server-side
+	// micro-batching of pipelined singles).
+	if snap.MeanBatch() <= 1 {
+		t.Fatalf("batching never engaged under pipelined load: %d decisions in %d batches",
+			snap.Decisions, snap.Batches)
+	}
+	if snap.ConnsShed != 0 || snap.ProtocolErrors != 0 || snap.ConnsRateLimited != 0 {
+		t.Fatalf("soak tripped robustness edges unexpectedly: %+v", snap)
+	}
+
+	stopRun()
+	<-tickDone
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful drain: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}

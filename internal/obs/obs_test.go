@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/estimator"
+	"repro/internal/gateway"
+	"repro/internal/qos"
+)
+
+func newGateway(tb testing.TB) *gateway.Gateway {
+	tb.Helper()
+	ctrl, err := core.NewCertaintyEquivalent(1e-2, 1, 0.3)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var lat atomic.Int64
+	g, err := gateway.New(gateway.Config{
+		Capacity:     100,
+		Controller:   ctrl,
+		Estimator:    estimator.NewMemoryless(),
+		Shards:       4,
+		EstimateRing: 8,
+		LatencyClock: func() int64 { return lat.Add(1) },
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+func start(tb testing.TB, cfg Config) *Endpoint {
+	tb.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	e, err := Start(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := e.Shutdown(ctx); err != nil {
+			tb.Errorf("shutdown: %v", err)
+		}
+		if err, ok := <-e.Err(); ok && err != nil {
+			tb.Errorf("async serve error: %v", err)
+		}
+	})
+	return e
+}
+
+func get(tb testing.TB, e *Endpoint, path string) string {
+	tb.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s%s", e.Addr(), path))
+	if err != nil {
+		tb.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		tb.Fatalf("GET %s: %d\n%s", path, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+func TestEndpointRoutes(t *testing.T) {
+	g := newGateway(t)
+	audit, err := qos.NewAudit(qos.AuditConfig{TargetPf: 1e-2, Window: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var auditMu sync.Mutex
+	e := start(t, Config{Gateway: g, Audit: audit, AuditMu: &auditMu})
+
+	if out := get(t, e, "/metrics"); !strings.Contains(out, "mbac_gateway_active") {
+		t.Errorf("/metrics missing gateway families:\n%s", out)
+	}
+	var snap gateway.Snapshot
+	if err := json.Unmarshal([]byte(get(t, e, "/snapshot")), &snap); err != nil {
+		t.Errorf("/snapshot is not a gateway snapshot: %v", err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal([]byte(get(t, e, "/audit")), &rep); err != nil {
+		t.Errorf("/audit is not JSON: %v", err)
+	} else if _, ok := rep["verdict"]; !ok {
+		t.Errorf("/audit report missing verdict: %v", rep)
+	}
+	if out := get(t, e, "/debug/vars"); !strings.Contains(out, "\"mbac\"") {
+		t.Error("/debug/vars missing the mbac expvar")
+	}
+	get(t, e, "/debug/pprof/")
+	get(t, e, "/debug/pprof/cmdline")
+}
+
+// TestScrapesRaceTickAndAdmitBatch is the satellite race test: HTTP-level
+// Snapshot()/WritePrometheus scrapes through the dedicated server racing
+// Tick and AdmitBatch. It exists to fail under -race (the `make race`
+// tier) if any snapshot path reads hot-path state without coordination.
+func TestScrapesRaceTickAndAdmitBatch(t *testing.T) {
+	g := newGateway(t)
+	e := start(t, Config{Gateway: g})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // admission load
+		defer wg.Done()
+		ids := make([]uint64, 16)
+		rates := make([]float64, 16)
+		dst := make([]gateway.Decision, 0, 16)
+		for i := uint64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for j := range ids {
+				ids[j] = i*16 + uint64(j)
+				rates[j] = 1
+			}
+			var err error
+			dst, err = g.AdmitBatch(ids, rates, dst[:0])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for _, id := range ids {
+				g.Depart(id)
+			}
+		}
+	}()
+	go func() { // measurement ticks
+		defer wg.Done()
+		for now := 0.0; ; now += 0.5 {
+			select {
+			case <-stop:
+				return
+			default:
+				g.Tick(now)
+			}
+		}
+	}()
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		get(t, e, "/metrics")
+		get(t, e, "/snapshot")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestTwoEndpointsOneProcess pins the expvar rebinding: a second Start in
+// the same process must not panic on the duplicate "mbac" key, and the
+// expvar payload must follow the newest gateway.
+func TestTwoEndpointsOneProcess(t *testing.T) {
+	e1 := start(t, Config{Gateway: newGateway(t)})
+	get(t, e1, "/debug/vars")
+	e2 := start(t, Config{Gateway: newGateway(t)})
+	get(t, e2, "/debug/vars")
+}
+
+func TestStartRejectsBadConfig(t *testing.T) {
+	if _, err := Start(Config{Addr: "127.0.0.1:0"}); err == nil {
+		t.Error("missing gateway accepted")
+	}
+	if _, err := Start(Config{Addr: "256.0.0.1:bad", Gateway: newGateway(t)}); err == nil {
+		t.Error("unbindable address accepted synchronously")
+	}
+}

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// BenchmarkServerAdmit measures the serving layer end to end on loopback:
+// a pipelined client round of 64 Admit + 64 Depart frames written in one
+// burst, responses read back in order. The same 64 flow ids are reused
+// every round, so the flow table reaches steady state and the numbers
+// isolate the per-decision serving cost rather than table growth.
+//
+// Reported metrics:
+//
+//	ns/decision     wall time per admission decision (departs ride along)
+//	allocs/decision process-wide heap allocations per decision — the
+//	                client side of the loop is allocation-free by
+//	                construction (pre-encoded requests, reused Reader),
+//	                so this is the server-side budget (target ≤ 2)
+//	batch-mean      decisions per AdmitBatch call (>1 = micro-batching
+//	                engaged; the 64-admit burst batches as one call)
+func BenchmarkServerAdmit(b *testing.B) {
+	srv, addr := startServer(b, Config{})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(5 * time.Minute))
+	rd := wire.NewReader(nc)
+
+	const perRound = 64
+	var req []byte
+	for i := 0; i < perRound; i++ {
+		req = wire.AppendAdmit(req, uint64(i+1), uint64(i), 1)
+	}
+	for i := 0; i < perRound; i++ {
+		req = wire.AppendDepart(req, uint64(perRound+i+1), uint64(i))
+	}
+	round := func() {
+		if _, err := nc.Write(req); err != nil {
+			b.Fatal(err)
+		}
+		var f wire.Frame
+		for i := 0; i < 2*perRound; i++ {
+			if err := rd.Next(&f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	round() // warm the connection scratch and the flow table
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		round()
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+
+	decisions := float64(b.N) * perRound
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/decisions, "ns/decision")
+	b.ReportMetric(float64(after.Mallocs-before.Mallocs)/decisions, "allocs/decision")
+	b.ReportMetric(srv.Snapshot().MeanBatch(), "batch-mean")
+}

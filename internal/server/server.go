@@ -1,0 +1,701 @@
+// Package server turns a gateway.Gateway into a network service: a TCP
+// server speaking the internal/wire framed protocol, one reader/writer
+// goroutine pair per connection, built to keep the in-process admission
+// cost (~110 ns, 0 allocs) visible through the socket instead of burying
+// it under per-request overhead.
+//
+// # Per-connection micro-batching
+//
+// The perf centerpiece. A pipelining client writes many Admit frames
+// back-to-back; the reader accumulates consecutive Admit frames while
+// more are already buffered (wire.Reader.FrameBuffered) and decides the
+// whole run with a single Gateway.AdmitBatch call — one clock pair and
+// one bound load amortized across the burst, exactly the economics the
+// batch API was built for. The batch flushes right before the first read
+// that could block, when a non-Admit frame arrives (preserving per-flow
+// request order), or at Config.MaxBatch. Responses are appended to the
+// connection's write backlog in request order and flushed by the writer
+// goroutine, so a pipelined client sees decisions in the order it asked.
+//
+// # Robustness edges
+//
+// Every edge is explicit, counted, and visible in the Snapshot:
+//
+//   - accept refusal: past Config.MaxConns the server writes one
+//     connection-scoped Refusal (overloaded) and closes — the serving
+//     layer's analogue of the gateway's ReasonCapacity refusal;
+//   - read/write deadlines bound how long a dead peer can pin a
+//     goroutine;
+//   - slow-client shedding: a connection whose response backlog exceeds
+//     Config.WriteBuffer is refused (slow-client) and closed instead of
+//     growing without bound;
+//   - frame-rate cap: a token bucket per connection refuses (rate-limited)
+//     and closes connections that exceed Config.FrameRate frames/sec;
+//   - graceful drain: Shutdown stops accepting, lets each connection
+//     finish the frames already in flight (decisions are flushed, not
+//     dropped), and Departs nothing — abandoned flows are reclaimed by
+//     the gateway's flow leases, the crash-consistency story PR 4 built.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Gateway is the admission gateway the server fronts (required). The
+	// server only calls its concurrent-safe methods; ticking it (Run or
+	// a virtual clock) stays the owner's job.
+	Gateway *gateway.Gateway
+
+	// MaxConns caps concurrently served connections (default 1024). At
+	// the cap, accepted connections get a Refusal (overloaded) frame and
+	// are closed.
+	MaxConns int
+
+	// MaxBatch caps how many pipelined Admit frames coalesce into one
+	// AdmitBatch call (default 512, clamped to wire.MaxBatch).
+	MaxBatch int
+
+	// ReadTimeout bounds the wait for the next frame on an idle
+	// connection (default 60s). Clients keep connections alive with
+	// Ping or lease Touch traffic.
+	ReadTimeout time.Duration
+
+	// WriteTimeout bounds one flush of the response backlog (default 10s).
+	WriteTimeout time.Duration
+
+	// WriteBuffer is the response-backlog budget per connection in bytes
+	// (default 1 MiB). A connection that reads slower than it asks gets
+	// shed (Refusal slow-client) when its backlog passes the budget.
+	WriteBuffer int
+
+	// FrameRate caps request frames per second per connection; 0 (the
+	// default) disables the cap. The bucket's burst equals one second's
+	// allowance.
+	FrameRate int
+
+	// DrainGrace is how long a draining connection may keep processing
+	// frames that were already in flight when Shutdown began (default
+	// 250ms). The overall drain is additionally bounded by the context
+	// given to Shutdown.
+	DrainGrace time.Duration
+}
+
+// Server serves the wire protocol over TCP (or any net.Listener) against
+// one Gateway. Construct with New; Serve may be called once.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	draining bool
+
+	wg sync.WaitGroup // live connection goroutine pairs
+
+	// Serving-layer counters, merged into the observability surface next
+	// to the gateway families (see Snapshot / WritePrometheus).
+	accepted    metrics.Counter
+	refused     metrics.Counter // over MaxConns at accept
+	drainRef    metrics.Counter // refused because draining
+	shed        metrics.Counter // slow-client write-backlog sheds
+	rateLimited metrics.Counter // frame-rate cap closes
+	protoErrs   metrics.Counter // malformed frames
+	frames      metrics.Counter // request frames processed
+	decisions   metrics.Counter // admission decisions served
+	batches     metrics.Counter // AdmitBatch calls made
+	activeConns atomic.Int64
+	batchSizes  *metrics.Histogram // decisions per AdmitBatch call
+}
+
+// New validates the configuration and returns a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Gateway == nil {
+		return nil, fmt.Errorf("server: Gateway is required")
+	}
+	if cfg.MaxConns < 0 || cfg.MaxBatch < 0 || cfg.WriteBuffer < 0 || cfg.FrameRate < 0 {
+		return nil, fmt.Errorf("server: negative limits are invalid")
+	}
+	if cfg.MaxConns == 0 {
+		cfg.MaxConns = 1024
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 512
+	}
+	if cfg.MaxBatch > wire.MaxBatch {
+		cfg.MaxBatch = wire.MaxBatch
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 60 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.WriteBuffer == 0 {
+		cfg.WriteBuffer = 1 << 20
+	}
+	if cfg.DrainGrace <= 0 {
+		cfg.DrainGrace = 250 * time.Millisecond
+	}
+	return &Server{
+		cfg:        cfg,
+		conns:      make(map[*conn]struct{}),
+		batchSizes: metrics.NewHistogram(metrics.ExpBounds(1, 2, 11)),
+	}, nil
+}
+
+// Serve accepts connections on ln until the listener fails or Shutdown
+// closes it. It returns nil after a graceful shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.ln != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("server: Serve called twice")
+	}
+	if s.draining {
+		s.mu.Unlock()
+		return fmt.Errorf("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s.accept(nc)
+	}
+}
+
+// accept admits or refuses one freshly accepted connection.
+func (s *Server) accept(nc net.Conn) {
+	s.mu.Lock()
+	switch {
+	case s.draining:
+		s.mu.Unlock()
+		s.drainRef.Inc()
+		s.refuse(nc, wire.RefuseDraining)
+		return
+	case len(s.conns) >= s.cfg.MaxConns:
+		s.mu.Unlock()
+		s.refused.Inc()
+		s.refuse(nc, wire.RefuseOverloaded)
+		return
+	}
+	c := newConn(s, nc)
+	s.conns[c] = struct{}{}
+	s.wg.Add(1) // the reader's share; the writer adds its own in serve
+	s.mu.Unlock()
+	s.accepted.Inc()
+	s.activeConns.Add(1)
+	go c.serve()
+}
+
+// refuse writes a best-effort connection-scoped refusal and closes nc.
+func (s *Server) refuse(nc net.Conn, r wire.Refusal) {
+	nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	nc.Write(wire.AppendRefusal(nil, 0, r))
+	nc.Close()
+}
+
+// remove unregisters a finished connection.
+func (s *Server) remove(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.activeConns.Add(-1)
+	s.wg.Done()
+}
+
+// Shutdown drains the server gracefully: stop accepting, give every live
+// connection DrainGrace to finish the frames already in flight (their
+// decisions are flushed before close), then wait for the connections to
+// finish or ctx to expire, whichever is first. Remaining connections are
+// force-closed on expiry. No flow is departed on behalf of disconnected
+// clients — the gateway's leases reclaim abandoned flows, so a drain can
+// never double-free a slot.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return fmt.Errorf("server: Shutdown called twice")
+	}
+	s.draining = true
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	deadline := time.Now().Add(s.cfg.DrainGrace)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	for _, c := range conns {
+		c.beginDrain(deadline)
+	}
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-finished
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Snapshot is the serving-layer observability view, the sibling of
+// gateway.Snapshot one layer up the stack. JSON-encodable; convertible to
+// Prometheus text via WritePrometheus.
+type Snapshot struct {
+	ConnsActive      int64                     `json:"conns_active"`       // connections currently served
+	ConnsAccepted    int64                     `json:"conns_accepted"`     // cumulative accepted connections
+	ConnsRefused     int64                     `json:"conns_refused"`      // refused at accept: over MaxConns
+	ConnsDrainRef    int64                     `json:"conns_drain_ref"`    // refused at accept: draining
+	ConnsShed        int64                     `json:"conns_shed"`         // shed for a slow read side
+	ConnsRateLimited int64                     `json:"conns_rate_limited"` // closed for exceeding the frame-rate cap
+	ProtocolErrors   int64                     `json:"protocol_errors"`    // malformed frames
+	Frames           int64                     `json:"frames"`             // request frames processed
+	Decisions        int64                     `json:"decisions"`          // admission decisions served
+	Batches          int64                     `json:"batches"`            // AdmitBatch calls made
+	Draining         bool                      `json:"draining"`           // Shutdown in progress
+	BatchSizes       metrics.HistogramSnapshot `json:"batch_sizes"`        // decisions per AdmitBatch call
+}
+
+// MeanBatch returns the average number of decisions coalesced per
+// AdmitBatch call (0 before any batch) — the e2e test and benchmark
+// assert that pipelined load actually engages the micro-batcher (mean > 1).
+func (s Snapshot) MeanBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Decisions) / float64(s.Batches)
+}
+
+// Snapshot assembles the serving-layer snapshot (weakly consistent, like
+// every metrics read in this codebase).
+func (s *Server) Snapshot() Snapshot {
+	return Snapshot{
+		ConnsActive:      s.activeConns.Load(),
+		ConnsAccepted:    s.accepted.Load(),
+		ConnsRefused:     s.refused.Load(),
+		ConnsDrainRef:    s.drainRef.Load(),
+		ConnsShed:        s.shed.Load(),
+		ConnsRateLimited: s.rateLimited.Load(),
+		ProtocolErrors:   s.protoErrs.Load(),
+		Frames:           s.frames.Load(),
+		Decisions:        s.decisions.Load(),
+		Batches:          s.batches.Load(),
+		Draining:         s.Draining(),
+		BatchSizes:       s.batchSizes.Snapshot(),
+	}
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format under the mbac_server_* namespace, next to the gateway's
+// mbac_gateway_* families.
+func (s Snapshot) WritePrometheus(w io.Writer) {
+	metrics.WriteGauge(w, "mbac_server_conns_active", "connections currently served", float64(s.ConnsActive))
+	metrics.WriteCounter(w, "mbac_server_conns_accepted_total", "cumulative accepted connections", s.ConnsAccepted)
+	metrics.WriteCounter(w, "mbac_server_conns_refused_total", "connections refused at accept (over max-conns)", s.ConnsRefused)
+	metrics.WriteCounter(w, "mbac_server_conns_drain_refused_total", "connections refused while draining", s.ConnsDrainRef)
+	metrics.WriteCounter(w, "mbac_server_conns_shed_total", "connections shed for a slow read side", s.ConnsShed)
+	metrics.WriteCounter(w, "mbac_server_conns_rate_limited_total", "connections closed for exceeding the frame-rate cap", s.ConnsRateLimited)
+	metrics.WriteCounter(w, "mbac_server_protocol_errors_total", "malformed request frames", s.ProtocolErrors)
+	metrics.WriteCounter(w, "mbac_server_frames_total", "request frames processed", s.Frames)
+	metrics.WriteCounter(w, "mbac_server_decisions_total", "admission decisions served", s.Decisions)
+	metrics.WriteCounter(w, "mbac_server_batches_total", "AdmitBatch calls made", s.Batches)
+	draining := 0.0
+	if s.Draining {
+		draining = 1
+	}
+	metrics.WriteGauge(w, "mbac_server_draining", "1 while a graceful drain is in progress", draining)
+	metrics.WriteHistogram(w, "mbac_server_batch_size", "admission decisions coalesced per AdmitBatch call", s.BatchSizes)
+}
+
+// conn is one served connection: a reader goroutine (serve) that decodes,
+// batches and decides, and a writer goroutine that flushes the encoded
+// response backlog. The two meet at wr.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	rd  *wire.Reader
+	wr  connWriter
+
+	// drainDeadline, unix-nanos, is set by beginDrain: past it the reader
+	// stops waiting for new frames (0 = not draining). Written by the
+	// Shutdown goroutine, read by the reader when arming deadlines.
+	drainDeadline atomic.Int64
+
+	// Token bucket for the frame-rate cap; reader-goroutine-local.
+	tokens     float64
+	lastRefill time.Time
+
+	// Reader-goroutine-local scratch, reused across frames so the steady
+	// state serves without allocating.
+	pendIDs   []uint64
+	pendRates []float64
+	pendReqs  []uint64
+	decisions []gateway.Decision
+	wireDecs  []wire.Decision
+	encBuf    []byte
+}
+
+// newConn wires up a connection and its writer state.
+func newConn(s *Server, nc net.Conn) *conn {
+	c := &conn{srv: s, nc: nc, rd: wire.NewReader(nc)}
+	c.wr.init(s.cfg.WriteBuffer)
+	c.tokens = float64(s.cfg.FrameRate)
+	c.lastRefill = time.Now()
+	return c
+}
+
+// beginDrain tells the connection to stop waiting for new frames after
+// deadline. Frames already buffered (or arriving before the deadline) are
+// still processed and their responses flushed — the "no decision lost"
+// half of the drain contract.
+func (c *conn) beginDrain(deadline time.Time) {
+	c.drainDeadline.Store(deadline.UnixNano())
+	// Re-arm the read deadline in case the reader is already blocked. The
+	// reader re-applies the minimum of idle and drain deadlines on its
+	// next pass, so a lost race here only delays the cut to the idle
+	// timeout, and Shutdown's context still bounds the total drain.
+	c.nc.SetReadDeadline(deadline)
+}
+
+// serve runs the reader loop; it owns connection teardown.
+func (c *conn) serve() {
+	c.srv.wg.Add(1) // the writer's share (the reader's was added at accept)
+	go c.writeLoop()
+	refusal := c.readLoop()
+	// Flush any batched admits so in-flight decisions survive teardown
+	// (EOF, drain deadline and protocol errors all land here).
+	c.flushAdmits()
+	if refusal != 0 {
+		c.wr.enqueue(wire.AppendRefusal(c.encBuf[:0], 0, refusal))
+	}
+	c.wr.close() // the writer drains the backlog, then exits
+	c.wr.wait()  // don't close the socket under an in-progress flush
+	c.nc.Close()
+	c.srv.remove(c)
+}
+
+// readLoop processes frames until the connection ends. It returns a
+// non-zero refusal when the connection is being closed for cause, so the
+// peer learns why before the socket closes.
+func (c *conn) readLoop() wire.Refusal {
+	var f wire.Frame
+	for {
+		// Arm the idle deadline, capped by the drain deadline once
+		// Shutdown has begun.
+		rd := time.Now().Add(c.srv.cfg.ReadTimeout)
+		if dd := c.drainDeadline.Load(); dd != 0 {
+			if d := time.Unix(0, dd); d.Before(rd) {
+				rd = d
+			}
+		}
+		c.nc.SetReadDeadline(rd)
+		err := c.rd.Next(&f)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+				errors.Is(err, net.ErrClosed) || isTimeout(err) {
+				return 0 // clean close, drain cut, or idle cut
+			}
+			c.srv.protoErrs.Inc()
+			return wire.RefuseProtocol
+		}
+		c.srv.frames.Inc()
+		if !c.allowFrame() {
+			c.srv.rateLimited.Inc()
+			return wire.RefuseRateLimited
+		}
+		if shed := c.handle(&f); shed {
+			c.srv.shed.Inc()
+			return wire.RefuseSlowClient
+		}
+	}
+}
+
+// allowFrame charges the frame-rate token bucket.
+func (c *conn) allowFrame() bool {
+	limit := c.srv.cfg.FrameRate
+	if limit == 0 {
+		return true
+	}
+	now := time.Now()
+	c.tokens += now.Sub(c.lastRefill).Seconds() * float64(limit)
+	if burst := float64(limit); c.tokens > burst {
+		c.tokens = burst
+	}
+	c.lastRefill = now
+	if c.tokens < 1 {
+		return false
+	}
+	c.tokens--
+	return true
+}
+
+// handle processes one decoded frame, appending responses to the write
+// backlog. It reports whether the connection must be shed for a full
+// backlog.
+func (c *conn) handle(f *wire.Frame) (shed bool) {
+	g := c.srv.cfg.Gateway
+	switch f.Op {
+	case wire.OpAdmit:
+		c.pendIDs = append(c.pendIDs, f.Flow)
+		c.pendRates = append(c.pendRates, f.Rate)
+		c.pendReqs = append(c.pendReqs, f.ReqID)
+		// The micro-batch: keep accumulating while the next frame is
+		// already here; flush right before the first read that could
+		// block, or at the batch cap.
+		if len(c.pendIDs) >= c.srv.cfg.MaxBatch || !c.rd.FrameBuffered() {
+			return c.flushAdmits()
+		}
+		return false
+	case wire.OpAdmitBatch:
+		// An explicit client-side batch: decide it as one unit, after any
+		// pending singles (order preserved).
+		if c.flushAdmits() {
+			return true
+		}
+		c.decisions = c.decisions[:0]
+		var err error
+		c.decisions, err = g.AdmitBatch(f.Flows, f.Rates, c.decisions)
+		if err != nil {
+			// Lengths are validated by the wire decoder; an error here is
+			// a server bug, but shed the connection rather than panic.
+			return true
+		}
+		c.srv.decisions.Add(int64(len(c.decisions)))
+		c.srv.batches.Inc()
+		c.srv.batchSizes.Observe(float64(len(c.decisions)))
+		c.wireDecs = c.wireDecs[:0]
+		for _, d := range c.decisions {
+			c.wireDecs = append(c.wireDecs, wire.Decision{
+				Reason: uint8(d.Reason), Admissible: d.Admissible, Active: d.Active,
+			})
+		}
+		buf, err := wire.AppendDecisionBatch(c.encBuf[:0], f.ReqID, c.wireDecs)
+		if err != nil {
+			return true // unreachable: the decoder bounded the batch size
+		}
+		c.encBuf = buf
+		return c.wr.enqueue(buf)
+	case wire.OpUpdateRate:
+		if c.flushAdmits() {
+			return true
+		}
+		st := wire.StatusOK
+		if !(f.Rate >= 0) || f.Rate > maxFinite {
+			st = wire.StatusInvalidRate
+		} else if err := g.UpdateRate(f.Flow, f.Rate); err != nil {
+			st = wire.StatusNotActive
+		}
+		return c.enqueueAck(f.ReqID, st)
+	case wire.OpTouch:
+		if c.flushAdmits() {
+			return true
+		}
+		st := wire.StatusOK
+		if err := g.Touch(f.Flow); err != nil {
+			st = wire.StatusNotActive
+		}
+		return c.enqueueAck(f.ReqID, st)
+	case wire.OpDepart:
+		if c.flushAdmits() {
+			return true
+		}
+		st := wire.StatusOK
+		if err := g.Depart(f.Flow); err != nil {
+			st = wire.StatusNotActive
+		}
+		return c.enqueueAck(f.ReqID, st)
+	case wire.OpPing:
+		if c.flushAdmits() {
+			return true
+		}
+		c.encBuf = wire.AppendPong(c.encBuf[:0], f.ReqID)
+		return c.wr.enqueue(c.encBuf)
+	default:
+		// A response op from a client is a protocol violation.
+		c.srv.protoErrs.Inc()
+		return true
+	}
+}
+
+// enqueueAck encodes and enqueues one Ack response.
+func (c *conn) enqueueAck(reqID uint64, st wire.Status) bool {
+	c.encBuf = wire.AppendAck(c.encBuf[:0], reqID, st)
+	return c.wr.enqueue(c.encBuf)
+}
+
+// maxFinite guards against +Inf reaching UpdateRate (NaN and negatives
+// are caught by the f.Rate >= 0 comparison).
+const maxFinite = 1.7976931348623157e308
+
+// flushAdmits decides the pending Admit frames with one AdmitBatch call
+// and enqueues one Decision frame per request. Reports shed like handle.
+func (c *conn) flushAdmits() bool {
+	if len(c.pendIDs) == 0 {
+		return false
+	}
+	g := c.srv.cfg.Gateway
+	c.decisions = c.decisions[:0]
+	var err error
+	c.decisions, err = g.AdmitBatch(c.pendIDs, c.pendRates, c.decisions)
+	n := len(c.pendIDs)
+	c.pendIDs = c.pendIDs[:0]
+	c.pendRates = c.pendRates[:0]
+	if err != nil || len(c.decisions) != n {
+		c.pendReqs = c.pendReqs[:0]
+		return true // server bug; shed rather than desync correlation
+	}
+	c.srv.decisions.Add(int64(n))
+	c.srv.batches.Inc()
+	c.srv.batchSizes.Observe(float64(n))
+	buf := c.encBuf[:0]
+	for i, d := range c.decisions {
+		buf = wire.AppendDecision(buf, c.pendReqs[i], wire.Decision{
+			Reason:     uint8(d.Reason),
+			Admissible: d.Admissible,
+			Active:     d.Active,
+		})
+	}
+	c.encBuf = buf
+	c.pendReqs = c.pendReqs[:0]
+	return c.wr.enqueue(buf)
+}
+
+// writeLoop flushes the response backlog until the connection ends.
+func (c *conn) writeLoop() {
+	defer c.srv.wg.Done()
+	defer c.wr.exit()
+	for {
+		buf, closed := c.wr.take()
+		if len(buf) > 0 {
+			c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+			if _, err := c.nc.Write(buf); err != nil {
+				// Kick the reader off its blocking read; teardown follows.
+				c.nc.Close()
+				return
+			}
+		}
+		if closed {
+			return
+		}
+	}
+}
+
+// isTimeout reports whether err is a deadline error.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// connWriter is the double-buffered response backlog between the reader
+// (producer) and the writer goroutine (consumer): the reader copies
+// encoded frames into pending under mu; the writer swaps pending for the
+// spare and flushes it, so the reader never blocks on the socket and the
+// backlog length is the shed signal. Copying under the lock (instead of
+// handing the reader's encode buffer over) is what keeps the two
+// goroutines from ever sharing bytes.
+type connWriter struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []byte
+	spare   []byte
+	closed  bool
+	done    chan struct{} // closed when the writer goroutine exits
+	budget  int           // shed threshold, from Config.WriteBuffer
+}
+
+func (w *connWriter) init(budget int) {
+	w.cond = sync.NewCond(&w.mu)
+	w.done = make(chan struct{})
+	w.budget = budget
+}
+
+// enqueue copies buf into the backlog, wakes the writer, and reports
+// whether the backlog now exceeds the shed budget. buf remains owned by
+// the caller.
+func (w *connWriter) enqueue(buf []byte) (shed bool) {
+	w.mu.Lock()
+	w.pending = append(w.pending, buf...)
+	over := w.budget > 0 && len(w.pending) > w.budget
+	w.mu.Unlock()
+	w.cond.Signal()
+	return over
+}
+
+// take blocks until there is backlog to flush or the writer is closed,
+// swapping the backlog out. closed is true when no more data will come.
+func (w *connWriter) take() (buf []byte, closed bool) {
+	w.mu.Lock()
+	for len(w.pending) == 0 && !w.closed {
+		w.cond.Wait()
+	}
+	buf = w.pending
+	w.pending = w.spare[:0]
+	w.spare = buf
+	closed = w.closed && len(buf) == 0
+	w.mu.Unlock()
+	return buf, closed
+}
+
+// close tells the writer to finish after draining the backlog.
+func (w *connWriter) close() {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	w.cond.Signal()
+}
+
+// exit marks the writer goroutine finished; called from writeLoop only.
+func (w *connWriter) exit() {
+	w.mu.Lock()
+	w.closed = true // a failed writer also stops accepting work
+	w.mu.Unlock()
+	close(w.done)
+}
+
+// wait blocks until the writer goroutine has exited.
+func (w *connWriter) wait() {
+	<-w.done
+}

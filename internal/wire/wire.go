@@ -1,0 +1,549 @@
+// Package wire defines the framed binary protocol of the MBAC serving
+// layer: the encoding spoken between the public client package and
+// internal/server. The design goals mirror the admission hot path behind
+// it — a decision costs ~110 ns in-process, so the wire format must not
+// dominate it with parsing or garbage:
+//
+//   - frames are length-prefixed and fixed-layout, so a reader never
+//     scans for delimiters and a decode is a handful of loads;
+//   - encoding appends to a caller scratch buffer and decoding parses
+//     into a caller-owned Frame whose slices are reused across calls, so
+//     the steady state of both sides is allocation-free;
+//   - every request carries a caller-chosen request ID, so a client can
+//     pipeline arbitrarily many requests on one connection and correlate
+//     responses out of band — which is also what lets the server batch
+//     consecutive Admit frames into one Gateway.AdmitBatch call.
+//
+// # Frame layout
+//
+// All integers are big-endian; floats are IEEE-754 bit patterns.
+//
+//	uint32  length   payload length (everything after this field)
+//	uint8   version  protocol version (Version)
+//	uint8   op       Op
+//	uint64  reqID    request ID, echoed verbatim in the response
+//	...              op-specific payload (see below)
+//
+// Request payloads:
+//
+//	Admit       flow uint64, rate float64
+//	AdmitBatch  count uint16, then count × (flow uint64, rate float64)
+//	UpdateRate  flow uint64, rate float64
+//	Touch       flow uint64
+//	Depart      flow uint64
+//	Ping        (empty)
+//
+// Response payloads:
+//
+//	Decision       reason uint8, admissible float64, active int64
+//	DecisionBatch  count uint16, then count × decision (as above)
+//	Ack            status uint8
+//	Pong           (empty)
+//	Refusal        refusal uint8
+//
+// The decision reason byte is the numeric value of gateway.Reason — the
+// server passes the gateway's own classification through unchanged. A
+// Refusal with request ID zero is connection-scoped (the server is
+// refusing the connection, not one request): overloaded at accept,
+// draining, rate-capped, or shedding a slow reader.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Version is the protocol version byte carried by every frame.
+const Version = 1
+
+// Limits enforced by Decode and the Reader. MaxFrame bounds the payload
+// of a single frame (a length prefix beyond it is a protocol error, not
+// an allocation request), and MaxBatch bounds the item count of an
+// AdmitBatch/DecisionBatch frame.
+const (
+	MaxFrame = 1 << 20
+	MaxBatch = 8192
+)
+
+// headerLen is the fixed payload prefix: version, op, reqID.
+const headerLen = 1 + 1 + 8
+
+// decisionLen is the wire size of one Decision.
+const decisionLen = 1 + 8 + 8
+
+// Op identifies the frame type.
+type Op uint8
+
+// Frame ops. Requests and responses share one numbering space; the zero
+// value is invalid so an all-zero frame never decodes.
+const (
+	// OpAdmit requests admission of one flow at a declared rate.
+	OpAdmit Op = iota + 1
+	// OpAdmitBatch requests admission of several flows in one frame.
+	OpAdmitBatch
+	// OpUpdateRate reports a flow's measured/renegotiated rate.
+	OpUpdateRate
+	// OpTouch refreshes a flow's lease without changing its rate.
+	OpTouch
+	// OpDepart removes an active flow.
+	OpDepart
+	// OpPing is a liveness/RTT probe.
+	OpPing
+	// OpDecision answers an Admit.
+	OpDecision
+	// OpDecisionBatch answers an AdmitBatch, one decision per item.
+	OpDecisionBatch
+	// OpAck answers UpdateRate, Touch and Depart with a Status.
+	OpAck
+	// OpPong answers a Ping.
+	OpPong
+	// OpRefusal tells the peer a request (reqID ≠ 0) or the whole
+	// connection (reqID 0) was refused, with a Refusal reason.
+	OpRefusal
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpAdmit:
+		return "admit"
+	case OpAdmitBatch:
+		return "admit-batch"
+	case OpUpdateRate:
+		return "update-rate"
+	case OpTouch:
+		return "touch"
+	case OpDepart:
+		return "depart"
+	case OpPing:
+		return "ping"
+	case OpDecision:
+		return "decision"
+	case OpDecisionBatch:
+		return "decision-batch"
+	case OpAck:
+		return "ack"
+	case OpPong:
+		return "pong"
+	case OpRefusal:
+		return "refusal"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// ParseOp is the inverse of Op.String, for CLI and test tooling.
+func ParseOp(s string) (Op, error) {
+	for o := OpAdmit; o <= OpRefusal; o++ {
+		if o.String() == s {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("wire: unknown op %q", s)
+}
+
+// Status classifies the outcome of an acknowledged request (UpdateRate,
+// Touch, Depart).
+type Status uint8
+
+// Ack statuses.
+const (
+	// StatusOK: the request was applied.
+	StatusOK Status = iota
+	// StatusNotActive: the flow is not currently admitted.
+	StatusNotActive
+	// StatusInvalidRate: the rate was negative, NaN or infinite.
+	StatusInvalidRate
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusNotActive:
+		return "not-active"
+	case StatusInvalidRate:
+		return "invalid-rate"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// ParseStatus is the inverse of Status.String.
+func ParseStatus(s string) (Status, error) {
+	for st := StatusOK; st <= StatusInvalidRate; st++ {
+		if st.String() == s {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("wire: unknown status %q", s)
+}
+
+// Refusal classifies why the server refused a request or connection —
+// the serving-layer analogue of the gateway's capacity Reason, except
+// these are resource-protection refusals of the server itself, not
+// admission-control decisions.
+type Refusal uint8
+
+// Refusal reasons. The zero value is invalid so a Refusal frame always
+// carries an explicit cause.
+const (
+	// RefuseOverloaded: the server is at its max-connection limit.
+	RefuseOverloaded Refusal = iota + 1
+	// RefuseDraining: the server is shutting down gracefully.
+	RefuseDraining
+	// RefuseRateLimited: the connection exceeded its frame-rate cap.
+	RefuseRateLimited
+	// RefuseSlowClient: the connection's response backlog exceeded the
+	// write-buffer budget and the server shed it.
+	RefuseSlowClient
+	// RefuseProtocol: the peer sent a malformed or oversized frame.
+	RefuseProtocol
+)
+
+// String implements fmt.Stringer.
+func (r Refusal) String() string {
+	switch r {
+	case RefuseOverloaded:
+		return "overloaded"
+	case RefuseDraining:
+		return "draining"
+	case RefuseRateLimited:
+		return "rate-limited"
+	case RefuseSlowClient:
+		return "slow-client"
+	case RefuseProtocol:
+		return "protocol"
+	}
+	return fmt.Sprintf("Refusal(%d)", int(r))
+}
+
+// ParseRefusal is the inverse of Refusal.String.
+func ParseRefusal(s string) (Refusal, error) {
+	for r := RefuseOverloaded; r <= RefuseProtocol; r++ {
+		if r.String() == s {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("wire: unknown refusal %q", s)
+}
+
+// Decision is the wire form of one admission decision. Reason is the
+// numeric value of gateway.Reason; Admissible and Active mirror the
+// gateway Decision fields.
+type Decision struct {
+	Reason     uint8
+	Admissible float64
+	Active     int64
+}
+
+// Frame is the decoded form of one protocol frame. Decode fills only the
+// fields meaningful for the decoded op and reuses the receiver's slices,
+// so a Frame held across calls decodes batches allocation-free once its
+// slice capacities have warmed up.
+type Frame struct {
+	Version byte
+	Op      Op
+	ReqID   uint64
+
+	Flow    uint64  // Admit, UpdateRate, Touch, Depart
+	Rate    float64 // Admit, UpdateRate
+	Status  Status  // Ack
+	Refusal Refusal // Refusal
+
+	Decision  Decision   // Decision
+	Flows     []uint64   // AdmitBatch
+	Rates     []float64  // AdmitBatch
+	Decisions []Decision // DecisionBatch
+}
+
+// appendHeader appends the length prefix and the fixed payload prefix for
+// a frame whose op-specific payload is extra bytes long.
+func appendHeader(dst []byte, extra int, op Op, reqID uint64) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(headerLen+extra))
+	dst = append(dst, Version, byte(op))
+	return binary.BigEndian.AppendUint64(dst, reqID)
+}
+
+// AppendAdmit appends an Admit request frame to dst and returns the
+// extended slice. All Append functions encode the complete frame,
+// length prefix included, and never allocate beyond growing dst.
+func AppendAdmit(dst []byte, reqID, flow uint64, rate float64) []byte {
+	dst = appendHeader(dst, 16, OpAdmit, reqID)
+	dst = binary.BigEndian.AppendUint64(dst, flow)
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(rate))
+}
+
+// AppendAdmitBatch appends an AdmitBatch request frame covering
+// flows/rates (which must be equal-length and at most MaxBatch items).
+func AppendAdmitBatch(dst []byte, reqID uint64, flows []uint64, rates []float64) ([]byte, error) {
+	if len(flows) != len(rates) {
+		return dst, fmt.Errorf("wire: batch length mismatch: %d flows, %d rates", len(flows), len(rates))
+	}
+	if len(flows) == 0 || len(flows) > MaxBatch {
+		return dst, fmt.Errorf("wire: batch of %d items outside [1, %d]", len(flows), MaxBatch)
+	}
+	dst = appendHeader(dst, 2+16*len(flows), OpAdmitBatch, reqID)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(flows)))
+	for i, f := range flows {
+		dst = binary.BigEndian.AppendUint64(dst, f)
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(rates[i]))
+	}
+	return dst, nil
+}
+
+// AppendUpdateRate appends an UpdateRate request frame.
+func AppendUpdateRate(dst []byte, reqID, flow uint64, rate float64) []byte {
+	dst = appendHeader(dst, 16, OpUpdateRate, reqID)
+	dst = binary.BigEndian.AppendUint64(dst, flow)
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(rate))
+}
+
+// AppendTouch appends a Touch request frame.
+func AppendTouch(dst []byte, reqID, flow uint64) []byte {
+	dst = appendHeader(dst, 8, OpTouch, reqID)
+	return binary.BigEndian.AppendUint64(dst, flow)
+}
+
+// AppendDepart appends a Depart request frame.
+func AppendDepart(dst []byte, reqID, flow uint64) []byte {
+	dst = appendHeader(dst, 8, OpDepart, reqID)
+	return binary.BigEndian.AppendUint64(dst, flow)
+}
+
+// AppendPing appends a Ping request frame.
+func AppendPing(dst []byte, reqID uint64) []byte {
+	return appendHeader(dst, 0, OpPing, reqID)
+}
+
+// appendDecisionBody appends the 17-byte body of one decision.
+func appendDecisionBody(dst []byte, d Decision) []byte {
+	dst = append(dst, d.Reason)
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(d.Admissible))
+	return binary.BigEndian.AppendUint64(dst, uint64(d.Active))
+}
+
+// AppendDecision appends a Decision response frame.
+func AppendDecision(dst []byte, reqID uint64, d Decision) []byte {
+	dst = appendHeader(dst, decisionLen, OpDecision, reqID)
+	return appendDecisionBody(dst, d)
+}
+
+// AppendDecisionBatch appends a DecisionBatch response frame.
+func AppendDecisionBatch(dst []byte, reqID uint64, ds []Decision) ([]byte, error) {
+	if len(ds) == 0 || len(ds) > MaxBatch {
+		return dst, fmt.Errorf("wire: batch of %d decisions outside [1, %d]", len(ds), MaxBatch)
+	}
+	dst = appendHeader(dst, 2+decisionLen*len(ds), OpDecisionBatch, reqID)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(ds)))
+	for _, d := range ds {
+		dst = appendDecisionBody(dst, d)
+	}
+	return dst, nil
+}
+
+// AppendAck appends an Ack response frame.
+func AppendAck(dst []byte, reqID uint64, st Status) []byte {
+	dst = appendHeader(dst, 1, OpAck, reqID)
+	return append(dst, byte(st))
+}
+
+// AppendPong appends a Pong response frame.
+func AppendPong(dst []byte, reqID uint64) []byte {
+	return appendHeader(dst, 0, OpPong, reqID)
+}
+
+// AppendRefusal appends a Refusal response frame. reqID 0 scopes the
+// refusal to the connection rather than one request.
+func AppendRefusal(dst []byte, reqID uint64, r Refusal) []byte {
+	dst = appendHeader(dst, 1, OpRefusal, reqID)
+	return append(dst, byte(r))
+}
+
+// Decode parses one frame payload (the bytes after the length prefix)
+// into f, reusing f's slices. It rejects unknown versions and ops, trailing
+// or missing bytes, and batch counts outside [1, MaxBatch] — a frame either
+// decodes completely and canonically or not at all, which is what makes
+// the encode/decode round trip byte-exact (see FuzzFrameDecode).
+func (f *Frame) Decode(p []byte) error {
+	if len(p) < headerLen {
+		return fmt.Errorf("wire: frame of %d bytes shorter than the %d-byte header", len(p), headerLen)
+	}
+	if p[0] != Version {
+		return fmt.Errorf("wire: version %d, want %d", p[0], Version)
+	}
+	f.Version = p[0]
+	f.Op = Op(p[1])
+	f.ReqID = binary.BigEndian.Uint64(p[2:])
+	body := p[headerLen:]
+	switch f.Op {
+	case OpAdmit, OpUpdateRate:
+		if len(body) != 16 {
+			return fmt.Errorf("wire: %v payload is %d bytes, want 16", f.Op, len(body))
+		}
+		f.Flow = binary.BigEndian.Uint64(body)
+		f.Rate = math.Float64frombits(binary.BigEndian.Uint64(body[8:]))
+	case OpTouch, OpDepart:
+		if len(body) != 8 {
+			return fmt.Errorf("wire: %v payload is %d bytes, want 8", f.Op, len(body))
+		}
+		f.Flow = binary.BigEndian.Uint64(body)
+	case OpPing, OpPong:
+		if len(body) != 0 {
+			return fmt.Errorf("wire: %v payload is %d bytes, want 0", f.Op, len(body))
+		}
+	case OpAdmitBatch:
+		n, err := batchCount(f.Op, body, 16)
+		if err != nil {
+			return err
+		}
+		f.Flows = f.Flows[:0]
+		f.Rates = f.Rates[:0]
+		for i := 0; i < n; i++ {
+			item := body[2+16*i:]
+			f.Flows = append(f.Flows, binary.BigEndian.Uint64(item))
+			f.Rates = append(f.Rates, math.Float64frombits(binary.BigEndian.Uint64(item[8:])))
+		}
+	case OpDecision:
+		if len(body) != decisionLen {
+			return fmt.Errorf("wire: %v payload is %d bytes, want %d", f.Op, len(body), decisionLen)
+		}
+		f.Decision = decodeDecision(body)
+	case OpDecisionBatch:
+		n, err := batchCount(f.Op, body, decisionLen)
+		if err != nil {
+			return err
+		}
+		f.Decisions = f.Decisions[:0]
+		for i := 0; i < n; i++ {
+			f.Decisions = append(f.Decisions, decodeDecision(body[2+decisionLen*i:]))
+		}
+	case OpAck:
+		if len(body) != 1 {
+			return fmt.Errorf("wire: %v payload is %d bytes, want 1", f.Op, len(body))
+		}
+		f.Status = Status(body[0])
+		if f.Status > StatusInvalidRate {
+			return fmt.Errorf("wire: unknown status %d", body[0])
+		}
+	case OpRefusal:
+		if len(body) != 1 {
+			return fmt.Errorf("wire: %v payload is %d bytes, want 1", f.Op, len(body))
+		}
+		f.Refusal = Refusal(body[0])
+		if f.Refusal < RefuseOverloaded || f.Refusal > RefuseProtocol {
+			return fmt.Errorf("wire: unknown refusal %d", body[0])
+		}
+	default:
+		return fmt.Errorf("wire: unknown op %d", p[1])
+	}
+	return nil
+}
+
+// batchCount validates a batch payload (uint16 count + count fixed-size
+// items) and returns the count.
+func batchCount(op Op, body []byte, itemLen int) (int, error) {
+	if len(body) < 2 {
+		return 0, fmt.Errorf("wire: %v payload is %d bytes, want at least 2", op, len(body))
+	}
+	n := int(binary.BigEndian.Uint16(body))
+	if n == 0 || n > MaxBatch {
+		return 0, fmt.Errorf("wire: %v count %d outside [1, %d]", op, n, MaxBatch)
+	}
+	if len(body) != 2+itemLen*n {
+		return 0, fmt.Errorf("wire: %v payload is %d bytes, want %d for %d items", op, len(body), 2+itemLen*n, n)
+	}
+	return n, nil
+}
+
+// decodeDecision parses one 17-byte decision body.
+func decodeDecision(p []byte) Decision {
+	return Decision{
+		Reason:     p[0],
+		Admissible: math.Float64frombits(binary.BigEndian.Uint64(p[1:])),
+		Active:     int64(binary.BigEndian.Uint64(p[9:])),
+	}
+}
+
+// Reader decodes frames from a byte stream, owning the buffering so the
+// steady state reads and decodes without allocating. It is not safe for
+// concurrent use; each connection side owns exactly one Reader.
+type Reader struct {
+	br  *bufio.Reader
+	buf []byte
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Next reads one frame from the stream and decodes it into f. It returns
+// io.EOF only on a clean frame boundary; a partial frame surfaces as
+// io.ErrUnexpectedEOF.
+//
+// Frames that fit the internal buffer (the overwhelmingly common case)
+// decode straight out of it via Peek/Discard — no per-frame allocation,
+// no copy. Decode never retains the payload, so discarding after the
+// decode is safe.
+func (r *Reader) Next(f *Frame) error {
+	hdr, err := r.br.Peek(4)
+	if err != nil {
+		if err == io.EOF && len(hdr) > 0 {
+			return io.ErrUnexpectedEOF // partial length prefix
+		}
+		return err
+	}
+	n := int(binary.BigEndian.Uint32(hdr))
+	if n < headerLen || n > MaxFrame {
+		return fmt.Errorf("wire: frame length %d outside [%d, %d]", n, headerLen, MaxFrame)
+	}
+	r.br.Discard(4)
+	if n <= r.br.Size() {
+		p, err := r.br.Peek(n)
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return err
+		}
+		err = f.Decode(p)
+		r.br.Discard(n)
+		return err
+	}
+	// A frame larger than the buffer: assemble it in the Reader's scratch.
+	if cap(r.buf) < n {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.br, r.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	return f.Decode(r.buf)
+}
+
+// FrameBuffered reports whether a complete frame is already sitting in
+// the Reader's buffer, i.e. whether Next is guaranteed to return without
+// touching the underlying stream. The server's micro-batcher uses this to
+// drain exactly the pipelined burst: it keeps accumulating Admit frames
+// while more are already here and flushes the batch right before the
+// first read that could block.
+func (r *Reader) FrameBuffered() bool {
+	if r.br.Buffered() < 4 {
+		return false
+	}
+	hdr, err := r.br.Peek(4)
+	if err != nil {
+		return false
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n > MaxFrame {
+		return true // malformed: Next will fail without blocking
+	}
+	return r.br.Buffered() >= 4+int(n)
+}

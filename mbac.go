@@ -44,6 +44,7 @@
 package mbac
 
 import (
+	"repro/client"
 	"repro/internal/core"
 	"repro/internal/estimator"
 	"repro/internal/gateway"
@@ -52,6 +53,7 @@ import (
 	"repro/internal/link"
 	"repro/internal/metrics"
 	"repro/internal/qos"
+	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/theory"
@@ -432,4 +434,47 @@ type LimitResult = limitsim.Result
 // the flow-level simulator.
 func SimulateLimit(s System, pce float64, opts LimitOptions) (LimitResult, error) {
 	return limitsim.Overflow(s, pce, opts)
+}
+
+// ---------------------------------------------------------------------------
+// Network serving layer.
+//
+// The wire protocol (internal/wire), the TCP admission server
+// (internal/server) and the pooled pipelined client (package client) turn
+// a Gateway into a network service; cmd/gateway -serve runs it and
+// cmd/loadgen drives it. DESIGN.md documents the frame layout, the
+// pipelining/batching semantics and the drain contract.
+
+// AdmissionServer is the TCP server fronting a Gateway with the framed
+// admission protocol: one reader/writer goroutine pair per connection,
+// pipelined Admit frames micro-batched into single AdmitBatch calls, and
+// explicit robustness edges (max-conns refusal, deadlines, slow-client
+// shedding, frame-rate caps, graceful drain).
+type AdmissionServer = server.Server
+
+// AdmissionServerConfig parameterizes an AdmissionServer.
+type AdmissionServerConfig = server.Config
+
+// AdmissionServerSnapshot is the serving-layer observability view
+// (connection and frame counters, the batch-size histogram), the
+// mbac_server_* sibling of GatewaySnapshot.
+type AdmissionServerSnapshot = server.Snapshot
+
+// NewAdmissionServer validates the configuration and returns a server;
+// Serve accepts on a caller-provided listener and Shutdown drains it.
+func NewAdmissionServer(cfg AdmissionServerConfig) (*AdmissionServer, error) {
+	return server.New(cfg)
+}
+
+// AdmissionClient is the pooled, pipelined Go client for the admission
+// protocol; decisions come back as GatewayDecision values.
+type AdmissionClient = client.Client
+
+// AdmissionClientConfig parameterizes an AdmissionClient.
+type AdmissionClientConfig = client.Config
+
+// NewAdmissionClient validates the configuration and returns a client;
+// connections dial lazily and redial after server drains or refusals.
+func NewAdmissionClient(cfg AdmissionClientConfig) (*AdmissionClient, error) {
+	return client.New(cfg)
 }
