@@ -24,10 +24,18 @@
 #              end-to-end soak (client -> server -> gateway, open loop,
 #              concurrent, graceful drain) under -race, then bench-cmp so
 #              the serving layer can't regress the admission hot path
+#   scenario — declarative scenario suite (build tag "scenario"): every
+#              config under scenarios/ runs its seed x arm matrix and must
+#              grade to its declared Confirmed/Refuted verdict — including
+#              the slow impulsive sqrt2-law ensembles excluded from tier-1;
+#              ends with bench-cmp so scenario plumbing can't tax the
+#              admission hot path. The fast scenarios also replay in tier-1
+#              via the byte-exact golden reports (results/golden/scenario/)
+#              and the network-twin test.
 
 GO ?= go
 
-.PHONY: all build test race test-stat bench bench-json bench-cmp fuzz golden vet test-chaos test-net
+.PHONY: all build test race test-stat bench bench-json bench-cmp fuzz golden vet test-chaos test-net test-scenario scenarios
 
 all: build test
 
@@ -70,9 +78,11 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzExponentialEstimator -fuzztime $(FUZZTIME) ./internal/estimator
 	$(GO) test -run '^$$' -fuzz FuzzCertaintyEquivalent -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run '^$$' -fuzz FuzzScenarioConfig -fuzztime $(FUZZTIME) ./internal/scenario
 
 golden:
 	$(GO) test ./internal/experiments -run TestGolden -update-golden
+	$(GO) test ./internal/scenario -run TestGoldenScenarioReports -update-golden
 
 # Static tier: the standard vet pass plus the repo-local enum/String
 # exhaustiveness check.
@@ -81,6 +91,7 @@ vet:
 	$(GO) run ./cmd/vetenum -dir internal/gateway -type Reason,DegradedPolicy
 	$(GO) run ./cmd/vetenum -dir internal/fault -type Mode
 	$(GO) run ./cmd/vetenum -dir internal/wire -type Op,Status,Refusal
+	$(GO) run ./cmd/vetenum -dir internal/scenario -type Verdict,HypothesisKind,InvariantKind,Metric,Relation,IntervalMode
 
 # Chaos tier: seeded fault-injection soaks under the race detector, then
 # the serving-path perf guard — leases and degradation must not tax the
@@ -95,3 +106,16 @@ test-chaos:
 test-net:
 	$(GO) test -tags net -race -run 'TestSoak' -v ./internal/loadgen
 	$(MAKE) bench-cmp
+
+# Scenario tier: the full declarative suite (including the slow impulsive
+# sqrt2-law ensembles), then the serving-path perf guard — the scenario
+# engine drives the same gateway everything else does, and must not
+# regress it.
+test-scenario:
+	$(GO) test -tags scenario -run 'TestScenarioSuite' -timeout 30m -v ./internal/scenario
+	$(MAKE) bench-cmp
+
+# Regenerate the FINDINGS reports under results/scenario from the built-in
+# suite (cmd/scenario exits nonzero if any verdict mismatches its expect).
+scenarios:
+	$(GO) run ./cmd/scenario -dir scenarios -out results/scenario -strict

@@ -50,18 +50,36 @@ func ParseWindows(s string) ([]Window, error) {
 		}
 		ws = append(ws, Window{Mode: m, From: from, To: to})
 	}
+	if err := ValidateWindows(ws); err != nil {
+		return nil, err
+	}
+	return ws, nil
+}
+
+// ValidateWindows sorts ws by From in place and checks that every window
+// is a well-formed non-empty interval with a known mode and that no two
+// windows overlap — the invariant ModeAt relies on. It is the validation
+// half of ParseWindows, exposed for callers that build schedules
+// structurally (scenario configs) rather than from the CLI syntax.
+func ValidateWindows(ws []Window) error {
 	for i := 1; i < len(ws); i++ {
 		for j := i; j > 0 && ws[j].From < ws[j-1].From; j-- {
 			ws[j], ws[j-1] = ws[j-1], ws[j]
 		}
 	}
-	for i := 1; i < len(ws); i++ {
-		if ws[i].From < ws[i-1].To {
-			return nil, fmt.Errorf("fault: windows [%g, %g) and [%g, %g) overlap",
-				ws[i-1].From, ws[i-1].To, ws[i].From, ws[i].To)
+	for i, w := range ws {
+		if w.Mode < None || w.Mode > DropUpdates {
+			return fmt.Errorf("fault: window %d has unknown mode %d", i, int32(w.Mode))
+		}
+		if math.IsNaN(w.From) || math.IsNaN(w.To) || math.IsInf(w.From, 0) || math.IsInf(w.To, 0) || !(w.To > w.From) {
+			return fmt.Errorf("fault: window %d: empty interval [%g, %g)", i, w.From, w.To)
+		}
+		if i > 0 && w.From < ws[i-1].To {
+			return fmt.Errorf("fault: windows [%g, %g) and [%g, %g) overlap",
+				ws[i-1].From, ws[i-1].To, w.From, w.To)
 		}
 	}
-	return ws, nil
+	return nil
 }
 
 // ModeAt returns the fault scheduled at virtual time t (None when no

@@ -361,6 +361,16 @@ type Stats struct {
 	Ticks         int64   // measurement ticks performed
 }
 
+// LifecycleBalanced reports the flow-conservation identity every quiescent
+// gateway must satisfy: every admission is accounted for by a departure, a
+// lease expiry, or a still-active flow (Admitted = Departed + Expired +
+// Active). Mid-flight snapshots can legitimately be off by in-progress
+// operations; after a drained run it must hold exactly, and the scenario
+// tier's invariant hypotheses assert it after every storm.
+func (s Stats) LifecycleBalanced() bool {
+	return s.Admitted == s.Departed+s.Expired+s.Active
+}
+
 // New validates the configuration and returns a gateway whose bound has
 // been initialized by one measurement tick at virtual time zero (so a
 // certainty-equivalent controller starts from its bootstrap declaration).

@@ -13,12 +13,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/client"
+	"repro/internal/fault"
 	"repro/internal/gateway"
 	"repro/internal/rng"
 	"repro/internal/traffic"
@@ -30,6 +32,10 @@ type Kind uint8
 const (
 	KindAdmit Kind = iota
 	KindDepart
+	// KindUpdate renegotiates a flow's rate mid-life — the path through
+	// which a lying client's *measured* rate reaches the gateway after its
+	// understated declaration was admitted.
+	KindUpdate
 )
 
 // Event is one scheduled admission action at virtual time T.
@@ -40,19 +46,68 @@ type Event struct {
 	Rate float64
 }
 
+// Crowd is a flash-crowd window: while virtual time is in [From, To) the
+// arrival intensity is multiplied by Factor. The zero value disables it.
+type Crowd struct {
+	Factor float64
+	From   float64
+	To     float64
+}
+
 // Config parameterizes a workload.
 type Config struct {
 	Seed     uint64  // schedule RNG seed
-	Lambda   float64 // Poisson flow arrival rate (flows per virtual time unit)
+	Lambda   float64 // flow arrival rate (flows per virtual time unit)
 	Hold     float64 // mean exponential holding time
-	SVR      float64 // sigma/mu of the flow-rate distribution
+	SVR      float64 // sigma/mu of the flow-rate distribution (RCBR default model)
 	TC       float64 // RCBR correlation time of the rate model
 	Duration float64 // virtual schedule length
+
+	// ArrivalCV selects the interarrival law: 0 (or 1) keeps the paper's
+	// Poisson arrivals; any other positive value draws Gamma interarrival
+	// times with that coefficient of variation at the same mean — the
+	// Gamma-burst arrivals of the scenario tier (CV > 1 clusters arrivals
+	// into bursts a Poisson process never produces).
+	ArrivalCV float64
+
+	// Model overrides the flow-rate model. nil keeps the default
+	// RCBR(1, SVR, TC); with a Model set, SVR and TC are not required.
+	Model traffic.Model
+
+	// Plan is the client-misbehavior population (fault.ClientPlan): flows
+	// declare Plan.Declared(rate) at admission (a lying client's actual
+	// rate still follows as a KindUpdate event), and a departing flow
+	// silently leaks its slot with probability LeakP — no depart event is
+	// scheduled, leaving reclamation to the gateway's lease sweep. The
+	// zero value is an honest population.
+	Plan fault.ClientPlan
+
+	// Crowd, when Factor > 1, is the flash-crowd window.
+	Crowd Crowd
 }
 
 func (c Config) validate() error {
-	if c.Lambda <= 0 || c.Hold <= 0 || c.SVR <= 0 || c.TC <= 0 || c.Duration <= 0 {
-		return fmt.Errorf("loadgen: lambda, hold, svr, tc and duration must be positive")
+	if c.Lambda <= 0 || c.Hold <= 0 || c.Duration <= 0 {
+		return fmt.Errorf("loadgen: lambda, hold and duration must be positive")
+	}
+	if c.Model == nil && (c.SVR <= 0 || c.TC <= 0) {
+		return fmt.Errorf("loadgen: svr and tc must be positive without an explicit model")
+	}
+	if math.IsNaN(c.ArrivalCV) || math.IsInf(c.ArrivalCV, 0) || c.ArrivalCV < 0 {
+		return fmt.Errorf("loadgen: arrival CV %g must be a non-negative finite value", c.ArrivalCV)
+	}
+	if c.Plan.Lie != 0 || c.Plan.LeakP != 0 {
+		if err := c.Plan.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Crowd.Factor != 0 {
+		if math.IsNaN(c.Crowd.Factor) || math.IsInf(c.Crowd.Factor, 0) || c.Crowd.Factor < 1 {
+			return fmt.Errorf("loadgen: crowd factor %g must be >= 1 and finite", c.Crowd.Factor)
+		}
+		if math.IsNaN(c.Crowd.From) || math.IsNaN(c.Crowd.To) || !(c.Crowd.To > c.Crowd.From) {
+			return fmt.Errorf("loadgen: crowd window [%g, %g) is empty", c.Crowd.From, c.Crowd.To)
+		}
 	}
 	return nil
 }
@@ -66,18 +121,47 @@ func Schedule(cfg Config) ([]Event, error) {
 		return nil, err
 	}
 	r := rng.New(cfg.Seed, 0x6c6f6164) // "load"
-	model := traffic.NewRCBR(1, cfg.SVR, cfg.TC)
+	model := cfg.Model
+	if model == nil {
+		model = traffic.NewRCBR(1, cfg.SVR, cfg.TC)
+	}
+	// next draws one interarrival time starting at virtual time now. With
+	// the new knobs at their zero values this is exactly the historical
+	// r.Exp(1/λ) draw, so old seeds keep their old schedules bit for bit.
+	next := func(now float64) float64 {
+		mean := 1 / cfg.Lambda
+		if cfg.Crowd.Factor > 1 && now >= cfg.Crowd.From && now < cfg.Crowd.To {
+			mean /= cfg.Crowd.Factor
+		}
+		if cfg.ArrivalCV == 0 || cfg.ArrivalCV == 1 {
+			return r.Exp(mean)
+		}
+		shape := 1 / (cfg.ArrivalCV * cfg.ArrivalCV)
+		return r.Gamma(shape, mean/shape)
+	}
 	var events []Event
 	id := uint64(0)
-	for t := r.Exp(1 / cfg.Lambda); t < cfg.Duration; t += r.Exp(1 / cfg.Lambda) {
+	for t := next(0); t < cfg.Duration; t += next(t) {
 		fr := r.Split(id)
 		rate := model.New(fr).Next().Rate
 		hold := fr.Exp(cfg.Hold)
+		leak := false
+		if cfg.Plan.LeakP > 0 { // draw only when leaking is on: keeps old streams intact
+			leak = cfg.Plan.Leaks(fr.Float64())
+		}
 		if t+hold > cfg.Duration {
 			hold = cfg.Duration - t
 		}
-		events = append(events, Event{T: t, Kind: KindAdmit, Flow: id, Rate: rate})
-		events = append(events, Event{T: t + hold, Kind: KindDepart, Flow: id})
+		declared := cfg.Plan.Declared(rate)
+		events = append(events, Event{T: t, Kind: KindAdmit, Flow: id, Rate: declared})
+		if declared != rate {
+			// The measured rate follows the lying declaration immediately;
+			// the kind tie-break keeps it after the admit.
+			events = append(events, Event{T: t, Kind: KindUpdate, Flow: id, Rate: rate})
+		}
+		if !leak {
+			events = append(events, Event{T: t + hold, Kind: KindDepart, Flow: id})
+		}
 		id++
 	}
 	sort.Slice(events, func(i, j int) bool {
@@ -100,6 +184,10 @@ type Stats struct {
 	Rejected  int64
 	Departed  int64
 	NotActive int64
+	// Updated counts rate renegotiations that landed on an active flow;
+	// UpdateMissed counts those whose flow was rejected or already gone.
+	Updated      int64
+	UpdateMissed int64
 }
 
 // Target is an admission substrate a schedule can replay against: the
@@ -111,6 +199,9 @@ type Target interface {
 	// Depart releases one flow; active reports whether the flow was
 	// actually active (false for the gateway's not-active outcome).
 	Depart(ctx context.Context, flow uint64) (active bool, err error)
+	// UpdateRate renegotiates an active flow's rate; active reports
+	// whether the flow was active (false when it was rejected or gone).
+	UpdateRate(ctx context.Context, flow uint64, rate float64) (active bool, err error)
 }
 
 // GatewayTarget replays against an in-process gateway.
@@ -134,6 +225,15 @@ func (t *GatewayTarget) Depart(_ context.Context, flow uint64) (bool, error) {
 	return true, nil
 }
 
+// UpdateRate implements Target. Schedules never carry invalid rates, so
+// any gateway error here is the not-active outcome.
+func (t *GatewayTarget) UpdateRate(_ context.Context, flow uint64, rate float64) (bool, error) {
+	if err := t.G.UpdateRate(flow, rate); err != nil {
+		return false, nil
+	}
+	return true, nil
+}
+
 // ClientTarget replays through the network client.
 type ClientTarget struct{ C *client.Client }
 
@@ -148,6 +248,18 @@ func (t ClientTarget) Depart(ctx context.Context, flow uint64) (bool, error) {
 	case err == nil:
 		return true, nil
 	case errors.Is(err, client.ErrNotActive):
+		return false, nil
+	default:
+		return false, err
+	}
+}
+
+// UpdateRate implements Target.
+func (t ClientTarget) UpdateRate(ctx context.Context, flow uint64, rate float64) (bool, error) {
+	switch err := t.C.UpdateRate(ctx, flow, rate); {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, client.ErrNotActive), errors.Is(err, client.ErrInvalidRate):
 		return false, nil
 	default:
 		return false, err
@@ -219,6 +331,19 @@ func Replay(ctx context.Context, tgt Target, events []Event, batch int, window f
 			} else {
 				st.NotActive++
 			}
+		case KindUpdate:
+			if err := flush(); err != nil {
+				return st, err
+			}
+			active, err := tgt.UpdateRate(ctx, ev.Flow, ev.Rate)
+			if err != nil {
+				return st, err
+			}
+			if active {
+				st.Updated++
+			} else {
+				st.UpdateMissed++
+			}
 		}
 	}
 	return st, flush()
@@ -249,7 +374,7 @@ func Run(ctx context.Context, tgt func(worker int) Target, events []Event, cfg R
 		w := int(ev.Flow % uint64(cfg.Workers))
 		per[w] = append(per[w], ev)
 	}
-	var admitted, rejected, departed, notActive atomic.Int64
+	var admitted, rejected, departed, notActive, updated, updateMissed atomic.Int64
 	var wg sync.WaitGroup
 	errs := make(chan error, cfg.Workers)
 	start := time.Now()
@@ -325,6 +450,21 @@ func Run(ctx context.Context, tgt func(worker int) Target, events []Event, cfg R
 					} else {
 						notActive.Add(1)
 					}
+				case KindUpdate:
+					if err := flush(); err != nil {
+						errs <- err
+						return
+					}
+					active, err := t.UpdateRate(ctx, ev.Flow, ev.Rate)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if active {
+						updated.Add(1)
+					} else {
+						updateMissed.Add(1)
+					}
 				}
 			}
 			errs <- flush()
@@ -333,10 +473,12 @@ func Run(ctx context.Context, tgt func(worker int) Target, events []Event, cfg R
 	wg.Wait()
 	close(errs)
 	st := Stats{
-		Admitted:  admitted.Load(),
-		Rejected:  rejected.Load(),
-		Departed:  departed.Load(),
-		NotActive: notActive.Load(),
+		Admitted:     admitted.Load(),
+		Rejected:     rejected.Load(),
+		Departed:     departed.Load(),
+		NotActive:    notActive.Load(),
+		Updated:      updated.Load(),
+		UpdateMissed: updateMissed.Load(),
 	}
 	for err := range errs {
 		if err != nil {

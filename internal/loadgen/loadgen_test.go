@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"context"
+	"math"
 	"net"
 	"reflect"
 	"sync/atomic"
@@ -180,5 +181,169 @@ func TestRunConcurrent(t *testing.T) {
 	}
 	if st.Departed != st.Admitted {
 		t.Fatalf("departed %d but admitted %d", st.Departed, st.Admitted)
+	}
+}
+
+// TestScheduleNewKnobs covers the scenario-tier schedule extensions:
+// Gamma-burst arrivals, the flash-crowd window, and client plans (lying
+// declarations with trailing updates, leaked departs).
+func TestScheduleNewKnobs(t *testing.T) {
+	count := func(evs []Event) (admits, departs, updates int) {
+		for _, ev := range evs {
+			switch ev.Kind {
+			case KindAdmit:
+				admits++
+			case KindDepart:
+				departs++
+			case KindUpdate:
+				updates++
+			}
+		}
+		return
+	}
+
+	t.Run("gamma-bursts", func(t *testing.T) {
+		cfg := testConfig()
+		cfg.ArrivalCV = 3.5
+		a, err := Schedule(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Schedule(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("gamma schedule not deterministic")
+		}
+		poisson, err := Schedule(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(a, poisson) {
+			t.Fatal("CV=3.5 produced the Poisson schedule")
+		}
+		// CV=1 Gamma is the exponential: must hit the historical draws exactly.
+		cv1 := testConfig()
+		cv1.ArrivalCV = 1
+		c, err := Schedule(cv1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(c, poisson) {
+			t.Fatal("CV=1 diverged from the Poisson schedule")
+		}
+	})
+
+	t.Run("flash-crowd", func(t *testing.T) {
+		cfg := testConfig()
+		cfg.Crowd = Crowd{Factor: 8, From: 20, To: 40}
+		evs, err := Schedule(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, out := 0, 0
+		for _, ev := range evs {
+			if ev.Kind != KindAdmit {
+				continue
+			}
+			if ev.T >= 20 && ev.T < 40 {
+				in++
+			} else {
+				out++
+			}
+		}
+		// The crowd window is 20 of 60 time units at 8x intensity: it must
+		// dominate the arrival count.
+		if in <= out {
+			t.Fatalf("crowd window got %d admits vs %d outside", in, out)
+		}
+	})
+
+	t.Run("lying-clients", func(t *testing.T) {
+		cfg := testConfig()
+		cfg.Plan.Lie = 0.5
+		evs, err := Schedule(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		admits, departs, updates := count(evs)
+		if updates != admits || departs != admits {
+			t.Fatalf("want one update and one depart per admit, got %d/%d/%d", admits, departs, updates)
+		}
+		byFlow := map[uint64][2]float64{}
+		for _, ev := range evs {
+			v := byFlow[ev.Flow]
+			switch ev.Kind {
+			case KindAdmit:
+				v[0] = ev.Rate
+			case KindUpdate:
+				v[1] = ev.Rate
+			}
+			byFlow[ev.Flow] = v
+		}
+		for f, v := range byFlow {
+			if v[0] != v[1]*0.5 {
+				t.Fatalf("flow %d declared %g for actual %g, want half", f, v[0], v[1])
+			}
+		}
+	})
+
+	t.Run("leaky-clients", func(t *testing.T) {
+		cfg := testConfig()
+		cfg.Plan.LeakP = 0.5
+		cfg.Plan.Lie = 1
+		evs, err := Schedule(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		admits, departs, _ := count(evs)
+		if departs >= admits || departs == 0 {
+			t.Fatalf("LeakP=0.5 got %d departs for %d admits", departs, admits)
+		}
+	})
+
+	t.Run("invalid", func(t *testing.T) {
+		for name, mut := range map[string]func(*Config){
+			"nan-cv":       func(c *Config) { c.ArrivalCV = math.NaN() },
+			"neg-cv":       func(c *Config) { c.ArrivalCV = -1 },
+			"crowd-factor": func(c *Config) { c.Crowd = Crowd{Factor: 0.5, From: 0, To: 1} },
+			"crowd-window": func(c *Config) { c.Crowd = Crowd{Factor: 2, From: 5, To: 5} },
+			"leak-p":       func(c *Config) { c.Plan.LeakP = 1.5 },
+			"negative-lie": func(c *Config) { c.Plan.Lie = -1 },
+		} {
+			cfg := testConfig()
+			mut(&cfg)
+			if _, err := Schedule(cfg); err == nil {
+				t.Errorf("%s: invalid config accepted", name)
+			}
+		}
+	})
+}
+
+// TestReplayUpdates checks that KindUpdate events reach the substrate and
+// that the gateway sees the corrected (actual) rate after a lying admit.
+func TestReplayUpdates(t *testing.T) {
+	cfg := testConfig()
+	cfg.Plan.Lie = 0.5
+	events, err := Schedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newGateway(t)
+	st, err := Replay(context.Background(), &GatewayTarget{G: g}, events, 16, 1, func(now float64) { g.Tick(now) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Updated == 0 {
+		t.Fatal("no updates landed")
+	}
+	if st.Updated+st.UpdateMissed != st.Admitted+st.Rejected {
+		t.Fatalf("update accounting: %d updated + %d missed != %d decisions",
+			st.Updated, st.UpdateMissed, st.Admitted+st.Rejected)
+	}
+	if st.UpdateMissed != st.Rejected {
+		t.Fatalf("missed updates %d should equal rejections %d (updates arrive before any depart)",
+			st.UpdateMissed, st.Rejected)
 	}
 }

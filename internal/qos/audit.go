@@ -68,6 +68,17 @@ func (v Verdict) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + v.String() + `"`), nil
 }
 
+// ParseVerdict is the inverse of Verdict.String, for scenario configs and
+// replay tooling that state an expected audit verdict by name.
+func ParseVerdict(s string) (Verdict, error) {
+	for v := VerdictInsufficient; v <= VerdictDegraded; v++ {
+		if v.String() == s {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("qos: unknown verdict %q", s)
+}
+
 // AuditConfig parameterizes an Audit.
 type AuditConfig struct {
 	// TargetPf is the QoS target p_q in (0, 0.5) (required).

@@ -252,6 +252,45 @@ func (p *PCG) NormalMS(m, s float64) float64 {
 	return m + s*p.Normal()
 }
 
+// Gamma returns a Gamma(shape, scale) sample via the Marsaglia–Tsang
+// squeeze method (shape >= 1), with the standard u^(1/shape) boost for
+// shape < 1. Bursty arrival processes use it: interarrival times that are
+// Gamma with coefficient of variation cv (shape = 1/cv², scale = mean·cv²)
+// reduce to the Poisson process at cv = 1 in distribution, while cv > 1
+// clusters arrivals into the flash-crowd-like bursts of the Gamma-burst
+// workloads.
+func (p *PCG) Gamma(shape, scale float64) float64 {
+	if !(shape > 0) || !(scale > 0) {
+		panic("rng: Gamma requires positive shape and scale")
+	}
+	boost := 1.0
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) · U^(1/a).
+		boost = math.Pow(p.Float64Open(), 1/shape)
+		shape++
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = p.Normal()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := p.Float64Open()
+		if u < 1-0.0331*x*x*x*x {
+			return boost * scale * d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return boost * scale * d * v
+		}
+	}
+}
+
 // TruncatedNormal returns a sample from N(m, s^2) conditioned on being >= lo,
 // via simple rejection. It is used for non-negative traffic rates: the
 // paper's RCBR sources have a Gaussian marginal with sigma/mu = 0.3, for

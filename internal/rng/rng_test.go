@@ -284,3 +284,48 @@ func BenchmarkExp(b *testing.B) {
 	}
 	_ = s
 }
+
+// TestGammaMoments checks the Gamma sampler against its analytic mean
+// (shape·scale) and variance (shape·scale²) across the shapes the bursty
+// arrival workloads use: sub-exponential (shape < 1, the high-CV burst
+// regime), exponential (shape = 1) and super-exponential.
+func TestGammaMoments(t *testing.T) {
+	const n = 400000
+	for _, tc := range []struct{ shape, scale float64 }{
+		{1.0 / (3.5 * 3.5), 3.5 * 3.5}, // CV 3.5 interarrivals, mean 1
+		{1, 2},
+		{4, 0.5},
+	} {
+		p := New(42, 0x67616d) // "gam"
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			x := p.Gamma(tc.shape, tc.scale)
+			if !(x > 0) || math.IsInf(x, 0) {
+				t.Fatalf("Gamma(%g, %g) produced %g", tc.shape, tc.scale, x)
+			}
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		wantMean := tc.shape * tc.scale
+		wantVar := tc.shape * tc.scale * tc.scale
+		if math.Abs(mean-wantMean) > 0.03*wantMean {
+			t.Errorf("Gamma(%g, %g): mean %g, want %g", tc.shape, tc.scale, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > 0.1*wantVar {
+			t.Errorf("Gamma(%g, %g): variance %g, want %g", tc.shape, tc.scale, variance, wantVar)
+		}
+	}
+}
+
+// TestGammaDeterministic pins stream reproducibility: equal seeds produce
+// identical Gamma draws (schedules built on them must be replayable).
+func TestGammaDeterministic(t *testing.T) {
+	a, b := New(7, 9), New(7, 9)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Gamma(0.2, 5), b.Gamma(0.2, 5); x != y {
+			t.Fatalf("draw %d diverged: %g vs %g", i, x, y)
+		}
+	}
+}

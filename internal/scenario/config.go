@@ -1,0 +1,652 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/fault"
+	"repro/internal/qos"
+)
+
+// Config is one declarative scenario: the workload, the target substrate,
+// the seeds (replication axis), the arms (varied variable), the fault
+// schedule, and the typed hypothesis that grades the matrix. It decodes
+// strictly — unknown fields, unknown names and non-finite numbers are
+// rejected with positional errors — so a typo'd scenario fails loudly at
+// load time, never by silently running a different experiment.
+type Config struct {
+	// Name is the scenario's identifier (also the report file stem).
+	Name string `json:"name"`
+	// Title is the human headline of the FINDINGS report.
+	Title string `json:"title"`
+	// HypothesisText is the prose statement of the hypothesis, quoted
+	// verbatim in the report.
+	HypothesisText string `json:"hypothesis_text"`
+	// Seeds is the replication axis: the full matrix runs once per seed
+	// and the hypothesis must hold on every one.
+	Seeds []uint64 `json:"seeds"`
+	// Target selects the substrate: "in-process" (direct gateway calls) or
+	// "network" (client -> TCP server -> gateway on loopback).
+	Target string `json:"target"`
+	// Expect is the verdict the suite asserts; cmd/scenario -strict fails
+	// when the graded verdict differs.
+	Expect Verdict `json:"expect"`
+
+	Workload Workload `json:"workload"`
+	Gateway  Gateway  `json:"gateway"`
+	// Arms is the varied variable: each arm names an admission policy (and
+	// optionally a degraded policy) the whole workload is replayed
+	// against.
+	Arms []Arm `json:"arms"`
+	// Faults is the estimator fault schedule, in virtual time.
+	Faults []FaultWindow `json:"faults,omitempty"`
+
+	Check Hypothesis `json:"check"`
+}
+
+// Workload describes the offered load.
+type Workload struct {
+	// Kind selects the driver: "impulsive" (the Prop 3.3 fill-then-redraw
+	// steady state, one overflow indicator per replication) or "churn"
+	// (loadgen arrivals/departures replayed through the gateway with
+	// measurement ticks).
+	Kind string `json:"kind"`
+
+	// Impulsive fields.
+	// Replications is the ensemble size per seed.
+	Replications int `json:"replications,omitempty"`
+
+	// Churn fields.
+	Lambda   float64 `json:"lambda,omitempty"`   // flow arrival rate
+	Hold     float64 `json:"hold,omitempty"`     // mean holding time
+	Duration float64 `json:"duration,omitempty"` // schedule length, virtual time
+	Tick     float64 `json:"tick,omitempty"`     // measurement period (default 0.5)
+	// ArrivalCV selects Gamma-burst arrivals (see loadgen.Config).
+	ArrivalCV float64 `json:"arrival_cv,omitempty"`
+
+	// SVR and TC parameterize the default RCBR flow-rate model (mean 1);
+	// Model overrides it. Impulsive workloads use SVR only.
+	SVR   float64    `json:"svr,omitempty"`
+	TC    float64    `json:"tc,omitempty"`
+	Model *ModelSpec `json:"model,omitempty"`
+
+	// Crowd is the flash-crowd window (factor >= 1 required when set).
+	Crowd *CrowdSpec `json:"crowd,omitempty"`
+	// Clients is the misbehaving client population.
+	Clients *ClientSpec `json:"clients,omitempty"`
+}
+
+// CrowdSpec is the JSON form of loadgen.Crowd.
+type CrowdSpec struct {
+	Factor float64 `json:"factor"`
+	From   float64 `json:"from"`
+	To     float64 `json:"to"`
+}
+
+// ClientSpec is the JSON form of fault.ClientPlan.
+type ClientSpec struct {
+	// LeakP is the probability a departing flow leaks its slot.
+	LeakP float64 `json:"leak_p,omitempty"`
+	// Lie multiplies the declared rate (0 or 1 = honest).
+	Lie float64 `json:"lie,omitempty"`
+}
+
+// ModelSpec names a flow-rate model. Kind is one of "rcbr", "onoff",
+// "constant" or "mixture"; mixture components recurse one level.
+type ModelSpec struct {
+	Kind string `json:"kind"`
+	// rcbr: mean Mu (default 1), SVR, TC.
+	Mu  float64 `json:"mu,omitempty"`
+	SVR float64 `json:"svr,omitempty"`
+	TC  float64 `json:"tc,omitempty"`
+	// onoff: Peak, OnTime, OffTime.
+	Peak    float64 `json:"peak,omitempty"`
+	OnTime  float64 `json:"on_time,omitempty"`
+	OffTime float64 `json:"off_time,omitempty"`
+	// constant: Rate.
+	Rate float64 `json:"rate,omitempty"`
+	// mixture: weighted components.
+	Mix []MixComponent `json:"mix,omitempty"`
+}
+
+// MixComponent is one weighted class of a mixture model.
+type MixComponent struct {
+	Weight float64   `json:"weight"`
+	Model  ModelSpec `json:"model"`
+}
+
+// Gateway describes the controlled gateway configuration shared by every
+// arm.
+type Gateway struct {
+	Capacity float64 `json:"capacity"`
+	// PQ is the QoS target p_q the controllers aim at and the audit grades
+	// against.
+	PQ float64 `json:"pq"`
+	// Estimator is "memoryless", "exponential", "window" or "oracle";
+	// Memory is T_m (exponential) or W (window).
+	Estimator string  `json:"estimator"`
+	Memory    float64 `json:"memory,omitempty"`
+
+	FlowTTL        float64 `json:"flow_ttl,omitempty"`
+	StaleAfter     int     `json:"stale_after,omitempty"`
+	OverflowWindow int     `json:"overflow_window,omitempty"`
+}
+
+// Arm is one point of the varied variable: an admission policy plus the
+// degraded-mode fallback it serves under.
+type Arm struct {
+	Name string `json:"name"`
+	// Policy is "certainty-equivalent", "perfect-knowledge", "peak-rate"
+	// or "measured-sum".
+	Policy string `json:"policy"`
+	// Peak is the peak-rate policy's per-flow peak (default: the model's
+	// declared peak).
+	Peak float64 `json:"peak,omitempty"`
+	// Eta is the measured-sum utilization target (required for that
+	// policy).
+	Eta float64 `json:"eta,omitempty"`
+	// Degraded is the gateway's degraded policy for this arm: "freeze"
+	// (default), "peak-rate" or "reject-all".
+	Degraded string `json:"degraded,omitempty"`
+}
+
+// FaultWindow is the JSON form of fault.Window: a fault mode ("nan",
+// "inf", "notok", "drop") over [From, To) virtual time.
+type FaultWindow struct {
+	Mode string  `json:"mode"`
+	From float64 `json:"from"`
+	To   float64 `json:"to"`
+}
+
+// Hypothesis is the typed grading rule. Exactly the variant named by Kind
+// must be present.
+type Hypothesis struct {
+	Kind      HypothesisKind `json:"kind"`
+	Dominance *Dominance     `json:"dominance,omitempty"`
+	Interval  *Interval      `json:"interval,omitempty"`
+	Invariant *Invariant     `json:"invariant,omitempty"`
+}
+
+// Dominance: on every seed, arm A's metric must relate to arm B's
+// (strictly) and by at least MinRatio (default 1).
+type Dominance struct {
+	Metric   Metric   `json:"metric"`
+	A        string   `json:"a"`
+	B        string   `json:"b"`
+	Relation Relation `json:"relation"`
+	MinRatio float64  `json:"min_ratio,omitempty"`
+}
+
+// Interval grades each cell's windowed overflow estimate against a
+// reference level.
+type Interval struct {
+	// Reference is "sqrt2-law" (Q(alpha_q/sqrt2) for the configured p_q),
+	// "pq" (the target itself) or "value" (explicit Value).
+	Reference string       `json:"reference"`
+	Value     float64      `json:"value,omitempty"`
+	Mode      IntervalMode `json:"mode"`
+	// Z is the Wilson quantile (default 1.96).
+	Z float64 `json:"z,omitempty"`
+	// QoSVerdict, when set, additionally requires the qos.Audit verdict of
+	// every cell to equal it ("ok", "violates-target", ...).
+	QoSVerdict string `json:"qos_verdict,omitempty"`
+}
+
+// Invariant asserts each named predicate over every cell.
+type Invariant struct {
+	Checks []InvariantKind `json:"checks"`
+}
+
+// Targets.
+const (
+	TargetInProcess = "in-process"
+	TargetNetwork   = "network"
+)
+
+// Workload kinds.
+const (
+	WorkloadImpulsive = "impulsive"
+	WorkloadChurn     = "churn"
+)
+
+// finite rejects NaN and Inf with a positional error.
+func finite(path string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("scenario: %s: %g is not finite", path, v)
+	}
+	return nil
+}
+
+// positive additionally requires v > 0.
+func positive(path string, v float64) error {
+	if err := finite(path, v); err != nil {
+		return err
+	}
+	if v <= 0 {
+		return fmt.Errorf("scenario: %s: %g must be positive", path, v)
+	}
+	return nil
+}
+
+// Parse decodes a scenario config strictly and validates it. Defaults are
+// filled in (idempotently), so Marshal of the result re-parses to the same
+// value.
+func Parse(data []byte) (*Config, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var cfg Config
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	// A second document in the stream is a malformed scenario, not data to
+	// ignore.
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: trailing data after config document")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
+}
+
+// Load reads and parses one scenario file.
+func Load(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// Validate checks every field, rejecting non-finite rates and unknown
+// names with positional errors, and fills defaults in place. It is
+// idempotent.
+func (c *Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("scenario: name is required")
+	}
+	if len(c.Seeds) == 0 {
+		return fmt.Errorf("scenario: %s: at least one seed is required", c.Name)
+	}
+	seen := map[uint64]bool{}
+	for i, s := range c.Seeds {
+		if seen[s] {
+			return fmt.Errorf("scenario: seeds[%d]: duplicate seed %d", i, s)
+		}
+		seen[s] = true
+	}
+	if c.Target == "" {
+		c.Target = TargetInProcess
+	}
+	if c.Target != TargetInProcess && c.Target != TargetNetwork {
+		return fmt.Errorf("scenario: target: unknown substrate %q (want %s or %s)", c.Target, TargetInProcess, TargetNetwork)
+	}
+	if err := c.Workload.validate(); err != nil {
+		return err
+	}
+	if c.Target == TargetNetwork && c.Workload.Kind != WorkloadChurn {
+		return fmt.Errorf("scenario: target: the network substrate requires a churn workload")
+	}
+	if err := c.Gateway.validate(); err != nil {
+		return err
+	}
+	if len(c.Arms) == 0 {
+		return fmt.Errorf("scenario: at least one arm is required")
+	}
+	armNames := map[string]bool{}
+	for i := range c.Arms {
+		if err := c.Arms[i].validate(fmt.Sprintf("arms[%d]", i)); err != nil {
+			return err
+		}
+		if armNames[c.Arms[i].Name] {
+			return fmt.Errorf("scenario: arms[%d]: duplicate arm name %q", i, c.Arms[i].Name)
+		}
+		armNames[c.Arms[i].Name] = true
+	}
+	if len(c.Faults) > 0 {
+		if c.Workload.Kind != WorkloadChurn {
+			return fmt.Errorf("scenario: faults: fault windows require a churn workload")
+		}
+		ws := make([]fault.Window, len(c.Faults))
+		for i, f := range c.Faults {
+			m, err := fault.ParseMode(f.Mode)
+			if err != nil {
+				return fmt.Errorf("scenario: faults[%d]: %w", i, err)
+			}
+			ws[i] = fault.Window{Mode: m, From: f.From, To: f.To}
+		}
+		if err := fault.ValidateWindows(ws); err != nil {
+			return fmt.Errorf("scenario: faults: %w", err)
+		}
+	}
+	return c.Check.validate(c)
+}
+
+func (w *Workload) validate() error {
+	switch w.Kind {
+	case WorkloadImpulsive:
+		if w.Replications <= 0 {
+			return fmt.Errorf("scenario: workload.replications: %d must be positive for an impulsive workload", w.Replications)
+		}
+		if err := positive("workload.svr", w.SVR); err != nil {
+			return err
+		}
+		if w.Lambda != 0 || w.Hold != 0 || w.Duration != 0 || w.Model != nil || w.Crowd != nil || w.Clients != nil {
+			return fmt.Errorf("scenario: workload: churn fields (lambda/hold/duration/model/crowd/clients) are not valid for an impulsive workload")
+		}
+	case WorkloadChurn:
+		if err := positive("workload.lambda", w.Lambda); err != nil {
+			return err
+		}
+		if err := positive("workload.hold", w.Hold); err != nil {
+			return err
+		}
+		if err := positive("workload.duration", w.Duration); err != nil {
+			return err
+		}
+		if w.Tick == 0 {
+			w.Tick = 0.5
+		}
+		if err := positive("workload.tick", w.Tick); err != nil {
+			return err
+		}
+		if err := finite("workload.arrival_cv", w.ArrivalCV); err != nil {
+			return err
+		}
+		if w.ArrivalCV < 0 {
+			return fmt.Errorf("scenario: workload.arrival_cv: %g must be non-negative", w.ArrivalCV)
+		}
+		if w.Model != nil {
+			if err := w.Model.validate("workload.model"); err != nil {
+				return err
+			}
+			if w.SVR != 0 || w.TC != 0 {
+				return fmt.Errorf("scenario: workload: svr/tc and an explicit model are mutually exclusive")
+			}
+		} else {
+			if err := positive("workload.svr", w.SVR); err != nil {
+				return err
+			}
+			if w.TC == 0 {
+				w.TC = 1
+			}
+			if err := positive("workload.tc", w.TC); err != nil {
+				return err
+			}
+		}
+		if w.Crowd != nil {
+			if err := finite("workload.crowd.factor", w.Crowd.Factor); err != nil {
+				return err
+			}
+			if w.Crowd.Factor < 1 {
+				return fmt.Errorf("scenario: workload.crowd.factor: %g must be >= 1", w.Crowd.Factor)
+			}
+			if err := finite("workload.crowd.from", w.Crowd.From); err != nil {
+				return err
+			}
+			if err := finite("workload.crowd.to", w.Crowd.To); err != nil {
+				return err
+			}
+			if !(w.Crowd.To > w.Crowd.From) {
+				return fmt.Errorf("scenario: workload.crowd: window [%g, %g) is empty", w.Crowd.From, w.Crowd.To)
+			}
+		}
+		if w.Clients != nil {
+			plan := fault.ClientPlan{LeakP: w.Clients.LeakP, Lie: w.Clients.Lie}
+			if plan.Lie == 0 {
+				plan.Lie = 1
+			}
+			if err := plan.Validate(); err != nil {
+				return fmt.Errorf("scenario: workload.clients: %w", err)
+			}
+		}
+		if w.Replications != 0 {
+			return fmt.Errorf("scenario: workload.replications: only valid for an impulsive workload")
+		}
+	case "":
+		return fmt.Errorf("scenario: workload.kind is required (want %s or %s)", WorkloadImpulsive, WorkloadChurn)
+	default:
+		return fmt.Errorf("scenario: workload.kind: unknown kind %q (want %s or %s)", w.Kind, WorkloadImpulsive, WorkloadChurn)
+	}
+	return nil
+}
+
+func (m *ModelSpec) validate(path string) error {
+	switch m.Kind {
+	case "rcbr":
+		if m.Mu == 0 {
+			m.Mu = 1
+		}
+		if err := positive(path+".mu", m.Mu); err != nil {
+			return err
+		}
+		if err := positive(path+".svr", m.SVR); err != nil {
+			return err
+		}
+		if m.TC == 0 {
+			m.TC = 1
+		}
+		if err := positive(path+".tc", m.TC); err != nil {
+			return err
+		}
+	case "onoff":
+		if err := positive(path+".peak", m.Peak); err != nil {
+			return err
+		}
+		if err := positive(path+".on_time", m.OnTime); err != nil {
+			return err
+		}
+		if err := positive(path+".off_time", m.OffTime); err != nil {
+			return err
+		}
+	case "constant":
+		if err := positive(path+".rate", m.Rate); err != nil {
+			return err
+		}
+	case "mixture":
+		if len(m.Mix) < 2 {
+			return fmt.Errorf("scenario: %s.mix: a mixture needs at least two components", path)
+		}
+		for i := range m.Mix {
+			p := fmt.Sprintf("%s.mix[%d]", path, i)
+			if err := positive(p+".weight", m.Mix[i].Weight); err != nil {
+				return err
+			}
+			if m.Mix[i].Model.Kind == "mixture" {
+				return fmt.Errorf("scenario: %s.model: mixtures do not nest", p)
+			}
+			if err := m.Mix[i].Model.validate(p + ".model"); err != nil {
+				return err
+			}
+		}
+	case "":
+		return fmt.Errorf("scenario: %s.kind is required", path)
+	default:
+		return fmt.Errorf("scenario: %s.kind: unknown model %q (want rcbr, onoff, constant or mixture)", path, m.Kind)
+	}
+	return nil
+}
+
+func (g *Gateway) validate() error {
+	if err := positive("gateway.capacity", g.Capacity); err != nil {
+		return err
+	}
+	if err := positive("gateway.pq", g.PQ); err != nil {
+		return err
+	}
+	if g.PQ >= 0.5 {
+		return fmt.Errorf("scenario: gateway.pq: %g must be below 0.5", g.PQ)
+	}
+	switch g.Estimator {
+	case "":
+		g.Estimator = "memoryless"
+	case "memoryless", "oracle":
+	case "exponential", "window":
+		if err := positive("gateway.memory", g.Memory); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("scenario: gateway.estimator: unknown estimator %q (want memoryless, exponential, window or oracle)", g.Estimator)
+	}
+	if err := finite("gateway.flow_ttl", g.FlowTTL); err != nil {
+		return err
+	}
+	if g.FlowTTL < 0 {
+		return fmt.Errorf("scenario: gateway.flow_ttl: %g must be non-negative", g.FlowTTL)
+	}
+	if g.StaleAfter < 0 {
+		return fmt.Errorf("scenario: gateway.stale_after: %d must be non-negative", g.StaleAfter)
+	}
+	if g.OverflowWindow < 0 {
+		return fmt.Errorf("scenario: gateway.overflow_window: %d must be non-negative", g.OverflowWindow)
+	}
+	return nil
+}
+
+func (a *Arm) validate(path string) error {
+	if a.Name == "" {
+		return fmt.Errorf("scenario: %s.name is required", path)
+	}
+	switch a.Policy {
+	case "certainty-equivalent", "perfect-knowledge":
+	case "peak-rate":
+		if a.Peak != 0 {
+			if err := positive(path+".peak", a.Peak); err != nil {
+				return err
+			}
+		}
+	case "measured-sum":
+		if err := positive(path+".eta", a.Eta); err != nil {
+			return err
+		}
+		if a.Eta > 1 {
+			return fmt.Errorf("scenario: %s.eta: %g must be in (0, 1]", path, a.Eta)
+		}
+	case "":
+		return fmt.Errorf("scenario: %s.policy is required", path)
+	default:
+		return fmt.Errorf("scenario: %s.policy: unknown policy %q (want certainty-equivalent, perfect-knowledge, peak-rate or measured-sum)", path, a.Policy)
+	}
+	switch a.Degraded {
+	case "", "freeze", "peak-rate", "reject-all":
+	default:
+		return fmt.Errorf("scenario: %s.degraded: unknown degraded policy %q (want freeze, peak-rate or reject-all)", path, a.Degraded)
+	}
+	return nil
+}
+
+func (h *Hypothesis) validate(c *Config) error {
+	variants := 0
+	for _, set := range []bool{h.Dominance != nil, h.Interval != nil, h.Invariant != nil} {
+		if set {
+			variants++
+		}
+	}
+	if variants != 1 {
+		return fmt.Errorf("scenario: check: exactly one of dominance, interval or invariant must be set")
+	}
+	switch h.Kind {
+	case HypDominance:
+		d := h.Dominance
+		if d == nil {
+			return fmt.Errorf("scenario: check.dominance is required for kind dominance")
+		}
+		if len(c.Arms) < 2 {
+			return fmt.Errorf("scenario: check.dominance: needs at least two arms")
+		}
+		if !hasArm(c.Arms, d.A) {
+			return fmt.Errorf("scenario: check.dominance.a: unknown arm %q", d.A)
+		}
+		if !hasArm(c.Arms, d.B) {
+			return fmt.Errorf("scenario: check.dominance.b: unknown arm %q", d.B)
+		}
+		if d.A == d.B {
+			return fmt.Errorf("scenario: check.dominance: arms a and b must differ")
+		}
+		if d.MinRatio == 0 {
+			d.MinRatio = 1
+		}
+		if err := positive("check.dominance.min_ratio", d.MinRatio); err != nil {
+			return err
+		}
+	case HypInterval:
+		iv := h.Interval
+		if iv == nil {
+			return fmt.Errorf("scenario: check.interval is required for kind interval")
+		}
+		switch iv.Reference {
+		case "sqrt2-law", "pq":
+			if iv.Value != 0 {
+				return fmt.Errorf("scenario: check.interval.value: only valid with reference \"value\"")
+			}
+		case "value":
+			if err := positive("check.interval.value", iv.Value); err != nil {
+				return err
+			}
+		case "":
+			return fmt.Errorf("scenario: check.interval.reference is required (want sqrt2-law, pq or value)")
+		default:
+			return fmt.Errorf("scenario: check.interval.reference: unknown reference %q (want sqrt2-law, pq or value)", iv.Reference)
+		}
+		if iv.Z == 0 {
+			iv.Z = 1.96
+		}
+		if err := positive("check.interval.z", iv.Z); err != nil {
+			return err
+		}
+		if iv.QoSVerdict != "" {
+			if _, err := qos.ParseVerdict(iv.QoSVerdict); err != nil {
+				return fmt.Errorf("scenario: check.interval.qos_verdict: %w", err)
+			}
+		}
+	case HypInvariant:
+		inv := h.Invariant
+		if inv == nil {
+			return fmt.Errorf("scenario: check.invariant is required for kind invariant")
+		}
+		if len(inv.Checks) == 0 {
+			return fmt.Errorf("scenario: check.invariant.checks: at least one check is required")
+		}
+		for i, k := range inv.Checks {
+			if k < InvLifecycle || k > InvSubstrateIdentity {
+				return fmt.Errorf("scenario: check.invariant.checks[%d]: unknown invariant %d", i, int(k))
+			}
+			if k == InvSubstrateIdentity && c.Target != TargetNetwork {
+				return fmt.Errorf("scenario: check.invariant.checks[%d]: substrate-identity requires the network target", i)
+			}
+		}
+	default:
+		return fmt.Errorf("scenario: check.kind: unknown hypothesis kind %d", int(h.Kind))
+	}
+	return nil
+}
+
+func hasArm(arms []Arm, name string) bool {
+	for _, a := range arms {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FaultSchedule converts the config's fault windows to the fault package's
+// form. Validate must have accepted the config first.
+func (c *Config) FaultSchedule() []fault.Window {
+	if len(c.Faults) == 0 {
+		return nil
+	}
+	ws := make([]fault.Window, len(c.Faults))
+	for i, f := range c.Faults {
+		m, _ := fault.ParseMode(f.Mode)
+		ws[i] = fault.Window{Mode: m, From: f.From, To: f.To}
+	}
+	return ws
+}

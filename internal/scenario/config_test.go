@@ -1,0 +1,229 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// minimal returns a valid churn scenario that individual cases then break.
+func minimal() string {
+	return `{
+		"name": "t", "seeds": [1],
+		"workload": {"kind": "churn", "lambda": 1, "hold": 5, "duration": 10, "svr": 0.3},
+		"gateway": {"capacity": 10, "pq": 0.01},
+		"arms": [{"name": "a", "policy": "certainty-equivalent"}],
+		"check": {"kind": "interval", "interval": {"reference": "pq", "mode": "at-most"}}
+	}`
+}
+
+func TestParseRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string // substring of the positional error
+	}{
+		{"unknown-top-field", `{"name": "t", "bogus": 1}`, `"bogus"`},
+		{"trailing-document", minimal() + `{}`, "trailing data"},
+		{"nan-rate", strings.Replace(minimal(), `"lambda": 1`, `"lambda": NaN`, 1), "invalid character"},
+		{"inf-via-exponent", strings.Replace(minimal(), `"lambda": 1`, `"lambda": 1e999`, 1), "workload.lambda"},
+		{"negative-hold", strings.Replace(minimal(), `"hold": 5`, `"hold": -5`, 1), "workload.hold: -5 must be positive"},
+		{"no-seeds", strings.Replace(minimal(), `"seeds": [1]`, `"seeds": []`, 1), "at least one seed"},
+		{"dup-seeds", strings.Replace(minimal(), `"seeds": [1]`, `"seeds": [1, 1]`, 1), "seeds[1]: duplicate seed"},
+		{"unknown-target", strings.Replace(minimal(), `"seeds": [1]`, `"seeds": [1], "target": "carrier-pigeon"`, 1), `unknown substrate "carrier-pigeon"`},
+		{"unknown-policy", strings.Replace(minimal(), `"policy": "certainty-equivalent"`, `"policy": "vibes"`, 1), `arms[0].policy: unknown policy "vibes"`},
+		{"unknown-estimator", strings.Replace(minimal(), `"pq": 0.01`, `"pq": 0.01, "estimator": "psychic"`, 1), `unknown estimator "psychic"`},
+		{"unknown-verdict", strings.Replace(minimal(), `"name": "t"`, `"name": "t", "expect": "Shrug"`, 1), `"Shrug"`},
+		{"unknown-fault-mode", strings.Replace(minimal(), `"seeds": [1]`, `"seeds": [1], "faults": [{"mode": "gremlins", "from": 1, "to": 2}]`, 1), "faults[0]"},
+		{"impulsive-with-churn-fields", `{
+			"name": "t", "seeds": [1],
+			"workload": {"kind": "impulsive", "replications": 10, "svr": 0.3, "lambda": 1},
+			"gateway": {"capacity": 10, "pq": 0.01},
+			"arms": [{"name": "a", "policy": "certainty-equivalent"}],
+			"check": {"kind": "invariant", "invariant": {"checks": ["lifecycle"]}}
+		}`, "churn fields"},
+		{"network-needs-churn", `{
+			"name": "t", "seeds": [1], "target": "network",
+			"workload": {"kind": "impulsive", "replications": 10, "svr": 0.3},
+			"gateway": {"capacity": 10, "pq": 0.01},
+			"arms": [{"name": "a", "policy": "certainty-equivalent"}],
+			"check": {"kind": "invariant", "invariant": {"checks": ["lifecycle"]}}
+		}`, "network substrate requires a churn workload"},
+		{"two-hypotheses", strings.Replace(minimal(),
+			`"check": {"kind": "interval", "interval": {"reference": "pq", "mode": "at-most"}}`,
+			`"check": {"kind": "interval", "interval": {"reference": "pq", "mode": "at-most"}, "invariant": {"checks": ["lifecycle"]}}`, 1),
+			"exactly one of"},
+		{"substrate-identity-in-process", strings.Replace(minimal(),
+			`"check": {"kind": "interval", "interval": {"reference": "pq", "mode": "at-most"}}`,
+			`"check": {"kind": "invariant", "invariant": {"checks": ["substrate-identity"]}}`, 1),
+			"substrate-identity requires the network target"},
+		{"nested-mixture", strings.Replace(minimal(),
+			`"svr": 0.3`,
+			`"model": {"kind": "mixture", "mix": [
+				{"weight": 1, "model": {"kind": "mixture", "mix": []}},
+				{"weight": 1, "model": {"kind": "constant", "rate": 1}}
+			]}`, 1),
+			"mixtures do not nest"},
+		{"dominance-unknown-arm", strings.Replace(strings.Replace(minimal(),
+			`"arms": [{"name": "a", "policy": "certainty-equivalent"}]`,
+			`"arms": [{"name": "a", "policy": "certainty-equivalent"}, {"name": "b", "policy": "peak-rate", "peak": 2}]`, 1),
+			`"check": {"kind": "interval", "interval": {"reference": "pq", "mode": "at-most"}}`,
+			`"check": {"kind": "dominance", "dominance": {"metric": "admitted", "a": "a", "b": "ghost", "relation": "greater"}}`, 1),
+			`dominance.b: unknown arm "ghost"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.json))
+			if err == nil {
+				t.Fatalf("Parse accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseDefaultsIdempotent(t *testing.T) {
+	cfg, err := Parse([]byte(minimal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Target != TargetInProcess || cfg.Workload.Tick != 0.5 || cfg.Workload.TC != 1 ||
+		cfg.Gateway.Estimator != "memoryless" || cfg.Check.Interval.Z != 1.96 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	// Marshal of the validated config re-parses to the identical value.
+	out, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Parse(out)
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\n%s", err, out)
+	}
+	if !reflect.DeepEqual(cfg, again) {
+		t.Fatalf("round-trip drift:\nfirst  %+v\nsecond %+v", cfg, again)
+	}
+}
+
+// TestShippedScenariosParse locks the built-in suite to the strict decoder:
+// every file under scenarios/ must load, and its marshaled form must
+// re-parse to the same value.
+func TestShippedScenariosParse(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 8 {
+		t.Fatalf("expected at least 8 built-in scenarios, found %d", len(paths))
+	}
+	for _, p := range paths {
+		cfg, err := Load(p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		out, err := json.Marshal(cfg)
+		if err != nil {
+			t.Errorf("%s: marshal: %v", p, err)
+			continue
+		}
+		again, err := Parse(out)
+		if err != nil {
+			t.Errorf("%s: round-trip parse: %v", p, err)
+			continue
+		}
+		if !reflect.DeepEqual(cfg, again) {
+			t.Errorf("%s: round-trip drift", p)
+		}
+	}
+}
+
+// TestEnumRoundTrips complements cmd/vetenum: every enum value survives
+// String -> Parse and JSON marshal -> unmarshal.
+func TestEnumRoundTrips(t *testing.T) {
+	for v := Inconclusive; v <= Refuted; v++ {
+		got, err := ParseVerdict(v.String())
+		if err != nil || got != v {
+			t.Errorf("Verdict %d: %v %v", v, got, err)
+		}
+	}
+	for k := HypDominance; k <= HypInvariant; k++ {
+		got, err := ParseHypothesisKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("HypothesisKind %d: %v %v", k, got, err)
+		}
+	}
+	for k := InvLifecycle; k <= InvSubstrateIdentity; k++ {
+		got, err := ParseInvariantKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("InvariantKind %d: %v %v", k, got, err)
+		}
+	}
+	for m := MetricAdmitted; m <= MetricUtilization; m++ {
+		got, err := ParseMetric(m.String())
+		if err != nil || got != m {
+			t.Errorf("Metric %d: %v %v", m, got, err)
+		}
+	}
+	for r := RelGreater; r <= RelLess; r++ {
+		got, err := ParseRelation(r.String())
+		if err != nil || got != r {
+			t.Errorf("Relation %d: %v %v", r, got, err)
+		}
+	}
+	for m := IntervalCovers; m <= IntervalAtLeast; m++ {
+		got, err := ParseIntervalMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("IntervalMode %d: %v %v", m, got, err)
+		}
+	}
+	// JSON round-trip through a struct field (exercises Marshal/Unmarshal).
+	var h Hypothesis
+	h.Kind = HypInterval
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Hypothesis
+	if err := json.Unmarshal(data, &back); err != nil || back.Kind != HypInterval {
+		t.Fatalf("Hypothesis kind JSON round-trip: %v %v", back.Kind, err)
+	}
+}
+
+// FuzzScenarioConfig throws arbitrary bytes at the strict decoder: Parse
+// must never panic, and any config it accepts must survive a
+// marshal -> re-parse round trip unchanged (defaults are idempotent).
+func FuzzScenarioConfig(f *testing.F) {
+	f.Add([]byte(minimal()))
+	f.Add([]byte(`{"name": "x"}`))
+	f.Add([]byte(`{"workload": {"kind": "impulsive", "replications": -1}}`))
+	f.Add([]byte(`not json`))
+	paths, _ := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.json"))
+	for _, p := range paths {
+		if data, err := os.ReadFile(p); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := Parse(data)
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatalf("accepted config failed to marshal: %v", err)
+		}
+		again, err := Parse(out)
+		if err != nil {
+			t.Fatalf("marshaled form of an accepted config was rejected: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(cfg, again) {
+			t.Fatalf("round-trip drift:\nin  %s\nout %s", data, out)
+		}
+	})
+}

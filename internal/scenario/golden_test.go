@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden scenario reports")
+
+// goldenScenarios are the fast built-in scenarios whose full markdown and
+// JSON reports are locked byte-for-byte: the engine promises that the same
+// config and seeds reproduce the identical report on any machine, so any
+// diff here is either a real behavior change (regenerate deliberately with
+// -update-golden) or a lost determinism guarantee (a bug).
+var goldenScenarios = []string{"lease-leaky-clients", "flash-crowd"}
+
+func TestGoldenScenarioReports(t *testing.T) {
+	for _, name := range goldenScenarios {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg, err := Load(filepath.Join("..", "..", "scenarios", name+".json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			md := res.Markdown()
+			js, err := res.JSONVerdict()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Determinism within a process: a second run must be
+			// byte-identical before we even look at the checked-in golden.
+			res2, err := Run(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			md2 := res2.Markdown()
+			js2, err := res2.JSONVerdict()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if md != md2 || string(js) != string(js2) {
+				t.Fatal("two runs of the same scenario produced different reports")
+			}
+
+			dir := filepath.Join("..", "..", "results", "golden", "scenario")
+			for _, g := range []struct {
+				path string
+				got  string
+			}{
+				{filepath.Join(dir, name+".md"), md},
+				{filepath.Join(dir, name+".json"), string(js)},
+			} {
+				if *updateGolden {
+					if err := os.MkdirAll(filepath.Dir(g.path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(g.path, []byte(g.got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				want, err := os.ReadFile(g.path)
+				if err != nil {
+					t.Fatalf("golden file missing (regenerate with -update-golden): %v", err)
+				}
+				if g.got != string(want) {
+					t.Errorf("%s drifted from golden output.\n--- got ---\n%s\n--- want ---\n%s",
+						g.path, g.got, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,40 @@
+package scenario
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+)
+
+// TestNetworkTwinVerdict runs the built-in wire-identity scenario — the
+// churn workload replayed through a real loopback client -> server ->
+// gateway stack — and checks the network substrate is observationally
+// identical to its in-process twin: same replay counters, same gateway
+// statistics, same graded verdict. This is the scenario engine's version
+// of the serving layer's substrate-identity guarantee, and it runs in
+// tier-1 (and under -race via `make race`) so the wire path cannot drift.
+func TestNetworkTwinVerdict(t *testing.T) {
+	cfg, err := Load(filepath.Join("..", "..", "scenarios", "wire-identity.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Target != TargetNetwork {
+		t.Fatalf("wire-identity must use the network target, got %q", cfg.Target)
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range res.Cells {
+		if !cell.NetMatched {
+			t.Errorf("seed %d/%s: network substrate diverged from the in-process twin: %+v",
+				cell.Seed, cell.Arm, cell.Replay)
+		}
+		if !cell.Stats.LifecycleBalanced() {
+			t.Errorf("seed %d/%s: lifecycle unbalanced: %+v", cell.Seed, cell.Arm, cell.Stats)
+		}
+	}
+	if res.Verdict != cfg.Expect {
+		t.Fatalf("verdict %s, expected %s; notes:\n%s", res.Verdict, cfg.Expect, res.Notes)
+	}
+}

@@ -1,0 +1,364 @@
+// Package scenario is the declarative experiment engine: a Config (a Go
+// struct, JSON on disk) names a workload, a target substrate, the seeds,
+// the controlled and varied variables, and a typed hypothesis; Run
+// executes the seed x arm matrix deterministically on the shared worker
+// pool, grades the outcome through the qos/stats layers, and returns a
+// Result that renders as a FINDINGS-style markdown report plus a
+// machine-readable JSON verdict.
+//
+// The point of the typed hypothesis is that a scenario cannot end in a
+// shrug: every run grades to Confirmed, Refuted, or Inconclusive under
+// rules fixed by the config, so the built-in scenario suite under
+// scenarios/ doubles as an executable restatement of the paper's claims
+// (the sqrt2 law of Prop 3.3, certainty equivalence vs peak-rate
+// provisioning, robustness of the serving layer under faults).
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Verdict is the outcome of grading one scenario.
+type Verdict int
+
+const (
+	// Inconclusive: the data cannot grade the hypothesis (too few window
+	// samples, or a dominance comparison where both arms are zero).
+	Inconclusive Verdict = iota
+	// Confirmed: the hypothesis held for every seed of the matrix.
+	Confirmed
+	// Refuted: at least one seed contradicted the hypothesis.
+	Refuted
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Inconclusive:
+		return "Inconclusive"
+	case Confirmed:
+		return "Confirmed"
+	case Refuted:
+		return "Refuted"
+	}
+	return fmt.Sprintf("Verdict(%d)", int(v))
+}
+
+// ParseVerdict is the inverse of Verdict.String.
+func ParseVerdict(s string) (Verdict, error) {
+	for v := Inconclusive; v <= Refuted; v++ {
+		if v.String() == s {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("scenario: unknown verdict %q (want Inconclusive, Confirmed or Refuted)", s)
+}
+
+// MarshalJSON encodes the verdict as its string form.
+func (v Verdict) MarshalJSON() ([]byte, error) { return json.Marshal(v.String()) }
+
+// UnmarshalJSON decodes the string form.
+func (v *Verdict) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	p, err := ParseVerdict(s)
+	if err != nil {
+		return err
+	}
+	*v = p
+	return nil
+}
+
+// HypothesisKind selects the grading rule a scenario's hypothesis uses.
+type HypothesisKind int
+
+const (
+	// HypDominance compares one scalar metric between two named arms,
+	// seed by seed: arm A must relate to arm B (greater/less) with at
+	// least the configured effect-size ratio on every seed.
+	HypDominance HypothesisKind = iota
+	// HypInterval grades each cell's windowed overflow estimate against a
+	// reference level (the sqrt2-law prediction, the target p_q, or an
+	// explicit value): the Wilson interval must cover it, sit at or below
+	// it, or sit at or above it.
+	HypInterval
+	// HypInvariant asserts structural predicates (flow-lifecycle
+	// conservation, lease expiries observed, substrate identity) over
+	// every cell of the matrix.
+	HypInvariant
+)
+
+// String implements fmt.Stringer.
+func (k HypothesisKind) String() string {
+	switch k {
+	case HypDominance:
+		return "dominance"
+	case HypInterval:
+		return "interval"
+	case HypInvariant:
+		return "invariant"
+	}
+	return fmt.Sprintf("HypothesisKind(%d)", int(k))
+}
+
+// ParseHypothesisKind is the inverse of HypothesisKind.String.
+func ParseHypothesisKind(s string) (HypothesisKind, error) {
+	for k := HypDominance; k <= HypInvariant; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("scenario: unknown hypothesis kind %q (want dominance, interval or invariant)", s)
+}
+
+// MarshalJSON encodes the kind as its string form.
+func (k HypothesisKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON decodes the string form.
+func (k *HypothesisKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	p, err := ParseHypothesisKind(s)
+	if err != nil {
+		return err
+	}
+	*k = p
+	return nil
+}
+
+// InvariantKind names one structural predicate an invariant hypothesis
+// asserts over every cell.
+type InvariantKind int
+
+const (
+	// InvLifecycle: Admitted = Departed + Expired + Active held at the end
+	// of the (drained) run — gateway.Stats.LifecycleBalanced.
+	InvLifecycle InvariantKind = iota
+	// InvExpiredFlows: the lease sweep actually fired (Expired > 0) — the
+	// check that a leaky-client scenario exercised reclamation rather than
+	// passing vacuously.
+	InvExpiredFlows
+	// InvRejectedFlows: the controller actually refused work (Rejected >
+	// 0) — guards against operating points too loose to mean anything.
+	InvRejectedFlows
+	// InvSubstrateIdentity: the network run produced decision counts and a
+	// final gateway state identical to an in-process twin replaying the
+	// same schedule. Only valid with the network target.
+	InvSubstrateIdentity
+)
+
+// String implements fmt.Stringer.
+func (k InvariantKind) String() string {
+	switch k {
+	case InvLifecycle:
+		return "lifecycle"
+	case InvExpiredFlows:
+		return "expired-flows"
+	case InvRejectedFlows:
+		return "rejected-flows"
+	case InvSubstrateIdentity:
+		return "substrate-identity"
+	}
+	return fmt.Sprintf("InvariantKind(%d)", int(k))
+}
+
+// ParseInvariantKind is the inverse of InvariantKind.String.
+func ParseInvariantKind(s string) (InvariantKind, error) {
+	for k := InvLifecycle; k <= InvSubstrateIdentity; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("scenario: unknown invariant %q (want lifecycle, expired-flows, rejected-flows or substrate-identity)", s)
+}
+
+// MarshalJSON encodes the kind as its string form.
+func (k InvariantKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON decodes the string form.
+func (k *InvariantKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	p, err := ParseInvariantKind(s)
+	if err != nil {
+		return err
+	}
+	*k = p
+	return nil
+}
+
+// Metric names one per-cell scalar a dominance hypothesis can compare.
+type Metric int
+
+const (
+	// MetricAdmitted: cumulative admissions.
+	MetricAdmitted Metric = iota
+	// MetricRejected: cumulative capacity rejections.
+	MetricRejected
+	// MetricExpired: cumulative lease-sweep reclaims.
+	MetricExpired
+	// MetricStormAdmitted: admissions granted while the gateway served
+	// under its degraded policy.
+	MetricStormAdmitted
+	// MetricDegradedTicks: measurement ticks served degraded.
+	MetricDegradedTicks
+	// MetricUtilization: mean measured aggregate rate over capacity.
+	MetricUtilization
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case MetricAdmitted:
+		return "admitted"
+	case MetricRejected:
+		return "rejected"
+	case MetricExpired:
+		return "expired"
+	case MetricStormAdmitted:
+		return "storm-admitted"
+	case MetricDegradedTicks:
+		return "degraded-ticks"
+	case MetricUtilization:
+		return "utilization"
+	}
+	return fmt.Sprintf("Metric(%d)", int(m))
+}
+
+// ParseMetric is the inverse of Metric.String.
+func ParseMetric(s string) (Metric, error) {
+	for m := MetricAdmitted; m <= MetricUtilization; m++ {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("scenario: unknown metric %q", s)
+}
+
+// MarshalJSON encodes the metric as its string form.
+func (m Metric) MarshalJSON() ([]byte, error) { return json.Marshal(m.String()) }
+
+// UnmarshalJSON decodes the string form.
+func (m *Metric) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	p, err := ParseMetric(s)
+	if err != nil {
+		return err
+	}
+	*m = p
+	return nil
+}
+
+// Relation is the direction of a dominance comparison.
+type Relation int
+
+const (
+	// RelGreater: arm A's metric must strictly exceed arm B's.
+	RelGreater Relation = iota
+	// RelLess: arm A's metric must be strictly below arm B's.
+	RelLess
+)
+
+// String implements fmt.Stringer.
+func (r Relation) String() string {
+	switch r {
+	case RelGreater:
+		return "greater"
+	case RelLess:
+		return "less"
+	}
+	return fmt.Sprintf("Relation(%d)", int(r))
+}
+
+// ParseRelation is the inverse of Relation.String.
+func ParseRelation(s string) (Relation, error) {
+	for r := RelGreater; r <= RelLess; r++ {
+		if r.String() == s {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("scenario: unknown relation %q (want greater or less)", s)
+}
+
+// MarshalJSON encodes the relation as its string form.
+func (r Relation) MarshalJSON() ([]byte, error) { return json.Marshal(r.String()) }
+
+// UnmarshalJSON decodes the string form.
+func (r *Relation) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	p, err := ParseRelation(s)
+	if err != nil {
+		return err
+	}
+	*r = p
+	return nil
+}
+
+// IntervalMode selects how an interval hypothesis grades the Wilson
+// interval against its reference level.
+type IntervalMode int
+
+const (
+	// IntervalCovers: the interval must contain the reference (the
+	// prediction is consistent with the measurement).
+	IntervalCovers IntervalMode = iota
+	// IntervalAtMost: the interval's lower bound must not exceed the
+	// reference (the measurement is not significantly above it).
+	IntervalAtMost
+	// IntervalAtLeast: the interval's upper bound must not fall below the
+	// reference (the measurement is not significantly below it).
+	IntervalAtLeast
+)
+
+// String implements fmt.Stringer.
+func (m IntervalMode) String() string {
+	switch m {
+	case IntervalCovers:
+		return "covers"
+	case IntervalAtMost:
+		return "at-most"
+	case IntervalAtLeast:
+		return "at-least"
+	}
+	return fmt.Sprintf("IntervalMode(%d)", int(m))
+}
+
+// ParseIntervalMode is the inverse of IntervalMode.String.
+func ParseIntervalMode(s string) (IntervalMode, error) {
+	for m := IntervalCovers; m <= IntervalAtLeast; m++ {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("scenario: unknown interval mode %q (want covers, at-most or at-least)", s)
+}
+
+// MarshalJSON encodes the mode as its string form.
+func (m IntervalMode) MarshalJSON() ([]byte, error) { return json.Marshal(m.String()) }
+
+// UnmarshalJSON decodes the string form.
+func (m *IntervalMode) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	p, err := ParseIntervalMode(s)
+	if err != nil {
+		return err
+	}
+	*m = p
+	return nil
+}

@@ -1,0 +1,34 @@
+package sim
+
+import (
+	"context"
+
+	"repro/internal/rng"
+)
+
+// Collect runs body for every replication of p on the worker pool and
+// returns the per-replication results in replication order. It packages
+// the stripe-accumulator idiom every ensemble consumer was hand-rolling
+// (per-stripe slices appended in stripe order, merged rep%stripes /
+// rep/stripes at the end): results are positioned by replication index, so
+// the output is bit-identical for a fixed seed regardless of worker count,
+// and downstream consumers (Wilson windows, report tables) never see
+// scheduling order.
+//
+// On error the partial results are discarded and the first body error (or
+// the context error) is returned, matching Run's contract.
+func Collect[T any](ctx context.Context, p Replicated, body func(rep int, r *rng.PCG) (T, error)) ([]T, error) {
+	out := make([]T, p.Replications)
+	err := p.Run(ctx, func(_, rep int, r *rng.PCG) error {
+		v, err := body(rep, r)
+		if err != nil {
+			return err
+		}
+		out[rep] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -168,3 +168,46 @@ func TestReplicatedHonorsCancellation(t *testing.T) {
 		t.Fatal("pool ran to completion despite cancellation")
 	}
 }
+
+// TestCollectOrderAndDeterminism: Collect positions results by replication
+// index regardless of worker count, and equal seeds give equal outputs.
+func TestCollectOrderAndDeterminism(t *testing.T) {
+	run := func(workers int) []uint64 {
+		out, err := Collect(context.Background(),
+			Replicated{Replications: 100, Stripes: 8, Workers: workers, Seed: 5, Tag: 9},
+			func(rep int, r *rng.PCG) (uint64, error) {
+				return uint64(rep)<<32 | r.Uint64()>>32, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(1), run(7)
+	for rep, v := range a {
+		if int(v>>32) != rep {
+			t.Fatalf("result %d landed at index %d", int(v>>32), rep)
+		}
+		if b[rep] != v {
+			t.Fatalf("rep %d differs across worker counts: %x vs %x", rep, v, b[rep])
+		}
+	}
+}
+
+// TestCollectError: a body error discards the partial results.
+func TestCollectError(t *testing.T) {
+	boom := errors.New("boom")
+	out, err := Collect(context.Background(), Replicated{Replications: 10, Seed: 1},
+		func(rep int, r *rng.PCG) (int, error) {
+			if rep == 3 {
+				return 0, boom
+			}
+			return rep, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if out != nil {
+		t.Fatalf("partial results leaked: %v", out)
+	}
+}
