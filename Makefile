@@ -10,6 +10,11 @@
 #              cmd/benchjson; bench-cmp diffs a fresh run against the
 #              committed baseline (fails on >20% ns/op regression or any
 #              allocs/op growth)
+#   bench-server-json — capture the serving-layer benchmark (loopback
+#              client -> server -> gateway) as BENCH_server.json;
+#              bench-server-cmp diffs a fresh run against the committed
+#              baseline, gating ns/decision (the budgeted number) rather
+#              than ns/op of the whole pipelined round
 #   fuzz     — short adversarial-input fuzzing of the estimator and
 #              controller (checked-in corpora replay in plain `go test`)
 #   vet      — go vet plus cmd/vetenum, which proves every enum constant
@@ -35,7 +40,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-stat bench bench-json bench-cmp fuzz golden vet test-chaos test-net test-scenario scenarios
+.PHONY: all build test race test-stat bench bench-json bench-cmp bench-server-json bench-server-cmp fuzz golden vet test-chaos test-net test-scenario scenarios
 
 all: build test
 
@@ -72,6 +77,21 @@ bench-cmp:
 	$(GATEWAY_BENCH) | $(GO) run ./cmd/benchjson -out /tmp/BENCH_gateway.new.json
 	$(GO) run ./cmd/benchjson -cmp -threshold 20 BENCH_gateway.json /tmp/BENCH_gateway.new.json
 
+# Serving-layer benchmark baseline: the end-to-end loopback bench captured
+# as JSON, gated on ns/decision (departs ride along in each round, so raw
+# ns/op measures the whole 128-frame pipeline, not the budget).
+# -count 3 because the loopback round trip is scheduler-bound: benchjson
+# collapses replicates to the fastest run, the stable estimator on a
+# shared machine.
+SERVER_BENCH = $(GO) test -run '^$$' -bench 'BenchmarkServerAdmit' -benchtime 2s -count 3 -benchmem ./internal/server
+
+bench-server-json:
+	$(SERVER_BENCH) | $(GO) run ./cmd/benchjson -out BENCH_server.json
+
+bench-server-cmp:
+	$(SERVER_BENCH) | $(GO) run ./cmd/benchjson -out /tmp/BENCH_server.new.json
+	$(GO) run ./cmd/benchjson -cmp -threshold 20 -metric ns/decision BENCH_server.json /tmp/BENCH_server.new.json
+
 FUZZTIME ?= 30s
 
 fuzz:
@@ -100,12 +120,14 @@ test-chaos:
 	$(GO) test -tags chaos -race -run 'TestChaos' -v ./internal/gateway
 	$(MAKE) bench-cmp
 
-# Network tier: the loopback end-to-end soak under the race detector, then
-# the serving-path perf guard — the network layer must not tax the
-# admission hot path it fronts.
+# Network tier: the loopback end-to-end soak and the sharded pipelined
+# identity test under the race detector, then both serving-path perf
+# guards — the network layer must hold the gateway budget it fronts and
+# its own per-decision budget.
 test-net:
-	$(GO) test -tags net -race -run 'TestSoak' -v ./internal/loadgen
+	$(GO) test -tags net -race -run 'TestSoak|TestSharded' -v ./internal/loadgen
 	$(MAKE) bench-cmp
+	$(MAKE) bench-server-cmp
 
 # Scenario tier: the full declarative suite (including the slow impulsive
 # sqrt2-law ensembles), then the serving-path perf guard — the scenario

@@ -38,6 +38,23 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// TestParseCountCollapsesToFastest: replicate lines from -count N keep
+// the minimum-ns/op run, whichever order they arrive in.
+func TestParseCountCollapsesToFastest(t *testing.T) {
+	doc, err := parse(strings.NewReader(`
+BenchmarkX-8   100   300.0 ns/op   7.0 widgets/op
+BenchmarkX-8   100   200.0 ns/op   5.0 widgets/op
+BenchmarkX-8   100   250.0 ns/op   6.0 widgets/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := doc.Benchmarks["BenchmarkX"]
+	if x.NsPerOp != 200 || x.Metrics["widgets/op"] != 5 {
+		t.Fatalf("want the 200 ns/op replicate kept whole, got %+v", x)
+	}
+}
+
 func TestParseRejectsEmpty(t *testing.T) {
 	if _, err := parse(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
 		t.Fatal("want error for input without benchmarks")
@@ -56,11 +73,11 @@ func TestCompare(t *testing.T) {
 		"BenchmarkNew": {NsPerOp: 5, Allocs: 1},  // only in new: never fails
 	}}
 	var buf strings.Builder
-	if failed := compare(&buf, oldDoc, newDoc, 0); failed {
+	if failed := compare(&buf, oldDoc, newDoc, 0, "ns/op"); failed {
 		t.Fatal("threshold 0 must be report-only")
 	}
 	buf.Reset()
-	if failed := compare(&buf, oldDoc, newDoc, 20); !failed {
+	if failed := compare(&buf, oldDoc, newDoc, 20, "ns/op"); !failed {
 		t.Fatalf("60%% regression must fail a 20%% threshold:\n%s", buf.String())
 	}
 	if !strings.Contains(buf.String(), "FAIL") {
@@ -71,7 +88,40 @@ func TestCompare(t *testing.T) {
 	newDoc.Benchmarks["BenchmarkA"] = Result{NsPerOp: 90, Allocs: 1}
 	newDoc.Benchmarks["BenchmarkB"] = Result{NsPerOp: 50, Allocs: 2}
 	buf.Reset()
-	if failed := compare(&buf, oldDoc, newDoc, 20); !failed {
+	if failed := compare(&buf, oldDoc, newDoc, 20, "ns/op"); !failed {
 		t.Fatalf("alloc increase must fail:\n%s", buf.String())
+	}
+}
+
+// TestCompareCustomMetric pins the -metric selector: the threshold gates
+// the named per-op measure instead of ns/op, and a benchmark missing the
+// metric is reported but never gated on it.
+func TestCompareCustomMetric(t *testing.T) {
+	oldDoc := &Doc{Benchmarks: map[string]Result{
+		"BenchmarkServerAdmit": {NsPerOp: 40000, Metrics: map[string]float64{"ns/decision": 290}},
+		"BenchmarkOther":       {NsPerOp: 100},
+	}}
+	newDoc := &Doc{Benchmarks: map[string]Result{
+		"BenchmarkServerAdmit": {NsPerOp: 39000, Metrics: map[string]float64{"ns/decision": 400}},
+		"BenchmarkOther":       {NsPerOp: 500}, // no ns/decision: not gated
+	}}
+	var buf strings.Builder
+	if failed := compare(&buf, oldDoc, newDoc, 20, "ns/decision"); !failed {
+		t.Fatalf("+38%% ns/decision must fail a 20%% threshold even though ns/op improved:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "ns/decision regressed") {
+		t.Fatalf("failure must name the gated metric:\n%s", buf.String())
+	}
+
+	newDoc.Benchmarks["BenchmarkServerAdmit"] = Result{NsPerOp: 39000, Metrics: map[string]float64{"ns/decision": 300}}
+	buf.Reset()
+	if failed := compare(&buf, oldDoc, newDoc, 20, "ns/decision"); failed {
+		t.Fatalf("+3.4%% ns/decision within a 20%% threshold must pass:\n%s", buf.String())
+	}
+
+	// ns/op falls back to the typed field when absent from the Metrics map.
+	buf.Reset()
+	if failed := compare(&buf, oldDoc, newDoc, 20, "ns/op"); !failed {
+		t.Fatalf("BenchmarkOther's 5x ns/op regression must still gate under the default metric:\n%s", buf.String())
 	}
 }

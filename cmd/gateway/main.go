@@ -33,7 +33,8 @@
 //
 // With -serve the binary stops being a replay driver and becomes the
 // admission server: it listens on -addr for the internal/wire protocol
-// (see cmd/loadgen and the client package), ticks the measurement loop
+// (see cmd/loadgen and the client package), optionally across
+// -listener-shards SO_REUSEPORT accept shards, ticks the measurement loop
 // on the wall clock every -tick-interval, and drains gracefully on
 // SIGINT/SIGTERM — stop accepting, flush in-flight decisions, depart
 // nothing (flow leases reclaim abandoned flows). The observability
@@ -47,7 +48,6 @@ import (
 	"flag"
 	"fmt"
 	"math"
-	"net"
 	"os"
 	"os/signal"
 	"sort"
@@ -113,6 +113,7 @@ func main() {
 
 		serve        = flag.Bool("serve", false, "serve the wire admission protocol instead of replaying a schedule")
 		addr         = flag.String("addr", ":9000", "admission protocol listen address (with -serve)")
+		lnShards     = flag.Int("listener-shards", 1, "accept-path listener shards on -addr (SO_REUSEPORT where supported; with -serve)")
 		tickInterval = flag.Duration("tick-interval", 100*time.Millisecond, "wall-clock measurement tick period (with -serve)")
 		maxConns     = flag.Int("max-conns", 1024, "served connection limit (with -serve)")
 		frameRate    = flag.Int("frame-rate", 0, "per-connection frame-rate cap in frames/sec, 0 = off (with -serve)")
@@ -176,7 +177,7 @@ func main() {
 	}
 
 	if *serve {
-		runServe(g, *addr, *listen, *maxConns, *frameRate)
+		runServe(g, *addr, *listen, *maxConns, *frameRate, *lnShards)
 		return
 	}
 
@@ -315,7 +316,7 @@ func main() {
 // wire protocol is served on addr, and SIGINT/SIGTERM trigger the
 // graceful drain — stop accepting, flush in-flight decisions, depart
 // nothing and let the flow leases reclaim what clients abandoned.
-func runServe(g *gateway.Gateway, addr, listen string, maxConns, frameRate int) {
+func runServe(g *gateway.Gateway, addr, listen string, maxConns, frameRate, lnShards int) {
 	srv, err := server.New(server.Config{
 		Gateway:   g,
 		MaxConns:  maxConns,
@@ -324,7 +325,7 @@ func runServe(g *gateway.Gateway, addr, listen string, maxConns, frameRate int) 
 	if err != nil {
 		fatal(err)
 	}
-	ln, err := net.Listen("tcp", addr)
+	lns, err := server.Listen(addr, lnShards)
 	if err != nil {
 		fatal(err)
 	}
@@ -340,8 +341,9 @@ func runServe(g *gateway.Gateway, addr, listen string, maxConns, frameRate int) 
 	tickDone := make(chan struct{})
 	go func() { defer close(tickDone); g.Run(ctx) }()
 	serveDone := make(chan error, 1)
-	go func() { serveDone <- srv.Serve(ln) }()
-	fmt.Printf("serving:    admission protocol on %s (Ctrl-C to drain)\n", ln.Addr())
+	go func() { serveDone <- srv.Serve(lns...) }()
+	fmt.Printf("serving:    admission protocol on %s across %d listener shard(s) (Ctrl-C to drain)\n",
+		lns[0].Addr(), len(lns))
 	if endpoint != nil {
 		fmt.Printf("observing:  metrics/snapshot/pprof on %s\n", endpoint.Addr())
 	}

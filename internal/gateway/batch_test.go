@@ -256,3 +256,81 @@ func TestLatencySampling(t *testing.T) {
 		}
 	}
 }
+
+// TestDepartBatchMatchesSequential pins DepartBatch's core contract: a
+// batch departs exactly as the same ids issued one by one through Depart —
+// same outcomes (including a duplicated id departing only at its first
+// occurrence), same counters, same shard aggregates.
+func TestDepartBatchMatchesSequential(t *testing.T) {
+	seqG, _ := perfectGateway(t, 100, 1, 0, 1e-2, 4)
+	batG, _ := perfectGateway(t, 100, 1, 0, 1e-2, 4)
+	for i := 0; i < 20; i++ {
+		for _, g := range []*Gateway{seqG, batG} {
+			if _, err := g.Admit(uint64(i), 0.5+float64(i%5)*0.1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Mix of active ids, unknown ids, and a duplicate of an active one.
+	ids := []uint64{3, 99, 0, 3, 17, 1000, 5, 5}
+	want := make([]bool, 0, len(ids))
+	for _, id := range ids {
+		want = append(want, seqG.Depart(id) == nil)
+	}
+	got := batG.DepartBatch(ids, nil)
+	if len(got) != len(want) {
+		t.Fatalf("batch returned %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("depart %d (id %d): batch %v, sequential %v", i, ids[i], got[i], want[i])
+		}
+	}
+	seqSt, batSt := seqG.Tick(1), batG.Tick(1)
+	if seqSt != batSt {
+		t.Fatalf("stats diverged:\nsequential %+v\nbatch      %+v", seqSt, batSt)
+	}
+}
+
+// TestDepartBatchEdges covers the empty batch, the append-to-dst contract,
+// and the allocation-free steady state the serving layer relies on.
+func TestDepartBatchEdges(t *testing.T) {
+	g, _ := perfectGateway(t, 100, 1, 0, 1e-2, 4)
+	if res := g.DepartBatch(nil, nil); len(res) != 0 {
+		t.Fatalf("empty batch returned %d results", len(res))
+	}
+	prefix := []bool{true}
+	res := g.DepartBatch([]uint64{42}, prefix)
+	if len(res) != 2 || res[0] != true || res[1] != false {
+		t.Fatalf("append contract violated: %v", res)
+	}
+
+	ids := make([]uint64, 32)
+	dst := make([]bool, 0, len(ids))
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, id := range ids {
+			if _, err := g.Admit(id, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dst = g.DepartBatch(ids, dst[:0])
+		for _, ok := range dst {
+			if !ok {
+				t.Fatal("re-admitted flow failed to depart")
+			}
+		}
+	})
+	// Admit's map inserts may allocate as the table churns; the point here
+	// is that DepartBatch's grouping scratch is pooled, so the whole
+	// admit+depart cycle settles near zero.
+	if allocs > 1 {
+		t.Fatalf("admit+depart cycle allocates %.1f times per run, want ~0", allocs)
+	}
+	if a := g.Stats().Active; a != 0 {
+		t.Fatalf("active = %d after full departure, want 0", a)
+	}
+}

@@ -294,6 +294,11 @@ type Gateway struct {
 
 	active atomic.Int64 // CAS-reserved active-flow count (admission invariant)
 
+	// departPool recycles DepartBatch's shard-grouping scratch across
+	// calls and connections, keeping the batched departure path
+	// allocation-free in the steady state.
+	departPool sync.Pool
+
 	// Hot-path instrumentation lives striped in the shards (see shard);
 	// here only the latency clock and the sampling mask. sampleMask is a
 	// power of two minus one: a decision is timed when latSeq&sampleMask
@@ -440,14 +445,19 @@ func New(cfg Config) (*Gateway, error) {
 	return g, nil
 }
 
-// shardFor mixes the flow ID (SplitMix64 finalizer) so adjacent IDs spread
-// across shards.
-func (g *Gateway) shardFor(flowID uint64) *shard {
+// shardIndex mixes the flow ID (SplitMix64 finalizer) so adjacent IDs
+// spread across shards.
+func (g *Gateway) shardIndex(flowID uint64) uint64 {
 	z := flowID + 0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	z ^= z >> 31
-	return &g.shards[z&g.mask]
+	return z & g.mask
+}
+
+// shardFor returns the shard owning flowID.
+func (g *Gateway) shardFor(flowID uint64) *shard {
+	return &g.shards[g.shardIndex(flowID)]
 }
 
 // Admissible returns the currently published bound M.
@@ -729,6 +739,97 @@ func (g *Gateway) Depart(flowID uint64) error {
 	s.mu.Unlock()
 	g.active.Add(-1)
 	return nil
+}
+
+// departScratch is DepartBatch's pooled shard-grouping scratch: intrusive
+// per-shard chains (head/tail indexed by shard, next indexed by item) so a
+// batch groups by shard in one pass with no per-call allocation.
+type departScratch struct {
+	head, tail []int
+	next       []int
+}
+
+// DepartBatch removes a batch of active flows in one call, appending one
+// result per id to dst (true = departed, false = not active) and
+// returning the extended slice. Semantically each id is departed exactly
+// as by Depart, in order — a duplicated id departs at its first
+// occurrence and reports not active at the rest — except the outcomes are
+// values instead of errors: the serving layer acks every frame and must
+// not abort a pipelined run on one unknown flow.
+//
+// The batch is the departure half of the AdmitBatch amortization story:
+// ids are grouped by shard (order-preserving intrusive chains over pooled
+// scratch), so a batch takes each shard's lock once instead of once per
+// flow, and the active count is decremented once with the batch total
+// instead of once per departure.
+func (g *Gateway) DepartBatch(ids []uint64, dst []bool) []bool {
+	n := len(ids)
+	if n == 0 {
+		return dst
+	}
+	base := len(dst)
+	for i := 0; i < n; i++ {
+		dst = append(dst, false)
+	}
+	sc, _ := g.departPool.Get().(*departScratch)
+	if sc == nil {
+		sc = new(departScratch)
+	}
+	nshards := len(g.shards)
+	if cap(sc.head) < nshards {
+		sc.head = make([]int, nshards)
+		sc.tail = make([]int, nshards)
+	}
+	head, tail := sc.head[:nshards], sc.tail[:nshards]
+	for i := range head {
+		head[i] = -1
+	}
+	if cap(sc.next) < n {
+		sc.next = make([]int, n)
+	}
+	next := sc.next[:n]
+	for i, id := range ids {
+		si := int(g.shardIndex(id))
+		next[i] = -1
+		if head[si] < 0 {
+			head[si] = i
+		} else {
+			next[tail[si]] = i
+		}
+		tail[si] = i
+	}
+	departed := 0
+	for si, i := range head {
+		if i < 0 {
+			continue
+		}
+		s := &g.shards[si]
+		s.mu.Lock()
+		for ; i >= 0; i = next[i] {
+			e, ok := s.flows[ids[i]]
+			if !ok {
+				continue
+			}
+			delete(s.flows, ids[i])
+			s.sumRate -= e.rate
+			s.sumSq -= e.rate * e.rate
+			// Same drift renormalization as Depart: exact zeros whenever a
+			// shard empties.
+			if len(s.flows) == 0 {
+				s.sumRate, s.sumSq = 0, 0
+				s.minDeadline = math.Inf(1)
+			}
+			s.departed++
+			departed++
+			dst[base+i] = true
+		}
+		s.mu.Unlock()
+	}
+	g.departPool.Put(sc)
+	if departed > 0 {
+		g.active.Add(int64(-departed))
+	}
+	return dst
 }
 
 // Tick performs one measurement cycle at virtual time now: gather the

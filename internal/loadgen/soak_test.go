@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/client"
+	"repro/internal/fault"
 	"repro/internal/server"
 )
 
@@ -90,6 +91,102 @@ func TestSoakLoopbackConcurrent(t *testing.T) {
 
 	stopRun()
 	<-tickDone
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful drain: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+// TestShardedPipelinedBurstIdentity extends the substrate-identity
+// acceptance check to the sharded serving path: the same seeded schedule
+// of mixed Admit/UpdateRate/Depart bursts, replayed (a) against an
+// in-process gateway and (b) through a pooled client into a server
+// accepting on a 3-shard listener set, must yield identical stats —
+// listener sharding, vectorized burst decode and writer coalescing are
+// all transparent to the admission outcome. Runs under -race in the net
+// tier, so the per-shard accept loops and counters are exercised for
+// data races too.
+func TestShardedPipelinedBurstIdentity(t *testing.T) {
+	events, err := Schedule(Config{
+		Seed: 17, Lambda: 6, Hold: 10, SVR: 0.3, TC: 1, Duration: 60,
+		// Lying declarations make every flow also send an UpdateRate, so
+		// the replayed bursts mix all three request kinds.
+		Plan: fault.ClientPlan{Lie: 0.8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[Kind]int{}
+	for _, ev := range events {
+		kinds[ev.Kind]++
+	}
+	if kinds[KindAdmit] == 0 || kinds[KindUpdate] == 0 || kinds[KindDepart] == 0 {
+		t.Fatalf("degenerate schedule, want all kinds present: %v", kinds)
+	}
+	const batch, window = 16, 0.5
+
+	gA := newGateway(t)
+	direct, err := Replay(context.Background(), &GatewayTarget{G: gA}, events, batch, window,
+		func(now float64) { gA.Tick(now) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gB := newGateway(t)
+	srv, err := server.New(server.Config{Gateway: gB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 3
+	lns, err := server.Listen("127.0.0.1:0", shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(lns...) }()
+	cl, err := client.New(client.Config{Addr: lns[0].Addr().String(), Conns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	netted, err := Replay(context.Background(), ClientTarget{C: cl}, events, batch, window,
+		func(now float64) { gB.Tick(now) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if direct != netted {
+		t.Fatalf("substrates disagree:\n  in-process %+v\n  sharded    %+v", direct, netted)
+	}
+	if direct.Admitted == 0 || direct.Rejected == 0 {
+		t.Fatalf("degenerate workload (no admissions or no rejections): %+v", direct)
+	}
+
+	snap := srv.Snapshot()
+	if snap.Decisions != netted.Admitted+netted.Rejected {
+		t.Fatalf("server served %d decisions, client saw %d", snap.Decisions, netted.Admitted+netted.Rejected)
+	}
+	// No MeanBatch assertion here: every lying admit is immediately
+	// followed by its UpdateRate, so admit runs have length 1 by
+	// construction (the concurrent soak above covers batching).
+	if snap.ConnsShed != 0 || snap.ProtocolErrors != 0 || snap.ConnsRateLimited != 0 {
+		t.Fatalf("replay tripped robustness edges unexpectedly: %+v", snap)
+	}
+	if len(snap.Shards) != shards {
+		t.Fatalf("snapshot has %d shards, want %d", len(snap.Shards), shards)
+	}
+	var shardConns int64
+	for _, sh := range snap.Shards {
+		shardConns += sh.Conns
+	}
+	if shardConns != snap.ConnsAccepted {
+		t.Fatalf("shard conns sum to %d, accepted %d", shardConns, snap.ConnsAccepted)
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {

@@ -121,6 +121,30 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveN records n observations of v in one pass — one bucket add, one
+// count add, one sum CAS loop regardless of n. The server's batched hot
+// path uses it to attribute a per-decision mean to every decision of an
+// AdmitBatch flush without paying one Observe per decision. n <= 0 and
+// NaN observations are dropped.
+func (h *Histogram) ObserveN(v float64, n int) {
+	if n <= 0 || math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(int64(n))
+	h.count.Add(int64(n))
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v*float64(n))
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
 // Count returns the total number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 

@@ -228,6 +228,44 @@ func BenchmarkHistogramObserve(b *testing.B) {
 	})
 }
 
+func TestHistogramObserveN(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	h.ObserveN(1.5, 3)
+	h.ObserveN(100, 2)
+	h.ObserveN(0.5, 0)            // dropped: n <= 0
+	h.ObserveN(0.5, -4)           // dropped: n <= 0
+	h.ObserveN(math.NaN(), 5)     // dropped: NaN
+	want := []int64{0, 3, 0, 2}   // 1.5 -> bucket 1, 100 -> overflow
+	s := h.Snapshot()
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if math.Abs(s.Sum-204.5) > 1e-12 {
+		t.Fatalf("sum = %v, want 204.5", s.Sum)
+	}
+
+	// ObserveN(v, 1) must be indistinguishable from Observe(v).
+	a, b := NewHistogram([]float64{1, 2}), NewHistogram([]float64{1, 2})
+	for _, v := range []float64{0.25, 1, 3, 9} {
+		a.Observe(v)
+		b.ObserveN(v, 1)
+	}
+	as, bs := a.Snapshot(), b.Snapshot()
+	if as.Count != bs.Count || as.Sum != bs.Sum {
+		t.Fatalf("ObserveN(v,1) diverges from Observe: %+v vs %+v", as, bs)
+	}
+	for i := range as.Counts {
+		if as.Counts[i] != bs.Counts[i] {
+			t.Fatalf("bucket %d: ObserveN %d vs Observe %d", i, bs.Counts[i], as.Counts[i])
+		}
+	}
+}
+
 func TestObserveDoesNotAllocate(t *testing.T) {
 	h := NewHistogram(DefaultLatencyBounds())
 	var c Counter

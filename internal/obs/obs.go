@@ -114,7 +114,7 @@ func newMux(cfg Config) *http.ServeMux {
 	})
 	if cfg.Server != nil {
 		mux.HandleFunc("/server", func(w http.ResponseWriter, _ *http.Request) {
-			writeJSON(w, cfg.Server.Snapshot())
+			writeCanonicalJSON(w, cfg.Server.Snapshot())
 		})
 	}
 	if cfg.Audit != nil && cfg.AuditMu != nil {
@@ -143,6 +143,27 @@ func writeJSON(w http.ResponseWriter, v any) {
 	if err := enc.Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// writeCanonicalJSON renders v with every object's keys in sorted order,
+// independent of struct field declaration order. The /server route uses
+// it so scrapers and golden files see a stable layout that survives field
+// reordering in server.Snapshot; the other JSON routes keep writeJSON's
+// declaration-order bytes, which their own goldens pin.
+func writeCanonicalJSON(w http.ResponseWriter, v any) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// Round-trip through untyped maps: encoding/json emits map keys
+	// sorted, recursively, which is exactly the canonical form.
+	var canon any
+	if err := json.Unmarshal(raw, &canon); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, canon)
 }
 
 // The process-wide expvar key is registered once and rebound per Start,

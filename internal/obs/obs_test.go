@@ -3,9 +3,12 @@ package obs
 import (
 	"context"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -16,7 +19,10 @@ import (
 	"repro/internal/estimator"
 	"repro/internal/gateway"
 	"repro/internal/qos"
+	"repro/internal/server"
 )
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden snapshot files")
 
 func newGateway(tb testing.TB) *gateway.Gateway {
 	tb.Helper()
@@ -103,6 +109,60 @@ func TestEndpointRoutes(t *testing.T) {
 	}
 	get(t, e, "/debug/pprof/")
 	get(t, e, "/debug/pprof/cmdline")
+}
+
+// TestServerRouteCanonicalGolden pins the /server route's byte layout as a
+// golden file: keys sorted at every nesting level, so reordering fields in
+// server.Snapshot can never silently reshuffle what scrapers see. The
+// backing server is idle (never served a connection), which makes every
+// counter, histogram, and the empty shard list a pure function of the
+// default config.
+func TestServerRouteCanonicalGolden(t *testing.T) {
+	srv, err := server.New(server.Config{Gateway: newGateway(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := start(t, Config{Gateway: newGateway(t), Server: srv})
+	got := []byte(get(t, e, "/server"))
+
+	path := filepath.Join("..", "..", "results", "golden", "server-snapshot.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("golden file missing (regenerate with -update-golden): %v", err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("/server drifted from golden output.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+		}
+	}
+
+	// Structural check independent of the golden bytes: the body is valid
+	// JSON and its top-level keys (indented exactly one level) arrive in
+	// sorted order.
+	var decoded map[string]any
+	if err := json.Unmarshal(got, &decoded); err != nil {
+		t.Fatalf("/server body is not JSON: %v", err)
+	}
+	prev := ""
+	nkeys := 0
+	for _, line := range strings.Split(string(got), "\n") {
+		if !strings.HasPrefix(line, `  "`) || strings.HasPrefix(line, `   `) {
+			continue
+		}
+		key := strings.SplitN(line[3:], `"`, 2)[0]
+		if key < prev {
+			t.Fatalf("top-level keys out of order: %q after %q", key, prev)
+		}
+		prev = key
+		nkeys++
+	}
+	if nkeys != len(decoded) {
+		t.Fatalf("scanned %d top-level keys, decoder saw %d", nkeys, len(decoded))
+	}
 }
 
 // TestScrapesRaceTickAndAdmitBatch is the satellite race test: HTTP-level

@@ -197,7 +197,17 @@ type Interval struct {
 
 // Invariant asserts each named predicate over every cell.
 type Invariant struct {
-	Checks []InvariantKind `json:"checks"`
+	Checks []InvariantKind `json:"checks,omitempty"`
+	// Bounds additionally pin per-cell scalars: on every cell, each named
+	// metric must be positive (so the bound cannot pass vacuously on a
+	// substrate that never produces it) and at most the ceiling.
+	Bounds []MetricBound `json:"bounds,omitempty"`
+}
+
+// MetricBound is one per-cell metric ceiling an invariant hypothesis pins.
+type MetricBound struct {
+	Metric Metric  `json:"metric"`
+	AtMost float64 `json:"at_most"`
 }
 
 // Targets.
@@ -611,8 +621,8 @@ func (h *Hypothesis) validate(c *Config) error {
 		if inv == nil {
 			return fmt.Errorf("scenario: check.invariant is required for kind invariant")
 		}
-		if len(inv.Checks) == 0 {
-			return fmt.Errorf("scenario: check.invariant.checks: at least one check is required")
+		if len(inv.Checks) == 0 && len(inv.Bounds) == 0 {
+			return fmt.Errorf("scenario: check.invariant: at least one check or bound is required")
 		}
 		for i, k := range inv.Checks {
 			if k < InvLifecycle || k > InvSubstrateIdentity {
@@ -620,6 +630,17 @@ func (h *Hypothesis) validate(c *Config) error {
 			}
 			if k == InvSubstrateIdentity && c.Target != TargetNetwork {
 				return fmt.Errorf("scenario: check.invariant.checks[%d]: substrate-identity requires the network target", i)
+			}
+		}
+		for i, b := range inv.Bounds {
+			if b.Metric < MetricAdmitted || b.Metric > MetricServedP99 {
+				return fmt.Errorf("scenario: check.invariant.bounds[%d].metric: unknown metric %d", i, int(b.Metric))
+			}
+			if err := positive(fmt.Sprintf("check.invariant.bounds[%d].at_most", i), b.AtMost); err != nil {
+				return err
+			}
+			if (b.Metric == MetricServedP50 || b.Metric == MetricServedP99) && c.Target != TargetNetwork {
+				return fmt.Errorf("scenario: check.invariant.bounds[%d].metric: %s requires the network target", i, b.Metric)
 			}
 		}
 	default:

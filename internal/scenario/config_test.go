@@ -60,6 +60,18 @@ func TestParseRejections(t *testing.T) {
 			`"check": {"kind": "interval", "interval": {"reference": "pq", "mode": "at-most"}}`,
 			`"check": {"kind": "invariant", "invariant": {"checks": ["substrate-identity"]}}`, 1),
 			"substrate-identity requires the network target"},
+		{"empty-invariant", strings.Replace(minimal(),
+			`"check": {"kind": "interval", "interval": {"reference": "pq", "mode": "at-most"}}`,
+			`"check": {"kind": "invariant", "invariant": {}}`, 1),
+			"at least one check or bound"},
+		{"bound-nonpositive-ceiling", strings.Replace(minimal(),
+			`"check": {"kind": "interval", "interval": {"reference": "pq", "mode": "at-most"}}`,
+			`"check": {"kind": "invariant", "invariant": {"bounds": [{"metric": "admitted", "at_most": 0}]}}`, 1),
+			"bounds[0].at_most"},
+		{"served-metric-in-process", strings.Replace(minimal(),
+			`"check": {"kind": "interval", "interval": {"reference": "pq", "mode": "at-most"}}`,
+			`"check": {"kind": "invariant", "invariant": {"bounds": [{"metric": "served-p99", "at_most": 0.05}]}}`, 1),
+			"served-p99 requires the network target"},
 		{"nested-mixture", strings.Replace(minimal(),
 			`"svr": 0.3`,
 			`"model": {"kind": "mixture", "mix": [
@@ -164,7 +176,7 @@ func TestEnumRoundTrips(t *testing.T) {
 			t.Errorf("InvariantKind %d: %v %v", k, got, err)
 		}
 	}
-	for m := MetricAdmitted; m <= MetricUtilization; m++ {
+	for m := MetricAdmitted; m <= MetricServedP99; m++ {
 		got, err := ParseMetric(m.String())
 		if err != nil || got != m {
 			t.Errorf("Metric %d: %v %v", m, got, err)

@@ -199,6 +199,17 @@ func gradeInvariant(r *Result) {
 			r.Notes = append(r.Notes, fmt.Sprintf("seed %d/%s: %s (%s): %s",
 				cell.Seed, cell.Arm, check, detail, passString(holds)))
 		}
+		for _, b := range inv.Bounds {
+			v := cell.Metric(b.Metric)
+			// A zero metric means the substrate never produced it — the
+			// bound must fail rather than pass vacuously.
+			holds := v > 0 && v <= b.AtMost
+			if !holds {
+				verdict = Refuted
+			}
+			r.Notes = append(r.Notes, fmt.Sprintf("seed %d/%s: %s = %.4g in (0, %.4g]: %s",
+				cell.Seed, cell.Arm, b.Metric, v, b.AtMost, passString(holds)))
+		}
 	}
 	r.Verdict = verdict
 }

@@ -211,6 +211,12 @@ const (
 	MetricDegradedTicks
 	// MetricUtilization: mean measured aggregate rate over capacity.
 	MetricUtilization
+	// MetricServedP50: median served seconds per decision (network target
+	// only; 0 in-process).
+	MetricServedP50
+	// MetricServedP99: 99th-percentile served seconds per decision
+	// (network target only; 0 in-process).
+	MetricServedP99
 )
 
 // String implements fmt.Stringer.
@@ -228,13 +234,17 @@ func (m Metric) String() string {
 		return "degraded-ticks"
 	case MetricUtilization:
 		return "utilization"
+	case MetricServedP50:
+		return "served-p50"
+	case MetricServedP99:
+		return "served-p99"
 	}
 	return fmt.Sprintf("Metric(%d)", int(m))
 }
 
 // ParseMetric is the inverse of Metric.String.
 func ParseMetric(s string) (Metric, error) {
-	for m := MetricAdmitted; m <= MetricUtilization; m++ {
+	for m := MetricAdmitted; m <= MetricServedP99; m++ {
 		if m.String() == s {
 			return m, nil
 		}

@@ -39,6 +39,13 @@ type CellResult struct {
 	// UtilMean is the mean of AggregateRate/Capacity over ticks (churn).
 	UtilMean float64 `json:"util_mean"`
 
+	// ServedP50/ServedP99 are the serving layer's per-decision latency
+	// percentiles in seconds (network target only; 0 in-process). They are
+	// wall-clock measurements — the one non-deterministic part of a cell —
+	// so byte-exact golden scenarios must not run the network target.
+	ServedP50 float64 `json:"served_p50,omitempty"`
+	ServedP99 float64 `json:"served_p99,omitempty"`
+
 	// Replay is the driver-side decision accounting (churn only).
 	Replay loadgen.Stats `json:"replay"`
 	// Reps is the ensemble size (impulsive only).
@@ -63,6 +70,10 @@ func (c CellResult) Metric(m Metric) float64 {
 		return float64(c.DegradedTicks)
 	case MetricUtilization:
 		return c.UtilMean
+	case MetricServedP50:
+		return c.ServedP50
+	case MetricServedP99:
+		return c.ServedP99
 	}
 	return 0
 }
@@ -384,8 +395,9 @@ func replayChurn(ctx context.Context, cfg *Config, arm Arm, events []loadgen.Eve
 	const batch = 8
 	var tgt loadgen.Target
 	var shutdown func() error
+	var srv *server.Server
 	if network {
-		srv, err := server.New(server.Config{Gateway: g})
+		srv, err = server.New(server.Config{Gateway: g})
 		if err != nil {
 			return CellResult{}, gw.Stats{}, err
 		}
@@ -421,6 +433,12 @@ func replayChurn(ctx context.Context, cfg *Config, arm Arm, events []loadgen.Eve
 	}
 	if err != nil {
 		return CellResult{}, gw.Stats{}, err
+	}
+	if srv != nil {
+		// The serving-layer latency percentiles, read after the drained
+		// shutdown so every decision is in the histogram.
+		snap := srv.Snapshot()
+		cell.ServedP50, cell.ServedP99 = snap.ServedP50, snap.ServedP99
 	}
 	// Drain from wherever the replay's tick loop stopped, never backwards.
 	start := max(lastTick, w.Duration)

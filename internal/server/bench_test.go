@@ -42,15 +42,33 @@ func BenchmarkServerAdmit(b *testing.B) {
 	for i := 0; i < perRound; i++ {
 		req = wire.AppendDepart(req, uint64(perRound+i+1), uint64(i))
 	}
+	// The client reads responses the way the server reads requests: burst
+	// decoders over whatever is buffered, the generic Next only at burst
+	// boundaries — so both directions of the measured path are vectorized.
+	var (
+		f  wire.Frame
+		db wire.DecisionBurst
+		ab wire.AckBurst
+	)
 	round := func() {
 		if _, err := nc.Write(req); err != nil {
 			b.Fatal(err)
 		}
-		var f wire.Frame
-		for i := 0; i < 2*perRound; i++ {
+		db.Reset()
+		ab.Reset()
+		for got := 0; got < 2*perRound; {
+			if n := rd.NextDecisionBurst(&db, 2*perRound-got); n > 0 {
+				got += n
+				continue
+			}
+			if n := rd.NextAckBurst(&ab, 2*perRound-got); n > 0 {
+				got += n
+				continue
+			}
 			if err := rd.Next(&f); err != nil {
 				b.Fatal(err)
 			}
+			got++
 		}
 	}
 	round() // warm the connection scratch and the flow table

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// tornConn injects a torn write: it passes writes through until the byte
+// budget runs out, then performs one deliberate short write and fails —
+// the kernel-buffer-full-then-reset shape that must never corrupt what the
+// peer already received.
+type tornConn struct {
+	net.Conn
+	mu     sync.Mutex
+	budget int
+	torn   bool
+}
+
+func (c *tornConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.torn {
+		return 0, errors.New("torn: connection already failed")
+	}
+	if len(p) <= c.budget {
+		c.budget -= len(p)
+		return c.Conn.Write(p)
+	}
+	c.torn = true
+	n, err := c.Conn.Write(p[:c.budget])
+	if err != nil {
+		return n, err
+	}
+	return n, errors.New("torn: short write injected")
+}
+
+// tornListener wraps every accepted connection in a tornConn.
+type tornListener struct {
+	net.Listener
+	budget int
+}
+
+func (l *tornListener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &tornConn{Conn: nc, budget: l.budget}, nil
+}
+
+// TestTornWriteNeverCorruptsFrames pins the failure half of the writer
+// contract: when the socket dies mid-flush of a coalesced response arena,
+// the peer sees a clean prefix of the response stream — whole frames in
+// order, then a truncated tail — never a corrupt frame boundary. The
+// budget is deliberately not a multiple of the 31-byte Decision frame, so
+// the injected tear lands mid-frame.
+func TestTornWriteNeverCorruptsFrames(t *testing.T) {
+	const budget = 100 // 3 whole Decision frames + 7 bytes of the 4th
+	srv, err := New(Config{Gateway: newTestGateway(t, 1e9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(&tornListener{Listener: ln, budget: budget}) }()
+	defer func() {
+		ln.Close()
+		<-done
+	}()
+
+	nc, rd := dial(t, ln.Addr().String())
+	var req []byte
+	const admits = 64
+	for i := 0; i < admits; i++ {
+		req = wire.AppendAdmit(req, uint64(i+1), uint64(i), 1)
+	}
+	if _, err := nc.Write(req); err != nil {
+		t.Fatal(err)
+	}
+
+	var f wire.Frame
+	got := 0
+	for {
+		err := rd.Next(&f)
+		if err != nil {
+			// A torn write may only surface as a truncated stream, never
+			// as a decodable-but-wrong or malformed frame.
+			if err != io.EOF && err != io.ErrUnexpectedEOF {
+				t.Fatalf("torn write produced a decode error, not a truncation: %v", err)
+			}
+			break
+		}
+		got++
+		if f.Op != wire.OpDecision || f.ReqID != uint64(got) {
+			t.Fatalf("frame %d: op %v req %d, want in-order Decision %d", got, f.Op, f.ReqID, got)
+		}
+	}
+	if want := budget / 31; got != want {
+		t.Fatalf("peer decoded %d whole frames from a %d-byte torn flush, want %d", got, budget, want)
+	}
+}
+
+// TestCoalesceThresholdFlushMidBurst drives a pipelined run big enough
+// that the response arena crosses the coalescing threshold several times
+// mid-drain, and asserts the flush boundaries are invisible: every
+// response arrives, in order. 4096 admits produce ~124 KiB of decisions
+// against the 64 KiB threshold.
+func TestCoalesceThresholdFlushMidBurst(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	nc, rd := dial(t, addr)
+	nc.SetDeadline(time.Now().Add(30 * time.Second))
+
+	const admits = 4096
+	var req []byte
+	for i := 0; i < admits; i++ {
+		req = wire.AppendAdmit(req, uint64(i+1), uint64(i), 1)
+	}
+	go func() {
+		if _, err := nc.Write(req); err != nil {
+			t.Error(err)
+		}
+	}()
+	var f wire.Frame
+	for i := 0; i < admits; i++ {
+		mustNext(t, rd, &f)
+		if f.Op != wire.OpDecision || f.ReqID != uint64(i+1) {
+			t.Fatalf("response %d: op %v req %d, want Decision %d", i, f.Op, f.ReqID, i+1)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package server
+
+import (
+	"fmt"
+	"net"
+)
+
+// Listen opens a set of shards TCP listeners for Serve's per-core accept
+// sharding. Where the platform supports SO_REUSEPORT (Linux), each
+// listener is an independent socket bound to the same address and the
+// kernel spreads incoming connections across them — N accept queues, N
+// accept loops, no shared lock. Elsewhere the fallback is one socket
+// returned shards times: Serve then runs N accept loops over the shared
+// listener, which still spreads the post-accept work even though the
+// accept queue itself is shared.
+//
+// addr may carry port 0; the first bind picks the port and the remaining
+// shards bind to the resolved address, so every listener in the set
+// reports the same Addr. On any later failure the already-open listeners
+// are closed before returning.
+func Listen(addr string, shards int) ([]net.Listener, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("server: Listen needs at least one shard, got %d", shards)
+	}
+	first, err := listenShard(addr)
+	if err != nil {
+		return nil, err
+	}
+	lns := []net.Listener{first}
+	if shards == 1 {
+		return lns, nil
+	}
+	if !reusePortSupported {
+		// Shared-listener fallback: Accept is safe for concurrent use.
+		for i := 1; i < shards; i++ {
+			lns = append(lns, first)
+		}
+		return lns, nil
+	}
+	resolved := first.Addr().String() // pin the port the first bind chose
+	for i := 1; i < shards; i++ {
+		ln, err := listenShard(resolved)
+		if err != nil {
+			for _, l := range lns {
+				l.Close()
+			}
+			return nil, fmt.Errorf("server: shard %d: %w", i, err)
+		}
+		lns = append(lns, ln)
+	}
+	return lns, nil
+}

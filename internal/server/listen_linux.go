@@ -1,0 +1,36 @@
+//go:build linux
+
+package server
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// reusePortSupported: Linux spreads connections across a SO_REUSEPORT
+// listener set in the kernel, which is exactly the per-core accept
+// sharding Listen wants.
+const reusePortSupported = true
+
+// soReusePort is SO_REUSEPORT, which the stdlib syscall package does not
+// export on Linux. Stable ABI since Linux 3.9.
+const soReusePort = 0xf
+
+// listenShard opens one TCP listener with SO_REUSEPORT set before bind,
+// so several shards can own the same address.
+func listenShard(addr string) (net.Listener, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var sockErr error
+			err := c.Control(func(fd uintptr) {
+				sockErr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			})
+			if err != nil {
+				return err
+			}
+			return sockErr
+		},
+	}
+	return lc.Listen(context.Background(), "tcp", addr)
+}

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package server
+
+import "net"
+
+// reusePortSupported: without SO_REUSEPORT semantics guaranteed, Listen
+// falls back to N accept loops sharing one listener.
+const reusePortSupported = false
+
+// listenShard opens one plain TCP listener.
+func listenShard(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}

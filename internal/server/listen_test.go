@@ -1,0 +1,104 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestListenValidatesShards(t *testing.T) {
+	if _, err := Listen("127.0.0.1:0", 0); err == nil {
+		t.Fatal("Listen accepted 0 shards")
+	}
+}
+
+// TestListenPinsResolvedPort: with addr :0 every listener in the set must
+// land on the port the first bind chose, or the set is not one service.
+func TestListenPinsResolvedPort(t *testing.T) {
+	lns, err := Listen("127.0.0.1:0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	if len(lns) != 3 {
+		t.Fatalf("Listen returned %d listeners, want 3", len(lns))
+	}
+	addr := lns[0].Addr().String()
+	for i, ln := range lns {
+		if ln.Addr().String() != addr {
+			t.Fatalf("shard %d bound %s, want %s", i, ln.Addr(), addr)
+		}
+	}
+}
+
+// TestShardedServeSpreadsConnections serves over a 3-shard listener set
+// and checks the sharding is real and observable: every connection is
+// served, the per-shard counters account for all of them, and the bytes
+// they moved are attributed to the shard that served them.
+func TestShardedServeSpreadsConnections(t *testing.T) {
+	const shards, conns = 3, 12
+	lns, err := Listen("127.0.0.1:0", shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Gateway: newTestGateway(t, 1e9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(lns...) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+
+	addr := lns[0].Addr().String()
+	for i := 0; i < conns; i++ {
+		nc, rd := dial(t, addr)
+		if _, err := nc.Write(wire.AppendPing(nil, uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+		var f wire.Frame
+		mustNext(t, rd, &f)
+		if f.Op != wire.OpPong || f.ReqID != uint64(i+1) {
+			t.Fatalf("conn %d: got %v req %d, want Pong %d", i, f.Op, f.ReqID, i+1)
+		}
+		nc.Close()
+	}
+
+	snap := srv.Snapshot()
+	if len(snap.Shards) != shards {
+		t.Fatalf("snapshot has %d shards, want %d", len(snap.Shards), shards)
+	}
+	var total, bytesIn, bytesOut int64
+	for i, sh := range snap.Shards {
+		total += sh.Conns
+		bytesIn += sh.BytesRead
+		bytesOut += sh.BytesWritten
+		if sh.Conns == 0 && (sh.BytesRead != 0 || sh.BytesWritten != 0) {
+			t.Fatalf("shard %d moved bytes without serving a connection: %+v", i, sh)
+		}
+	}
+	if total != conns {
+		t.Fatalf("shard conns sum to %d, want %d", total, conns)
+	}
+	// Each ping is a 14-byte request and a 14-byte response.
+	if bytesIn < conns*14 || bytesOut < conns*14 {
+		t.Fatalf("shard byte counters too small: read %d written %d, want >= %d", bytesIn, bytesOut, conns*14)
+	}
+	if snap.ConnsAccepted != conns {
+		t.Fatalf("accepted %d, want %d", snap.ConnsAccepted, conns)
+	}
+}

@@ -4,18 +4,42 @@
 // cost (~110 ns, 0 allocs) visible through the socket instead of burying
 // it under per-request overhead.
 //
-// # Per-connection micro-batching
+// # The served fast path
 //
-// The perf centerpiece. A pipelining client writes many Admit frames
-// back-to-back; the reader accumulates consecutive Admit frames while
-// more are already buffered (wire.Reader.FrameBuffered) and decides the
-// whole run with a single Gateway.AdmitBatch call — one clock pair and
-// one bound load amortized across the burst, exactly the economics the
-// batch API was built for. The batch flushes right before the first read
-// that could block, when a non-Admit frame arrives (preserving per-flow
-// request order), or at Config.MaxBatch. Responses are appended to the
-// connection's write backlog in request order and flushed by the writer
-// goroutine, so a pipelined client sees decisions in the order it asked.
+// Three mechanisms close the gap between the wire and the in-process
+// batched hot path; together they hold BenchmarkServerAdmit to a few
+// hundred ns and ~0 allocs per decision:
+//
+//   - Vectorized burst decode. The reader prefers wire.Reader.
+//     NextAdmitBurst, which walks the whole pipelined run of Admit frames
+//     sitting in the read buffer and lands (reqID, flow, rate) directly
+//     in the connection's AdmitBatch scratch — no intermediate Frame, one
+//     bounds check per frame. The burst decoder only consumes frames the
+//     generic decoder would decode identically (the differential tests in
+//     internal/wire pin this), so Config.DisableFastPath changes the
+//     cost, never the decisions.
+//
+//   - Micro-batching. Pending admits — vector-decoded or accumulated one
+//     at a time — are decided with a single Gateway.AdmitBatch call: one
+//     clock pair and one bound load amortized across the burst. The batch
+//     flushes right before the first read that could block, when a
+//     non-Admit frame arrives (preserving per-flow request order), or at
+//     Config.MaxBatch.
+//
+//   - Writer coalescing. Responses are encoded into a per-connection
+//     arena (conn.out) owned by the reader goroutine, and the arena is
+//     handed to the writer only when the reader is about to block, when
+//     it exceeds a writev-sized threshold, or at teardown — so a 64-deep
+//     pipelined round costs one backlog enqueue and typically one
+//     write syscall instead of 128. Read deadlines are armed only before
+//     reads that can actually block, never per frame.
+//
+// Ownership rules: the reader goroutine owns conn.pend (the admit
+// scratch), conn.out (the response arena) and the wire.Reader; the writer
+// goroutine owns the socket writes; connWriter.enqueue copies the arena
+// under its lock, which is the only point where bytes change goroutines.
+// Per-listener accept loops (Serve is variadic; see Listen) own nothing
+// but the accept call and the shard counters they stamp on new conns.
 //
 // # Robustness edges
 //
@@ -83,7 +107,10 @@ type Config struct {
 
 	// FrameRate caps request frames per second per connection; 0 (the
 	// default) disables the cap. The bucket's burst equals one second's
-	// allowance.
+	// allowance. A vector-decoded burst is charged as a unit: if the
+	// bucket cannot cover the whole burst the connection is refused
+	// (rate-limited), with decisions for the already-decoded admits
+	// still flushed before close.
 	FrameRate int
 
 	// DrainGrace is how long a draining connection may keep processing
@@ -91,6 +118,12 @@ type Config struct {
 	// 250ms). The overall drain is additionally bounded by the context
 	// given to Shutdown.
 	DrainGrace time.Duration
+
+	// DisableFastPath forces the generic frame-at-a-time decode path,
+	// bypassing the vectorized Admit burst decoder. Decisions are
+	// identical either way — the knob exists so the differential
+	// conformance tests can prove exactly that, and as an escape hatch.
+	DisableFastPath bool
 }
 
 // Server serves the wire protocol over TCP (or any net.Listener) against
@@ -99,7 +132,8 @@ type Server struct {
 	cfg Config
 
 	mu       sync.Mutex
-	ln       net.Listener
+	lns      []net.Listener
+	shards   []shardStats // one per listener, sized in Serve
 	conns    map[*conn]struct{}
 	draining bool
 
@@ -118,7 +152,21 @@ type Server struct {
 	batches     metrics.Counter // AdmitBatch calls made
 	activeConns atomic.Int64
 	batchSizes  *metrics.Histogram // decisions per AdmitBatch call
+	latency     *metrics.Histogram // served seconds per decision (batch mean)
 }
+
+// shardStats is the per-listener counter set: which accept loop a
+// connection landed on, and how many bytes it moved. Sharding is only
+// worth having if its balance is observable.
+type shardStats struct {
+	conns        metrics.Counter
+	bytesRead    metrics.Counter
+	bytesWritten metrics.Counter
+}
+
+// servedLatencyBounds spans 250ns to ~65ms (doubling) — wide enough for a
+// loopback decision (~µs) and a cross-rack one (~ms).
+func servedLatencyBounds() []float64 { return metrics.ExpBounds(250e-9, 2, 18) }
 
 // New validates the configuration and returns a Server.
 func New(cfg Config) (*Server, error) {
@@ -153,14 +201,22 @@ func New(cfg Config) (*Server, error) {
 		cfg:        cfg,
 		conns:      make(map[*conn]struct{}),
 		batchSizes: metrics.NewHistogram(metrics.ExpBounds(1, 2, 11)),
+		latency:    metrics.NewHistogram(servedLatencyBounds()),
 	}, nil
 }
 
-// Serve accepts connections on ln until the listener fails or Shutdown
-// closes it. It returns nil after a graceful shutdown.
-func (s *Server) Serve(ln net.Listener) error {
+// Serve accepts connections on the given listeners — one accept loop per
+// listener, so the accept path scales across cores with a SO_REUSEPORT
+// listener set (see Listen) — until the listeners fail or Shutdown closes
+// them. Passing the same listener several times is the portable sharding
+// fallback: Accept is safe for concurrent use, so N loops round-robin the
+// kernel's accept queue. Serve returns nil after a graceful shutdown.
+func (s *Server) Serve(lns ...net.Listener) error {
+	if len(lns) == 0 {
+		return fmt.Errorf("server: Serve needs at least one listener")
+	}
 	s.mu.Lock()
-	if s.ln != nil {
+	if s.lns != nil {
 		s.mu.Unlock()
 		return fmt.Errorf("server: Serve called twice")
 	}
@@ -168,25 +224,57 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Unlock()
 		return fmt.Errorf("server: already shut down")
 	}
-	s.ln = ln
+	s.lns = append([]net.Listener(nil), lns...)
+	s.shards = make([]shardStats, len(lns))
 	s.mu.Unlock()
+
+	var (
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		first error
+	)
+	for i, ln := range lns {
+		wg.Add(1)
+		go func(shard int, ln net.Listener) {
+			defer wg.Done()
+			err := s.acceptLoop(ln, shard)
+			if err == nil {
+				return
+			}
+			errMu.Lock()
+			if first == nil {
+				first = err
+				// Unblock the sibling accept loops so Serve returns.
+				for _, l := range lns {
+					l.Close()
+				}
+			}
+			errMu.Unlock()
+		}(i, ln)
+	}
+	wg.Wait()
+	if s.Draining() {
+		return nil
+	}
+	return first
+}
+
+// acceptLoop accepts on one listener, stamping its shard on every conn.
+func (s *Server) acceptLoop(ln net.Listener, shard int) error {
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
-			s.mu.Lock()
-			draining := s.draining
-			s.mu.Unlock()
-			if draining {
+			if s.Draining() {
 				return nil
 			}
 			return err
 		}
-		s.accept(nc)
+		s.accept(nc, shard)
 	}
 }
 
 // accept admits or refuses one freshly accepted connection.
-func (s *Server) accept(nc net.Conn) {
+func (s *Server) accept(nc net.Conn, shard int) {
 	s.mu.Lock()
 	switch {
 	case s.draining:
@@ -200,11 +288,12 @@ func (s *Server) accept(nc net.Conn) {
 		s.refuse(nc, wire.RefuseOverloaded)
 		return
 	}
-	c := newConn(s, nc)
+	c := newConn(s, nc, &s.shards[shard])
 	s.conns[c] = struct{}{}
 	s.wg.Add(1) // the reader's share; the writer adds its own in serve
 	s.mu.Unlock()
 	s.accepted.Inc()
+	s.shards[shard].conns.Inc()
 	s.activeConns.Add(1)
 	go c.serve()
 }
@@ -239,14 +328,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return fmt.Errorf("server: Shutdown called twice")
 	}
 	s.draining = true
-	ln := s.ln
+	lns := s.lns
 	conns := make([]*conn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
-	if ln != nil {
-		ln.Close()
+	for _, ln := range lns {
+		ln.Close() // duplicate closes (shared-listener fallback) are harmless
 	}
 	deadline := time.Now().Add(s.cfg.DrainGrace)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
@@ -281,6 +370,13 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
+// ShardSnapshot is the per-listener slice of the serving snapshot.
+type ShardSnapshot struct {
+	Conns        int64 `json:"conns"`         // connections accepted on this shard
+	BytesRead    int64 `json:"bytes_read"`    // request bytes read on this shard
+	BytesWritten int64 `json:"bytes_written"` // response bytes written on this shard
+}
+
 // Snapshot is the serving-layer observability view, the sibling of
 // gateway.Snapshot one layer up the stack. JSON-encodable; convertible to
 // Prometheus text via WritePrometheus.
@@ -297,6 +393,10 @@ type Snapshot struct {
 	Batches          int64                     `json:"batches"`            // AdmitBatch calls made
 	Draining         bool                      `json:"draining"`           // Shutdown in progress
 	BatchSizes       metrics.HistogramSnapshot `json:"batch_sizes"`        // decisions per AdmitBatch call
+	ServedLatency    metrics.HistogramSnapshot `json:"served_latency"`     // seconds per served decision (batch mean)
+	ServedP50        float64                   `json:"served_p50"`         // median served seconds per decision
+	ServedP99        float64                   `json:"served_p99"`         // 99th-percentile served seconds per decision
+	Shards           []ShardSnapshot           `json:"shards"`             // per-listener accept/byte counters
 }
 
 // MeanBatch returns the average number of decisions coalesced per
@@ -312,7 +412,8 @@ func (s Snapshot) MeanBatch() float64 {
 // Snapshot assembles the serving-layer snapshot (weakly consistent, like
 // every metrics read in this codebase).
 func (s *Server) Snapshot() Snapshot {
-	return Snapshot{
+	lat := s.latency.Snapshot()
+	snap := Snapshot{
 		ConnsActive:      s.activeConns.Load(),
 		ConnsAccepted:    s.accepted.Load(),
 		ConnsRefused:     s.refused.Load(),
@@ -325,7 +426,22 @@ func (s *Server) Snapshot() Snapshot {
 		Batches:          s.batches.Load(),
 		Draining:         s.Draining(),
 		BatchSizes:       s.batchSizes.Snapshot(),
+		ServedLatency:    lat,
+		ServedP50:        lat.Quantile(0.50),
+		ServedP99:        lat.Quantile(0.99),
 	}
+	s.mu.Lock()
+	shards := s.shards
+	s.mu.Unlock()
+	snap.Shards = make([]ShardSnapshot, len(shards))
+	for i := range shards {
+		snap.Shards[i] = ShardSnapshot{
+			Conns:        shards[i].conns.Load(),
+			BytesRead:    shards[i].bytesRead.Load(),
+			BytesWritten: shards[i].bytesWritten.Load(),
+		}
+	}
+	return snap
 }
 
 // WritePrometheus renders the snapshot in the Prometheus text exposition
@@ -348,16 +464,34 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 	}
 	metrics.WriteGauge(w, "mbac_server_draining", "1 while a graceful drain is in progress", draining)
 	metrics.WriteHistogram(w, "mbac_server_batch_size", "admission decisions coalesced per AdmitBatch call", s.BatchSizes)
+	metrics.WriteHistogram(w, "mbac_server_latency_seconds", "served seconds per admission decision (batch mean)", s.ServedLatency)
+	metrics.WriteGauge(w, "mbac_server_latency_p50_seconds", "median served seconds per admission decision", s.ServedP50)
+	metrics.WriteGauge(w, "mbac_server_latency_p99_seconds", "99th-percentile served seconds per admission decision", s.ServedP99)
+	if len(s.Shards) > 0 {
+		fmt.Fprint(w, "# HELP mbac_server_shard_conns_total connections accepted per listener shard\n# TYPE mbac_server_shard_conns_total counter\n")
+		for i, sh := range s.Shards {
+			fmt.Fprintf(w, "mbac_server_shard_conns_total{shard=\"%d\"} %d\n", i, sh.Conns)
+		}
+		fmt.Fprint(w, "# HELP mbac_server_shard_bytes_read_total request bytes read per listener shard\n# TYPE mbac_server_shard_bytes_read_total counter\n")
+		for i, sh := range s.Shards {
+			fmt.Fprintf(w, "mbac_server_shard_bytes_read_total{shard=\"%d\"} %d\n", i, sh.BytesRead)
+		}
+		fmt.Fprint(w, "# HELP mbac_server_shard_bytes_written_total response bytes written per listener shard\n# TYPE mbac_server_shard_bytes_written_total counter\n")
+		for i, sh := range s.Shards {
+			fmt.Fprintf(w, "mbac_server_shard_bytes_written_total{shard=\"%d\"} %d\n", i, sh.BytesWritten)
+		}
+	}
 }
 
 // conn is one served connection: a reader goroutine (serve) that decodes,
 // batches and decides, and a writer goroutine that flushes the encoded
 // response backlog. The two meet at wr.
 type conn struct {
-	srv *Server
-	nc  net.Conn
-	rd  *wire.Reader
-	wr  connWriter
+	srv   *Server
+	nc    net.Conn
+	rd    *wire.Reader
+	wr    connWriter
+	shard *shardStats
 
 	// drainDeadline, unix-nanos, is set by beginDrain: past it the reader
 	// stops waiting for new frames (0 = not draining). Written by the
@@ -369,18 +503,45 @@ type conn struct {
 	lastRefill time.Time
 
 	// Reader-goroutine-local scratch, reused across frames so the steady
-	// state serves without allocating.
-	pendIDs   []uint64
-	pendRates []float64
-	pendReqs  []uint64
+	// state serves without allocating. pend and dep are the admit and
+	// depart batches under accumulation — the burst decoders append to
+	// them directly; out is the response arena the writer coalescing
+	// flushes. At most one of pend/dep is non-empty at any time: switching
+	// request kind flushes the other first, which is what keeps arena
+	// append order equal to request-arrival order.
+	pend      wire.AdmitBurst
+	dep       wire.DepartBurst
+	depOK     []bool
 	decisions []gateway.Decision
 	wireDecs  []wire.Decision
-	encBuf    []byte
+	out       []byte
+}
+
+// coalesceBytes is the response-arena size that forces a flush mid-burst:
+// roughly one writev-worth of frames, so a long pipelined run neither
+// flushes per response nor builds an unbounded arena.
+const coalesceBytes = 64 << 10
+
+// countingReader counts bytes pulled off the socket into the per-shard
+// counter. It sits under the wire.Reader's bufio buffer, so the count
+// costs one atomic add per fill, not per frame.
+type countingReader struct {
+	nc net.Conn
+	n  *metrics.Counter
+}
+
+func (r countingReader) Read(p []byte) (int, error) {
+	n, err := r.nc.Read(p)
+	if n > 0 {
+		r.n.Add(int64(n))
+	}
+	return n, err
 }
 
 // newConn wires up a connection and its writer state.
-func newConn(s *Server, nc net.Conn) *conn {
-	c := &conn{srv: s, nc: nc, rd: wire.NewReader(nc)}
+func newConn(s *Server, nc net.Conn, shard *shardStats) *conn {
+	c := &conn{srv: s, nc: nc, shard: shard}
+	c.rd = wire.NewReader(countingReader{nc: nc, n: &shard.bytesRead})
 	c.wr.init(s.cfg.WriteBuffer)
 	c.tokens = float64(s.cfg.FrameRate)
 	c.lastRefill = time.Now()
@@ -394,9 +555,9 @@ func newConn(s *Server, nc net.Conn) *conn {
 func (c *conn) beginDrain(deadline time.Time) {
 	c.drainDeadline.Store(deadline.UnixNano())
 	// Re-arm the read deadline in case the reader is already blocked. The
-	// reader re-applies the minimum of idle and drain deadlines on its
-	// next pass, so a lost race here only delays the cut to the idle
-	// timeout, and Shutdown's context still bounds the total drain.
+	// reader re-applies the minimum of idle and drain deadlines before its
+	// next blocking read, so a lost race here only delays the cut to the
+	// idle timeout, and Shutdown's context still bounds the total drain.
 	c.nc.SetReadDeadline(deadline)
 }
 
@@ -405,11 +566,15 @@ func (c *conn) serve() {
 	c.srv.wg.Add(1) // the writer's share (the reader's was added at accept)
 	go c.writeLoop()
 	refusal := c.readLoop()
-	// Flush any batched admits so in-flight decisions survive teardown
-	// (EOF, drain deadline and protocol errors all land here).
-	c.flushAdmits()
+	// Flush any batched admits/departs and the coalesced arena so
+	// in-flight responses survive teardown (EOF, drain deadline and
+	// protocol errors all land here).
+	c.flushPending()
+	c.flushOut()
 	if refusal != 0 {
-		c.wr.enqueue(wire.AppendRefusal(c.encBuf[:0], 0, refusal))
+		c.out = wire.AppendRefusal(c.out[:0], 0, refusal)
+		c.wr.enqueue(c.out)
+		c.out = c.out[:0]
 	}
 	c.wr.close() // the writer drains the backlog, then exits
 	c.wr.wait()  // don't close the socket under an in-progress flush
@@ -420,11 +585,93 @@ func (c *conn) serve() {
 // readLoop processes frames until the connection ends. It returns a
 // non-zero refusal when the connection is being closed for cause, so the
 // peer learns why before the socket closes.
+//
+// Structure: an inner loop drains everything already buffered — bursts of
+// Admit frames through the vectorized decoder, everything else through the
+// generic one — without touching deadlines or the socket. Only when the
+// buffer runs dry does the loop flush pending admits and the response
+// arena, arm the idle/drain deadline, and issue the one read that can
+// block.
 func (c *conn) readLoop() wire.Refusal {
 	var f wire.Frame
+	fast := !c.srv.cfg.DisableFastPath
+	maxBatch := c.srv.cfg.MaxBatch
+	// Frame counting is batched: accumulated locally and published once
+	// per drain cycle (and at return), not once per frame.
+	var nframes int64
+	defer func() { c.srv.frames.Add(nframes) }()
 	for {
-		// Arm the idle deadline, capped by the drain deadline once
-		// Shutdown has begun.
+		for {
+			if fast {
+				if n := c.rd.NextAdmitBurst(&c.pend, maxBatch-c.pend.Len()); n > 0 {
+					nframes += int64(n)
+					if !c.allowFrames(n) {
+						c.srv.rateLimited.Inc()
+						return wire.RefuseRateLimited
+					}
+					// Older departs ack before these admits decide.
+					if c.dep.Len() > 0 {
+						if c.flushDeparts() {
+							c.srv.shed.Inc()
+							return wire.RefuseSlowClient
+						}
+					}
+					if c.pend.Len() >= maxBatch {
+						if c.flushAdmits() {
+							c.srv.shed.Inc()
+							return wire.RefuseSlowClient
+						}
+					}
+					continue
+				}
+				if n := c.rd.NextDepartBurst(&c.dep, maxBatch-c.dep.Len()); n > 0 {
+					nframes += int64(n)
+					if !c.allowFrames(n) {
+						c.srv.rateLimited.Inc()
+						return wire.RefuseRateLimited
+					}
+					// Older admits decide before these departs ack.
+					if c.pend.Len() > 0 {
+						if c.flushAdmits() {
+							c.srv.shed.Inc()
+							return wire.RefuseSlowClient
+						}
+					}
+					if c.dep.Len() >= maxBatch {
+						if c.flushDeparts() {
+							c.srv.shed.Inc()
+							return wire.RefuseSlowClient
+						}
+					}
+					continue
+				}
+			}
+			ok, err := c.rd.NextBuffered(&f)
+			if !ok {
+				break
+			}
+			if err != nil {
+				c.srv.protoErrs.Inc()
+				return wire.RefuseProtocol // a buffered frame can only fail by being malformed
+			}
+			nframes++
+			if !c.allowFrames(1) {
+				c.srv.rateLimited.Inc()
+				return wire.RefuseRateLimited
+			}
+			if shed := c.handle(&f); shed {
+				c.srv.shed.Inc()
+				return wire.RefuseSlowClient
+			}
+		}
+		// The buffer is dry: decide what's pending and hand the writer the
+		// coalesced responses before risking a blocking read.
+		if c.flushPending() || c.flushOut() {
+			c.srv.shed.Inc()
+			return wire.RefuseSlowClient
+		}
+		c.srv.frames.Add(nframes)
+		nframes = 0
 		rd := time.Now().Add(c.srv.cfg.ReadTimeout)
 		if dd := c.drainDeadline.Load(); dd != 0 {
 			if d := time.Unix(0, dd); d.Before(rd) {
@@ -432,8 +679,7 @@ func (c *conn) readLoop() wire.Refusal {
 			}
 		}
 		c.nc.SetReadDeadline(rd)
-		err := c.rd.Next(&f)
-		if err != nil {
+		if err := c.rd.Next(&f); err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
 				errors.Is(err, net.ErrClosed) || isTimeout(err) {
 				return 0 // clean close, drain cut, or idle cut
@@ -441,8 +687,8 @@ func (c *conn) readLoop() wire.Refusal {
 			c.srv.protoErrs.Inc()
 			return wire.RefuseProtocol
 		}
-		c.srv.frames.Inc()
-		if !c.allowFrame() {
+		nframes++
+		if !c.allowFrames(1) {
 			c.srv.rateLimited.Inc()
 			return wire.RefuseRateLimited
 		}
@@ -453,8 +699,8 @@ func (c *conn) readLoop() wire.Refusal {
 	}
 }
 
-// allowFrame charges the frame-rate token bucket.
-func (c *conn) allowFrame() bool {
+// allowFrames charges n frames against the rate-cap token bucket.
+func (c *conn) allowFrames(n int) bool {
 	limit := c.srv.cfg.FrameRate
 	if limit == 0 {
 		return true
@@ -465,36 +711,39 @@ func (c *conn) allowFrame() bool {
 		c.tokens = burst
 	}
 	c.lastRefill = now
-	if c.tokens < 1 {
+	if c.tokens < float64(n) {
 		return false
 	}
-	c.tokens--
+	c.tokens -= float64(n)
 	return true
 }
 
-// handle processes one decoded frame, appending responses to the write
-// backlog. It reports whether the connection must be shed for a full
-// backlog.
+// handle processes one decoded frame, appending responses to the arena.
+// It reports whether the connection must be shed for a full backlog.
 func (c *conn) handle(f *wire.Frame) (shed bool) {
 	g := c.srv.cfg.Gateway
 	switch f.Op {
 	case wire.OpAdmit:
-		c.pendIDs = append(c.pendIDs, f.Flow)
-		c.pendRates = append(c.pendRates, f.Rate)
-		c.pendReqs = append(c.pendReqs, f.ReqID)
-		// The micro-batch: keep accumulating while the next frame is
-		// already here; flush right before the first read that could
-		// block, or at the batch cap.
-		if len(c.pendIDs) >= c.srv.cfg.MaxBatch || !c.rd.FrameBuffered() {
+		// The generic half of the micro-batch (fast path disabled, or a
+		// lone Admit at the buffer boundary): accumulate; the loop flushes
+		// before blocking, and the cap flushes here.
+		if c.flushDeparts() {
+			return true
+		}
+		c.pend.ReqIDs = append(c.pend.ReqIDs, f.ReqID)
+		c.pend.Flows = append(c.pend.Flows, f.Flow)
+		c.pend.Rates = append(c.pend.Rates, f.Rate)
+		if c.pend.Len() >= c.srv.cfg.MaxBatch {
 			return c.flushAdmits()
 		}
 		return false
 	case wire.OpAdmitBatch:
 		// An explicit client-side batch: decide it as one unit, after any
 		// pending singles (order preserved).
-		if c.flushAdmits() {
+		if c.flushPending() {
 			return true
 		}
+		t0 := time.Now()
 		c.decisions = c.decisions[:0]
 		var err error
 		c.decisions, err = g.AdmitBatch(f.Flows, f.Rates, c.decisions)
@@ -503,23 +752,25 @@ func (c *conn) handle(f *wire.Frame) (shed bool) {
 			// a server bug, but shed the connection rather than panic.
 			return true
 		}
-		c.srv.decisions.Add(int64(len(c.decisions)))
+		n := len(c.decisions)
+		c.srv.decisions.Add(int64(n))
 		c.srv.batches.Inc()
-		c.srv.batchSizes.Observe(float64(len(c.decisions)))
+		c.srv.batchSizes.Observe(float64(n))
 		c.wireDecs = c.wireDecs[:0]
 		for _, d := range c.decisions {
 			c.wireDecs = append(c.wireDecs, wire.Decision{
 				Reason: uint8(d.Reason), Admissible: d.Admissible, Active: d.Active,
 			})
 		}
-		buf, err := wire.AppendDecisionBatch(c.encBuf[:0], f.ReqID, c.wireDecs)
+		out, err := wire.AppendDecisionBatch(c.out, f.ReqID, c.wireDecs)
 		if err != nil {
 			return true // unreachable: the decoder bounded the batch size
 		}
-		c.encBuf = buf
-		return c.wr.enqueue(buf)
+		c.out = out
+		c.srv.latency.ObserveN(time.Since(t0).Seconds()/float64(n), n)
+		return c.maybeFlushOut()
 	case wire.OpUpdateRate:
-		if c.flushAdmits() {
+		if c.flushPending() {
 			return true
 		}
 		st := wire.StatusOK
@@ -528,31 +779,36 @@ func (c *conn) handle(f *wire.Frame) (shed bool) {
 		} else if err := g.UpdateRate(f.Flow, f.Rate); err != nil {
 			st = wire.StatusNotActive
 		}
-		return c.enqueueAck(f.ReqID, st)
+		c.out = wire.AppendAck(c.out, f.ReqID, st)
+		return c.maybeFlushOut()
 	case wire.OpTouch:
-		if c.flushAdmits() {
+		if c.flushPending() {
 			return true
 		}
 		st := wire.StatusOK
 		if err := g.Touch(f.Flow); err != nil {
 			st = wire.StatusNotActive
 		}
-		return c.enqueueAck(f.ReqID, st)
+		c.out = wire.AppendAck(c.out, f.ReqID, st)
+		return c.maybeFlushOut()
 	case wire.OpDepart:
+		// The generic half of the depart micro-batch, mirroring OpAdmit:
+		// older admits decide first, then the depart accumulates.
 		if c.flushAdmits() {
 			return true
 		}
-		st := wire.StatusOK
-		if err := g.Depart(f.Flow); err != nil {
-			st = wire.StatusNotActive
+		c.dep.ReqIDs = append(c.dep.ReqIDs, f.ReqID)
+		c.dep.Flows = append(c.dep.Flows, f.Flow)
+		if c.dep.Len() >= c.srv.cfg.MaxBatch {
+			return c.flushDeparts()
 		}
-		return c.enqueueAck(f.ReqID, st)
+		return false
 	case wire.OpPing:
-		if c.flushAdmits() {
+		if c.flushPending() {
 			return true
 		}
-		c.encBuf = wire.AppendPong(c.encBuf[:0], f.ReqID)
-		return c.wr.enqueue(c.encBuf)
+		c.out = wire.AppendPong(c.out, f.ReqID)
+		return c.maybeFlushOut()
 	default:
 		// A response op from a client is a protocol violation.
 		c.srv.protoErrs.Inc()
@@ -560,47 +816,92 @@ func (c *conn) handle(f *wire.Frame) (shed bool) {
 	}
 }
 
-// enqueueAck encodes and enqueues one Ack response.
-func (c *conn) enqueueAck(reqID uint64, st wire.Status) bool {
-	c.encBuf = wire.AppendAck(c.encBuf[:0], reqID, st)
-	return c.wr.enqueue(c.encBuf)
-}
-
 // maxFinite guards against +Inf reaching UpdateRate (NaN and negatives
 // are caught by the f.Rate >= 0 comparison).
 const maxFinite = 1.7976931348623157e308
 
 // flushAdmits decides the pending Admit frames with one AdmitBatch call
-// and enqueues one Decision frame per request. Reports shed like handle.
+// and appends one Decision frame per request to the arena. The served
+// latency histogram gets the batch's per-decision mean — decode-complete
+// to response-encoded — attributed to every decision via ObserveN.
+// Reports shed like handle.
 func (c *conn) flushAdmits() bool {
-	if len(c.pendIDs) == 0 {
+	n := c.pend.Len()
+	if n == 0 {
 		return false
 	}
 	g := c.srv.cfg.Gateway
+	t0 := time.Now()
 	c.decisions = c.decisions[:0]
 	var err error
-	c.decisions, err = g.AdmitBatch(c.pendIDs, c.pendRates, c.decisions)
-	n := len(c.pendIDs)
-	c.pendIDs = c.pendIDs[:0]
-	c.pendRates = c.pendRates[:0]
+	c.decisions, err = g.AdmitBatch(c.pend.Flows, c.pend.Rates, c.decisions)
 	if err != nil || len(c.decisions) != n {
-		c.pendReqs = c.pendReqs[:0]
+		c.pend.Reset()
 		return true // server bug; shed rather than desync correlation
 	}
 	c.srv.decisions.Add(int64(n))
 	c.srv.batches.Inc()
 	c.srv.batchSizes.Observe(float64(n))
-	buf := c.encBuf[:0]
 	for i, d := range c.decisions {
-		buf = wire.AppendDecision(buf, c.pendReqs[i], wire.Decision{
+		c.out = wire.AppendDecision(c.out, c.pend.ReqIDs[i], wire.Decision{
 			Reason:     uint8(d.Reason),
 			Admissible: d.Admissible,
 			Active:     d.Active,
 		})
 	}
-	c.encBuf = buf
-	c.pendReqs = c.pendReqs[:0]
-	return c.wr.enqueue(buf)
+	c.pend.Reset()
+	c.srv.latency.ObserveN(time.Since(t0).Seconds()/float64(n), n)
+	return c.maybeFlushOut()
+}
+
+// flushDeparts is flushAdmits for the pending Depart frames: one
+// DepartBatch call, one Ack frame per request appended to the arena.
+func (c *conn) flushDeparts() bool {
+	n := c.dep.Len()
+	if n == 0 {
+		return false
+	}
+	c.depOK = c.srv.cfg.Gateway.DepartBatch(c.dep.Flows, c.depOK[:0])
+	for i, ok := range c.depOK {
+		st := wire.StatusOK
+		if !ok {
+			st = wire.StatusNotActive
+		}
+		c.out = wire.AppendAck(c.out, c.dep.ReqIDs[i], st)
+	}
+	c.dep.Reset()
+	return c.maybeFlushOut()
+}
+
+// flushPending flushes both micro-batches. At most one is ever non-empty
+// (handle and readLoop flush the other kind before switching), so the call
+// order here never reorders responses.
+func (c *conn) flushPending() bool {
+	if c.flushAdmits() {
+		return true
+	}
+	return c.flushDeparts()
+}
+
+// maybeFlushOut flushes the arena once it reaches the coalescing
+// threshold; below it, responses keep accumulating until the reader is
+// about to block.
+func (c *conn) maybeFlushOut() bool {
+	if len(c.out) < coalesceBytes {
+		return false
+	}
+	return c.flushOut()
+}
+
+// flushOut hands the coalesced response arena to the writer goroutine in
+// one enqueue and reports whether the backlog is over the shed budget.
+func (c *conn) flushOut() bool {
+	if len(c.out) == 0 {
+		return false
+	}
+	shed := c.wr.enqueue(c.out)
+	c.out = c.out[:0]
+	return shed
 }
 
 // writeLoop flushes the response backlog until the connection ends.
@@ -611,7 +912,11 @@ func (c *conn) writeLoop() {
 		buf, closed := c.wr.take()
 		if len(buf) > 0 {
 			c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
-			if _, err := c.nc.Write(buf); err != nil {
+			n, err := c.nc.Write(buf)
+			if n > 0 {
+				c.shard.bytesWritten.Add(int64(n))
+			}
+			if err != nil {
 				// Kick the reader off its blocking read; teardown follows.
 				c.nc.Close()
 				return
@@ -634,8 +939,8 @@ func isTimeout(err error) bool {
 // encoded frames into pending under mu; the writer swaps pending for the
 // spare and flushes it, so the reader never blocks on the socket and the
 // backlog length is the shed signal. Copying under the lock (instead of
-// handing the reader's encode buffer over) is what keeps the two
-// goroutines from ever sharing bytes.
+// handing the reader's arena over) is what keeps the two goroutines from
+// ever sharing bytes.
 type connWriter struct {
 	mu      sync.Mutex
 	cond    *sync.Cond

@@ -1,0 +1,383 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"testing"
+)
+
+// admitStream encodes n back-to-back Admit frames with reqID/flow starting
+// at base and rate = base + i + 0.25.
+func admitStream(n int, base uint64) []byte {
+	var s []byte
+	for i := 0; i < n; i++ {
+		id := base + uint64(i)
+		s = AppendAdmit(s, id, id, float64(id)+0.25)
+	}
+	return s
+}
+
+// prime fills the Reader's buffer from the underlying stream without
+// consuming anything, standing in for the server's first blocking read
+// (whose buffer fill is what hands the burst decoder its run).
+func prime(r *Reader) { r.br.Peek(1) }
+
+func TestNextAdmitBurstWalksPipelinedRun(t *testing.T) {
+	stream := admitStream(5, 100)
+	stream = append(stream, AppendPing(nil, 9)...)
+	stream = append(stream, admitStream(2, 200)...)
+	r := NewReader(bytes.NewReader(stream))
+	prime(r)
+	var b AdmitBurst
+	if n := r.NextAdmitBurst(&b, 512); n != 5 {
+		t.Fatalf("burst decoded %d admits, want 5", n)
+	}
+	for i := 0; i < 5; i++ {
+		id := uint64(100 + i)
+		if b.ReqIDs[i] != id || b.Flows[i] != id || b.Rates[i] != float64(id)+0.25 {
+			t.Fatalf("admit %d = (%d, %d, %v), want (%d, %d, %v)",
+				i, b.ReqIDs[i], b.Flows[i], b.Rates[i], id, id, float64(id)+0.25)
+		}
+	}
+	// The ping at the front of the stream stops the burst without being
+	// consumed; the generic path picks it up.
+	if n := r.NextAdmitBurst(&b, 512); n != 0 {
+		t.Fatalf("burst decoded %d frames past a non-Admit op, want 0", n)
+	}
+	var f Frame
+	if err := r.Next(&f); err != nil || f.Op != OpPing || f.ReqID != 9 {
+		t.Fatalf("generic decode after burst = %v op %v, want ping 9", err, f.Op)
+	}
+	// The trailing run appends to the same burst.
+	if n := r.NextAdmitBurst(&b, 512); n != 2 || b.Len() != 7 {
+		t.Fatalf("second burst = %d (total %d), want 2 (total 7)", n, b.Len())
+	}
+	if err := r.Next(&f); err != io.EOF {
+		t.Fatalf("stream end = %v, want io.EOF", err)
+	}
+}
+
+func TestNextAdmitBurstRespectsMax(t *testing.T) {
+	r := NewReader(bytes.NewReader(admitStream(8, 0)))
+	prime(r)
+	var b AdmitBurst
+	for _, want := range []int{3, 3, 2, 0} {
+		if n := r.NextAdmitBurst(&b, 3); n != want {
+			t.Fatalf("capped burst decoded %d, want %d", n, want)
+		}
+	}
+	if b.Len() != 8 {
+		t.Fatalf("accumulated %d admits, want 8", b.Len())
+	}
+	if n := r.NextAdmitBurst(&b, 0); n != 0 {
+		t.Fatalf("max <= 0 decoded %d admits, want 0", n)
+	}
+}
+
+func TestNextAdmitBurstStopsAtTruncation(t *testing.T) {
+	full := admitStream(3, 7)
+	for cut := 0; cut < admitFrameLen; cut++ {
+		stream := full[:len(full)-admitFrameLen+cut] // 2 admits + cut bytes of the 3rd
+		r := NewReader(bytes.NewReader(stream))
+		prime(r)
+		var b AdmitBurst
+		if n := r.NextAdmitBurst(&b, 512); n != 2 {
+			t.Fatalf("cut %d: burst decoded %d admits, want 2", cut, n)
+		}
+		var f Frame
+		err := r.Next(&f)
+		want := io.ErrUnexpectedEOF
+		if cut == 0 {
+			want = io.EOF // clean frame boundary
+		}
+		if err != want {
+			t.Fatalf("cut %d: generic tail error = %v, want %v", cut, err, want)
+		}
+	}
+}
+
+func TestNextAdmitBurstStopsAtMalformed(t *testing.T) {
+	bad := AppendAdmit(nil, 5, 5, 1)
+	bad[4] = Version + 1 // version mismatch: burst must leave it for Next
+	stream := append(admitStream(2, 1), bad...)
+	r := NewReader(bytes.NewReader(stream))
+	prime(r)
+	var b AdmitBurst
+	if n := r.NextAdmitBurst(&b, 512); n != 2 {
+		t.Fatalf("burst decoded %d admits before the malformed frame, want 2", n)
+	}
+	var f Frame
+	if err := r.Next(&f); err == nil {
+		t.Fatal("generic decode accepted the malformed frame the burst skipped")
+	}
+}
+
+func TestNextAdmitBurstEmptyReader(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	var b AdmitBurst
+	if n := r.NextAdmitBurst(&b, 512); n != 0 || b.Len() != 0 {
+		t.Fatalf("empty reader produced %d admits", n)
+	}
+}
+
+// TestNextDepartBurstStopsAtTouch pins the sharpest edge of the Depart
+// decoder: Touch frames share the Depart payload length, so only the op
+// byte separates them — the burst must stop there, not mis-decode.
+func TestNextDepartBurstStopsAtTouch(t *testing.T) {
+	stream := AppendDepart(nil, 1, 11)
+	stream = AppendDepart(stream, 2, 12)
+	stream = AppendTouch(stream, 3, 13)
+	stream = AppendDepart(stream, 4, 14)
+	r := NewReader(bytes.NewReader(stream))
+	prime(r)
+	var b DepartBurst
+	if n := r.NextDepartBurst(&b, 512); n != 2 {
+		t.Fatalf("burst decoded %d departs, want 2 (stop at Touch)", n)
+	}
+	if b.ReqIDs[0] != 1 || b.Flows[0] != 11 || b.ReqIDs[1] != 2 || b.Flows[1] != 12 {
+		t.Fatalf("departs = %v/%v, want reqIDs 1,2 flows 11,12", b.ReqIDs, b.Flows)
+	}
+	var f Frame
+	if err := r.Next(&f); err != nil || f.Op != OpTouch || f.Flow != 13 {
+		t.Fatalf("generic decode after burst = %v op %v, want touch 13", err, f.Op)
+	}
+	if n := r.NextDepartBurst(&b, 512); n != 1 || b.Len() != 3 {
+		t.Fatalf("trailing burst = %d (total %d), want 1 (total 3)", n, b.Len())
+	}
+}
+
+// TestNextDecisionBurstWalksRun covers the response-side decoder a
+// pipelined client drains decisions with.
+func TestNextDecisionBurstWalksRun(t *testing.T) {
+	want := []Decision{
+		{Reason: 0, Admissible: 12.5, Active: 3},
+		{Reason: 2, Admissible: 12.5, Active: 3},
+	}
+	stream := AppendDecision(nil, 1, want[0])
+	stream = AppendDecision(stream, 2, want[1])
+	stream = AppendPong(stream, 3)
+	r := NewReader(bytes.NewReader(stream))
+	prime(r)
+	var b DecisionBurst
+	if n := r.NextDecisionBurst(&b, 512); n != 2 {
+		t.Fatalf("burst decoded %d decisions, want 2", n)
+	}
+	for i := range want {
+		if b.ReqIDs[i] != uint64(i+1) || b.Decisions[i] != want[i] {
+			t.Fatalf("decision %d = (%d, %+v), want (%d, %+v)", i, b.ReqIDs[i], b.Decisions[i], i+1, want[i])
+		}
+	}
+	var f Frame
+	if err := r.Next(&f); err != nil || f.Op != OpPong {
+		t.Fatalf("generic decode after burst = %v op %v, want pong", err, f.Op)
+	}
+}
+
+// TestNextAckBurstStopsAtBadStatus: the generic decoder rejects an Ack
+// with an out-of-range status byte, so the burst decoder must leave it
+// unconsumed for Next to surface the same error.
+func TestNextAckBurstStopsAtBadStatus(t *testing.T) {
+	stream := AppendAck(nil, 1, StatusOK)
+	bad := AppendAck(nil, 2, StatusOK)
+	bad[14] = byte(StatusInvalidRate) + 1
+	stream = append(stream, bad...)
+	r := NewReader(bytes.NewReader(stream))
+	prime(r)
+	var b AckBurst
+	if n := r.NextAckBurst(&b, 512); n != 1 {
+		t.Fatalf("burst decoded %d acks, want 1 (stop at bad status)", n)
+	}
+	if b.ReqIDs[0] != 1 || b.Statuses[0] != StatusOK {
+		t.Fatalf("ack = (%d, %v), want (1, ok)", b.ReqIDs[0], b.Statuses[0])
+	}
+	var f Frame
+	if err := r.Next(&f); err == nil {
+		t.Fatal("generic decode accepted the bad-status ack the burst skipped")
+	}
+}
+
+// decodeGeneric consumes stream with the frame-at-a-time decoder only,
+// returning each decoded frame re-encoded canonically, plus the
+// terminating error.
+func decodeGeneric(tb testing.TB, stream []byte) ([][]byte, error) {
+	r := NewReader(bytes.NewReader(stream))
+	var out [][]byte
+	var f Frame
+	for {
+		if err := r.Next(&f); err != nil {
+			return out, err
+		}
+		out = append(out, encodeCanonical(tb, &f, nil))
+	}
+}
+
+// decodeBurstFirst consumes stream the way the serving hot paths do:
+// prefer the vectorized burst decoders — every one of them, the way the
+// server walks Admit/Depart runs and a client walks Decision/Ack runs —
+// and fall back to Next only for whatever frame stopped them all. Each
+// decoder consumes a run from the front of the stream and its frames are
+// re-encoded immediately, so output order is stream order regardless of
+// which decoder fires. The odd burst cap exercises resumed bursts.
+func decodeBurstFirst(tb testing.TB, stream []byte) ([][]byte, error) {
+	r := NewReader(bytes.NewReader(stream))
+	var out [][]byte
+	var (
+		ad AdmitBurst
+		dp DepartBurst
+		dc DecisionBurst
+		ak AckBurst
+	)
+	var f Frame
+	for {
+		prime(r)
+		for {
+			progress := false
+			ad.Reset()
+			if r.NextAdmitBurst(&ad, 7) > 0 {
+				progress = true
+				for i := range ad.ReqIDs {
+					out = append(out, AppendAdmit(nil, ad.ReqIDs[i], ad.Flows[i], ad.Rates[i]))
+				}
+			}
+			dp.Reset()
+			if r.NextDepartBurst(&dp, 7) > 0 {
+				progress = true
+				for i := range dp.ReqIDs {
+					out = append(out, AppendDepart(nil, dp.ReqIDs[i], dp.Flows[i]))
+				}
+			}
+			dc.Reset()
+			if r.NextDecisionBurst(&dc, 7) > 0 {
+				progress = true
+				for i := range dc.ReqIDs {
+					out = append(out, AppendDecision(nil, dc.ReqIDs[i], dc.Decisions[i]))
+				}
+			}
+			ak.Reset()
+			if r.NextAckBurst(&ak, 7) > 0 {
+				progress = true
+				for i := range ak.ReqIDs {
+					out = append(out, AppendAck(nil, ak.ReqIDs[i], ak.Statuses[i]))
+				}
+			}
+			if !progress {
+				break
+			}
+		}
+		if err := r.Next(&f); err != nil {
+			return out, err
+		}
+		out = append(out, encodeCanonical(tb, &f, nil))
+	}
+}
+
+// requireSameDecode asserts the burst-first and generic decoders produce
+// identical frame sequences and identical terminal errors over stream —
+// the conformance property that lets the server run the fast path without
+// a behavioral switch.
+func requireSameDecode(tb testing.TB, stream []byte) {
+	tb.Helper()
+	gf, ge := decodeGeneric(tb, stream)
+	bf, be := decodeBurstFirst(tb, stream)
+	if fmt.Sprint(ge) != fmt.Sprint(be) {
+		tb.Fatalf("terminal errors diverge: generic %v, burst %v", ge, be)
+	}
+	if len(gf) != len(bf) {
+		tb.Fatalf("frame counts diverge: generic %d, burst %d", len(gf), len(bf))
+	}
+	for i := range gf {
+		if !bytes.Equal(gf[i], bf[i]) {
+			tb.Fatalf("frame %d diverges:\n  generic %x\n  burst   %x", i, gf[i], bf[i])
+		}
+	}
+}
+
+func TestBurstGenericDifferential(t *testing.T) {
+	var every []byte
+	for _, fr := range sampleFrames() {
+		every = append(every, fr...)
+	}
+	nan := AppendAdmit(nil, 3, 3, math.NaN())
+	departs := func(n int, base uint64) []byte {
+		var s []byte
+		for i := 0; i < n; i++ {
+			s = AppendDepart(s, base+uint64(i), base+uint64(i))
+		}
+		return s
+	}
+	badAck := AppendAck(nil, 8, StatusOK)
+	badAck[14] = byte(StatusInvalidRate) + 1
+	responses := AppendDecision(nil, 1, Decision{Reason: 1, Admissible: 5, Active: 2})
+	responses = AppendDecision(responses, 2, Decision{Admissible: 5, Active: 3})
+	responses = AppendAck(responses, 3, StatusNotActive)
+	responses = AppendAck(responses, 4, StatusOK)
+	streams := map[string][]byte{
+		"every op":            every,
+		"long admit run":      admitStream(200, 0),
+		"admits around ops":   append(append(admitStream(3, 0), every...), admitStream(3, 50)...),
+		"admit depart churn":  append(append(admitStream(4, 0), departs(4, 0)...), admitStream(2, 9)...),
+		"touch among departs": append(append(departs(2, 0), AppendTouch(nil, 7, 0)...), departs(2, 5)...),
+		"response runs":       responses,
+		"bad ack status":      append(AppendAck(nil, 1, StatusOK), badAck...),
+		"nan rate":            append(admitStream(1, 0), nan...),
+		"garbage":             {0, 0, 0, 30, 99, 99, 99},
+		"oversized length":    {0xff, 0xff, 0xff, 0xff, 0, 0},
+		"empty":               nil,
+		"lone partial prefix": {0, 0},
+	}
+	for name, s := range streams {
+		t.Run(name, func(t *testing.T) { requireSameDecode(t, s) })
+	}
+	// Every truncation point of a mixed stream: the burst decoder must
+	// stop exactly where the generic decoder would, whatever the cut.
+	mixed := append(admitStream(2, 9), AppendDepart(nil, 4, 9)...)
+	mixed = append(mixed, admitStream(2, 20)...)
+	for cut := 0; cut <= len(mixed); cut++ {
+		requireSameDecode(t, mixed[:cut])
+	}
+}
+
+// TestNextAdmitBurstAllocationFree pins the hot-path contract: walking
+// bursts out of a warmed Reader and AdmitBurst allocates nothing.
+func TestNextAdmitBurstAllocationFree(t *testing.T) {
+	stream := admitStream(64, 0)
+	br := bytes.NewReader(stream)
+	r := NewReader(br)
+	var b AdmitBurst
+	prime(r)
+	r.NextAdmitBurst(&b, 64) // warm the burst slices
+	allocs := testing.AllocsPerRun(1000, func() {
+		br.Reset(stream)
+		r.br.Reset(br)
+		prime(r)
+		b.Reset()
+		if n := r.NextAdmitBurst(&b, 64); n != 64 {
+			t.Fatalf("burst decoded %d admits, want 64", n)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("burst decode allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// FuzzAdmitBurst holds the vectorized decoder to the generic decoder over
+// arbitrary byte streams: same frames out, same terminal error, never a
+// panic. With FuzzFrameDecode pinning the generic decoder to "canonical
+// or rejected", this transitively pins the fast path too.
+func FuzzAdmitBurst(f *testing.F) {
+	var every []byte
+	for _, fr := range sampleFrames() {
+		every = append(every, fr...)
+	}
+	f.Add(every)
+	f.Add(admitStream(20, 0))
+	f.Add(append(admitStream(2, 0), AppendTouch(nil, 7, 1)...))
+	f.Add(admitStream(3, 0)[:70]) // truncated mid-frame
+	f.Add(append(AppendDepart(nil, 1, 1), AppendDepart(nil, 2, 2)...))
+	f.Add(append(AppendDecision(nil, 1, Decision{Reason: 1}), AppendAck(nil, 2, StatusOK)...))
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		requireSameDecode(t, stream)
+	})
+}

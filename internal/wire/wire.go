@@ -489,6 +489,22 @@ func NewReader(r io.Reader) *Reader {
 // no copy. Decode never retains the payload, so discarding after the
 // decode is safe.
 func (r *Reader) Next(f *Frame) error {
+	// Fast path: the frame is already complete in the buffer — one peek
+	// over the buffered region, one decode, one discard. This is the
+	// steady state on both sides of a pipelined connection, where whole
+	// bursts of frames land in the buffer per socket read.
+	if buffered := r.br.Buffered(); buffered >= 4 {
+		p, _ := r.br.Peek(buffered) // cannot fail: peek of what is buffered
+		n := int(binary.BigEndian.Uint32(p))
+		if n < headerLen || n > MaxFrame {
+			return fmt.Errorf("wire: frame length %d outside [%d, %d]", n, headerLen, MaxFrame)
+		}
+		if 4+n <= buffered {
+			err := f.Decode(p[4 : 4+n])
+			r.br.Discard(4 + n)
+			return err
+		}
+	}
 	hdr, err := r.br.Peek(4)
 	if err != nil {
 		if err == io.EOF && len(hdr) > 0 {
@@ -525,6 +541,253 @@ func (r *Reader) Next(f *Frame) error {
 		return err
 	}
 	return f.Decode(r.buf)
+}
+
+// admitFrameLen is the full wire size of one Admit frame: length prefix,
+// header, flow, rate. Admit frames are fixed-size, which is what makes
+// the burst decoder a straight-line walk.
+const admitFrameLen = 4 + headerLen + 16
+
+// AdmitBurst is the landing zone of the vectorized Admit decoder: three
+// parallel slices, one entry per decoded Admit frame, laid out exactly the
+// way gateway.AdmitBatch wants its arguments. The server aliases its
+// per-connection batching scratch to one of these, so a pipelined run of
+// Admit frames travels from the socket buffer into the admission batch
+// with zero intermediate Frame structs.
+type AdmitBurst struct {
+	ReqIDs []uint64
+	Flows  []uint64
+	Rates  []float64
+}
+
+// Len returns the number of buffered admits.
+func (b *AdmitBurst) Len() int { return len(b.ReqIDs) }
+
+// Reset empties the burst, keeping capacity.
+func (b *AdmitBurst) Reset() {
+	b.ReqIDs = b.ReqIDs[:0]
+	b.Flows = b.Flows[:0]
+	b.Rates = b.Rates[:0]
+}
+
+// NextAdmitBurst vectorizes the generic Next loop for the serving hot
+// path: it peeks the Reader's entire buffered region once and walks the
+// run of complete, well-formed Admit frames at its front, appending
+// (reqID, flow, rate) straight into b — no Frame struct, no per-frame
+// Peek/Discard, one length/version/op check per frame. It consumes only
+// frames that Next would have decoded identically (exact Admit length,
+// current version, OpAdmit) and stops — leaving the stream positioned for
+// Next — at the first frame that is anything else: a non-Admit op, a
+// malformed or truncated frame, a partial length prefix. That structural
+// property is what the differential tests pin: interleaving the two
+// decoders in any order over any byte stream yields the same admits, the
+// same frames, and the same errors. It never reads the underlying stream
+// and never allocates beyond growing b; at most max admits are appended
+// (max <= 0 decodes nothing). Returns the number appended.
+func (r *Reader) NextAdmitBurst(b *AdmitBurst, max int) int {
+	buffered := r.br.Buffered()
+	if max <= 0 || buffered < admitFrameLen {
+		return 0
+	}
+	p, err := r.br.Peek(buffered)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for n < max && len(p) >= admitFrameLen {
+		if binary.BigEndian.Uint32(p) != headerLen+16 || p[4] != Version || p[5] != byte(OpAdmit) {
+			break
+		}
+		b.ReqIDs = append(b.ReqIDs, binary.BigEndian.Uint64(p[6:]))
+		b.Flows = append(b.Flows, binary.BigEndian.Uint64(p[14:]))
+		b.Rates = append(b.Rates, math.Float64frombits(binary.BigEndian.Uint64(p[22:])))
+		p = p[admitFrameLen:]
+		n++
+	}
+	if n > 0 {
+		r.br.Discard(n * admitFrameLen)
+	}
+	return n
+}
+
+// departFrameLen is the full wire size of one Depart frame: length
+// prefix, header, flow. Like Admit frames, Depart frames are fixed-size,
+// so a pipelined run of them vectorizes the same way.
+const departFrameLen = 4 + headerLen + 8
+
+// DepartBurst is the landing zone of the vectorized Depart decoder: two
+// parallel slices laid out the way gateway.DepartBatch wants its
+// arguments, the departure twin of AdmitBurst.
+type DepartBurst struct {
+	ReqIDs []uint64
+	Flows  []uint64
+}
+
+// Len returns the number of buffered departs.
+func (b *DepartBurst) Len() int { return len(b.ReqIDs) }
+
+// Reset empties the burst, keeping capacity.
+func (b *DepartBurst) Reset() {
+	b.ReqIDs = b.ReqIDs[:0]
+	b.Flows = b.Flows[:0]
+}
+
+// NextDepartBurst is NextAdmitBurst for Depart frames: it walks the run of
+// complete, well-formed Depart frames at the front of the buffer,
+// appending (reqID, flow) straight into b, and stops at the first frame
+// that is anything else — including a Touch frame, which shares the Depart
+// payload length and differs only in the op byte. The same structural
+// contract applies: it consumes exactly the frames Next would have decoded
+// identically, never reads the underlying stream, and never allocates
+// beyond growing b. Returns the number appended (at most max).
+func (r *Reader) NextDepartBurst(b *DepartBurst, max int) int {
+	buffered := r.br.Buffered()
+	if max <= 0 || buffered < departFrameLen {
+		return 0
+	}
+	p, err := r.br.Peek(buffered)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for n < max && len(p) >= departFrameLen {
+		if binary.BigEndian.Uint32(p) != headerLen+8 || p[4] != Version || p[5] != byte(OpDepart) {
+			break
+		}
+		b.ReqIDs = append(b.ReqIDs, binary.BigEndian.Uint64(p[6:]))
+		b.Flows = append(b.Flows, binary.BigEndian.Uint64(p[14:]))
+		p = p[departFrameLen:]
+		n++
+	}
+	if n > 0 {
+		r.br.Discard(n * departFrameLen)
+	}
+	return n
+}
+
+// decisionFrameLen and ackFrameLen are the full wire sizes of the two
+// fixed-size response frames, for the response-side burst decoders below.
+const (
+	decisionFrameLen = 4 + headerLen + decisionLen
+	ackFrameLen      = 4 + headerLen + 1
+)
+
+// DecisionBurst is the landing zone of the vectorized Decision decoder —
+// the client-side twin of AdmitBurst, for reading back a pipelined run of
+// decisions without a Frame struct per response.
+type DecisionBurst struct {
+	ReqIDs    []uint64
+	Decisions []Decision
+}
+
+// Len returns the number of buffered decisions.
+func (b *DecisionBurst) Len() int { return len(b.ReqIDs) }
+
+// Reset empties the burst, keeping capacity.
+func (b *DecisionBurst) Reset() {
+	b.ReqIDs = b.ReqIDs[:0]
+	b.Decisions = b.Decisions[:0]
+}
+
+// NextDecisionBurst walks the run of complete, well-formed Decision frames
+// at the front of the buffer, appending (reqID, decision) to b. The same
+// structural contract as NextAdmitBurst: it consumes exactly the frames
+// Next would have decoded identically and stops at anything else, never
+// reading the underlying stream. Returns the number appended (at most max).
+func (r *Reader) NextDecisionBurst(b *DecisionBurst, max int) int {
+	buffered := r.br.Buffered()
+	if max <= 0 || buffered < decisionFrameLen {
+		return 0
+	}
+	p, err := r.br.Peek(buffered)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for n < max && len(p) >= decisionFrameLen {
+		if binary.BigEndian.Uint32(p) != headerLen+decisionLen || p[4] != Version || p[5] != byte(OpDecision) {
+			break
+		}
+		b.ReqIDs = append(b.ReqIDs, binary.BigEndian.Uint64(p[6:]))
+		b.Decisions = append(b.Decisions, decodeDecision(p[14:]))
+		p = p[decisionFrameLen:]
+		n++
+	}
+	if n > 0 {
+		r.br.Discard(n * decisionFrameLen)
+	}
+	return n
+}
+
+// AckBurst is the landing zone of the vectorized Ack decoder, for reading
+// back a pipelined run of UpdateRate/Touch/Depart acknowledgements.
+type AckBurst struct {
+	ReqIDs   []uint64
+	Statuses []Status
+}
+
+// Len returns the number of buffered acks.
+func (b *AckBurst) Len() int { return len(b.ReqIDs) }
+
+// Reset empties the burst, keeping capacity.
+func (b *AckBurst) Reset() {
+	b.ReqIDs = b.ReqIDs[:0]
+	b.Statuses = b.Statuses[:0]
+}
+
+// NextAckBurst walks the run of complete, well-formed Ack frames at the
+// front of the buffer, appending (reqID, status) to b. An Ack whose status
+// byte is out of range is left unconsumed — the generic Next rejects it,
+// and the burst decoder must consume only what Next would have decoded
+// identically. Returns the number appended (at most max).
+func (r *Reader) NextAckBurst(b *AckBurst, max int) int {
+	buffered := r.br.Buffered()
+	if max <= 0 || buffered < ackFrameLen {
+		return 0
+	}
+	p, err := r.br.Peek(buffered)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for n < max && len(p) >= ackFrameLen {
+		if binary.BigEndian.Uint32(p) != headerLen+1 || p[4] != Version || p[5] != byte(OpAck) ||
+			p[14] > byte(StatusInvalidRate) {
+			break
+		}
+		b.ReqIDs = append(b.ReqIDs, binary.BigEndian.Uint64(p[6:]))
+		b.Statuses = append(b.Statuses, Status(p[14]))
+		p = p[ackFrameLen:]
+		n++
+	}
+	if n > 0 {
+		r.br.Discard(n * ackFrameLen)
+	}
+	return n
+}
+
+// NextBuffered decodes the next frame only if it is already complete in
+// the buffer: ok reports whether a frame (or a malformed length prefix,
+// which Next would also reject without blocking) was consumed. It never
+// touches the underlying stream, so the server's read loop can drain a
+// pipelined burst — FrameBuffered check and decode fused into one peek —
+// and fall back to the blocking Next only when ok is false.
+func (r *Reader) NextBuffered(f *Frame) (ok bool, err error) {
+	buffered := r.br.Buffered()
+	if buffered < 4 {
+		return false, nil
+	}
+	p, _ := r.br.Peek(buffered) // cannot fail: peek of what is buffered
+	n := int(binary.BigEndian.Uint32(p))
+	if n < headerLen || n > MaxFrame {
+		return true, fmt.Errorf("wire: frame length %d outside [%d, %d]", n, headerLen, MaxFrame)
+	}
+	if 4+n > buffered {
+		return false, nil
+	}
+	err = f.Decode(p[4 : 4+n])
+	r.br.Discard(4 + n)
+	return true, err
 }
 
 // FrameBuffered reports whether a complete frame is already sitting in
