@@ -13,8 +13,13 @@
 #   bench-server-json — capture the serving-layer benchmark (loopback
 #              client -> server -> gateway) as BENCH_server.json;
 #              bench-server-cmp diffs a fresh run against the committed
-#              baseline, gating ns/decision (the budgeted number) rather
-#              than ns/op of the whole pipelined round
+#              baseline, gating ns/decision (the budgeted number) and
+#              allocs/op rather than ns/op of the whole pipelined round
+#   bench-sim-json — capture the simulation-engine benchmarks (the columnar
+#              impulsive replication kernel and the churn-heavy engine) as
+#              BENCH_sim.json; bench-sim-cmp diffs a fresh run against the
+#              committed baseline, gating ns/op and allocs/op — the budget
+#              the statistical tiers spend (n >= 3200 sqrt2-law ensembles)
 #   fuzz     — short adversarial-input fuzzing of the estimator and
 #              controller (checked-in corpora replay in plain `go test`)
 #   vet      — go vet plus cmd/vetenum, which proves every enum constant
@@ -40,7 +45,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-stat bench bench-json bench-cmp bench-server-json bench-server-cmp fuzz golden vet test-chaos test-net test-scenario scenarios
+.PHONY: all build test race test-stat bench bench-json bench-cmp bench-server-json bench-server-cmp bench-sim-json bench-sim-cmp fuzz golden vet test-chaos test-net test-scenario scenarios
 
 all: build test
 
@@ -57,9 +62,14 @@ race:
 	$(GO) test -race ./...
 
 # Statistical tier: deterministic seeded ensembles (several seconds of
-# simulation), excluded from tier-1 by the "stat" build tag.
+# simulation), excluded from tier-1 by the "stat" build tag. The columnar/
+# scalar differential runs under -race here (the columnar path shares
+# worker-local arenas), and the tier ends with the engine perf guard — the
+# statistical power this tier spends was bought by the columnar speedup.
 test-stat:
 	$(GO) test -tags stat -run 'TestStat' -v .
+	$(GO) test -tags stat -race -run 'TestStat' -v ./internal/sim
+	$(MAKE) bench-sim-cmp
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
@@ -75,7 +85,7 @@ bench-json:
 
 bench-cmp:
 	$(GATEWAY_BENCH) | $(GO) run ./cmd/benchjson -out /tmp/BENCH_gateway.new.json
-	$(GO) run ./cmd/benchjson -cmp -threshold 20 BENCH_gateway.json /tmp/BENCH_gateway.new.json
+	$(GO) run ./cmd/benchjson -cmp -threshold 20 -metric ns/op,allocs/op BENCH_gateway.json /tmp/BENCH_gateway.new.json
 
 # Serving-layer benchmark baseline: the end-to-end loopback bench captured
 # as JSON, gated on ns/decision (departs ride along in each round, so raw
@@ -90,7 +100,21 @@ bench-server-json:
 
 bench-server-cmp:
 	$(SERVER_BENCH) | $(GO) run ./cmd/benchjson -out /tmp/BENCH_server.new.json
-	$(GO) run ./cmd/benchjson -cmp -threshold 20 -metric ns/decision BENCH_server.json /tmp/BENCH_server.new.json
+	$(GO) run ./cmd/benchjson -cmp -threshold 20 -metric ns/decision,allocs/op BENCH_server.json /tmp/BENCH_server.new.json
+
+# Simulation-engine benchmark baseline: the columnar impulsive-replication
+# kernel (the hot path behind every ensemble) and the churn-heavy engine
+# (arrival/departure/heap traffic). -count 4 because replication benches
+# are FP-throughput-bound and scheduler noise is one-sided: benchjson
+# collapses replicates to the fastest run.
+SIM_BENCH = $(GO) test -run '^$$' -bench 'BenchmarkImpulsiveReplication$$|BenchmarkEngineChurn' -benchtime 1s -count 4 -benchmem ./internal/sim
+
+bench-sim-json:
+	$(SIM_BENCH) | $(GO) run ./cmd/benchjson -out BENCH_sim.json
+
+bench-sim-cmp:
+	$(SIM_BENCH) | $(GO) run ./cmd/benchjson -out /tmp/BENCH_sim.new.json
+	$(GO) run ./cmd/benchjson -cmp -threshold 20 -metric ns/op,allocs/op BENCH_sim.json /tmp/BENCH_sim.new.json
 
 FUZZTIME ?= 30s
 
@@ -130,12 +154,13 @@ test-net:
 	$(MAKE) bench-server-cmp
 
 # Scenario tier: the full declarative suite (including the slow impulsive
-# sqrt2-law ensembles), then the serving-path perf guard — the scenario
-# engine drives the same gateway everything else does, and must not
-# regress it.
+# sqrt2-law ensembles), then both perf guards — the scenario engine drives
+# the same gateway everything else does, and its seed x arm matrices run
+# on the simulation engine whose budget bench-sim-cmp enforces.
 test-scenario:
 	$(GO) test -tags scenario -run 'TestScenarioSuite' -timeout 30m -v ./internal/scenario
 	$(MAKE) bench-cmp
+	$(MAKE) bench-sim-cmp
 
 # Regenerate the FINDINGS reports under results/scenario from the built-in
 # suite (cmd/scenario exits nonzero if any verdict mismatches its expect).

@@ -13,14 +13,16 @@
 //	benchjson -cmp BENCH_gateway.json BENCH_new.json [-threshold 20]
 //
 // With -threshold T (percent), compare mode exits nonzero when any
-// benchmark's gated measure regresses by more than T percent or its
+// benchmark's gated measures regress by more than T percent or its
 // allocs/op increase at all — the contract the performance-budget docs
-// reference. The gated measure defaults to ns/op; -metric selects any
-// other per-op unit the capture recorded (e.g. -metric ns/decision for
-// the server bench, whose wall time per decision is the budgeted number
-// rather than ns/op of the whole 128-frame round). Benchmarks present in
-// only one file, or missing the selected metric, are reported but never
-// fail the comparison (the set is expected to grow).
+// reference. -metric is a comma-separated list of per-op units to gate
+// (default ns/op); any captured unit qualifies (e.g. -metric
+// ns/decision,allocs/op for the server bench, whose wall time per
+// decision is the budgeted number rather than ns/op of the whole
+// 128-frame round). allocs/op is special wherever it appears — and also
+// when it doesn't: any increase fails, threshold notwithstanding.
+// Benchmarks present in only one file, or missing a selected metric, are
+// reported but never fail the comparison (the set is expected to grow).
 package main
 
 import (
@@ -168,10 +170,11 @@ func measure(r Result, metric string) (float64, bool) {
 	return 0, false
 }
 
-// compare prints the diff table and returns true when the new run breaks
-// the regression contract for any shared benchmark. The threshold gates
-// the named metric; allocs/op may never increase regardless.
-func compare(w io.Writer, old, new *Doc, threshold float64, metric string) bool {
+// compare prints the diff table — one row per shared benchmark and gated
+// metric — and returns true when the new run breaks the regression
+// contract for any shared benchmark. The threshold gates every listed
+// metric except allocs/op, which may never increase at all, listed or not.
+func compare(w io.Writer, old, new *Doc, threshold float64, metrics []string) bool {
 	names := map[string]bool{}
 	for n := range old.Benchmarks {
 		names[n] = true
@@ -185,44 +188,52 @@ func compare(w io.Writer, old, new *Doc, threshold float64, metric string) bool 
 	}
 	sort.Strings(sorted)
 
+	allocsListed := false
+	for _, m := range metrics {
+		if m == "allocs/op" {
+			allocsListed = true
+		}
+	}
+
 	tw := bufio.NewWriter(w)
 	defer tw.Flush()
-	fmt.Fprintf(tw, "%-40s %14s %14s %9s %12s %12s %7s\n",
-		"benchmark", "old "+metric, "new "+metric, "delta", "old allocs", "new allocs", "delta")
+	fmt.Fprintf(tw, "%-40s %-14s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
 	failed := false
 	for _, n := range sorted {
 		o, haveOld := old.Benchmarks[n]
 		c, haveNew := new.Benchmarks[n]
-		ov, okOld := measure(o, metric)
-		cv, okNew := measure(c, metric)
-		switch {
-		case !haveOld:
-			fmt.Fprintf(tw, "%-40s %14s %14.1f %9s %12s %12.0f %7s\n", n, "-", cv, "new", "-", c.Allocs, "new")
-		case !haveNew:
-			fmt.Fprintf(tw, "%-40s %14.1f %14s %9s %12.0f %12s %7s\n", n, ov, "-", "gone", o.Allocs, "-", "gone")
-		case !okOld || !okNew:
-			// The selected metric is absent on one side (e.g. a bench that
-			// never reports it): show it, never gate on it.
-			fmt.Fprintf(tw, "%-40s %14s %14s %9s %12.0f %12.0f %7s\n",
-				n, "-", "-", "~", o.Allocs, c.Allocs, delta(o.Allocs, c.Allocs))
-			if threshold > 0 && c.Allocs > o.Allocs {
-				fmt.Fprintf(tw, "  ^ FAIL: allocs/op increased\n")
-				failed = true
-			}
-		default:
-			fmt.Fprintf(tw, "%-40s %14.1f %14.1f %9s %12.0f %12.0f %7s\n",
-				n, ov, cv, delta(ov, cv),
-				o.Allocs, c.Allocs, delta(o.Allocs, c.Allocs))
-			if threshold > 0 {
-				if ov > 0 && (cv-ov)/ov*100 > threshold {
-					fmt.Fprintf(tw, "  ^ FAIL: %s regressed beyond %.0f%%\n", metric, threshold)
-					failed = true
-				}
-				if c.Allocs > o.Allocs {
-					fmt.Fprintf(tw, "  ^ FAIL: allocs/op increased\n")
-					failed = true
+		for _, m := range metrics {
+			ov, okOld := measure(o, m)
+			cv, okNew := measure(c, m)
+			switch {
+			case !haveOld:
+				fmt.Fprintf(tw, "%-40s %-14s %14s %14.1f %9s\n", n, m, "-", cv, "new")
+			case !haveNew:
+				fmt.Fprintf(tw, "%-40s %-14s %14.1f %14s %9s\n", n, m, ov, "-", "gone")
+			case !okOld || !okNew:
+				// The metric is absent on one side (e.g. a bench that never
+				// reports it): show it, never gate on it.
+				fmt.Fprintf(tw, "%-40s %-14s %14s %14s %9s\n", n, m, "-", "-", "~")
+			default:
+				fmt.Fprintf(tw, "%-40s %-14s %14.1f %14.1f %9s\n", n, m, ov, cv, delta(ov, cv))
+				if threshold > 0 {
+					if m == "allocs/op" {
+						if cv > ov {
+							fmt.Fprintf(tw, "  ^ FAIL: allocs/op increased\n")
+							failed = true
+						}
+					} else if ov > 0 && (cv-ov)/ov*100 > threshold {
+						fmt.Fprintf(tw, "  ^ FAIL: %s regressed beyond %.0f%%\n", m, threshold)
+						failed = true
+					}
 				}
 			}
+		}
+		// The allocs/op backstop holds even when it is not a listed metric.
+		if !allocsListed && threshold > 0 && haveOld && haveNew && c.Allocs > o.Allocs {
+			fmt.Fprintf(tw, "%-40s %-14s %14.0f %14.0f %9s\n  ^ FAIL: allocs/op increased\n",
+				n, "allocs/op", o.Allocs, c.Allocs, delta(o.Allocs, c.Allocs))
+			failed = true
 		}
 	}
 	return failed
@@ -233,8 +244,8 @@ func main() {
 		in        = flag.String("in", "", "benchmark text input (default stdin)")
 		out       = flag.String("out", "", "JSON output path (default stdout)")
 		cmp       = flag.Bool("cmp", false, "compare two JSON documents: benchjson -cmp old.json new.json")
-		threshold = flag.Float64("threshold", 0, "in -cmp mode, fail if the gated metric regresses beyond this percent or allocs/op grow (0 = report only)")
-		metric    = flag.String("metric", "ns/op", "in -cmp mode, the per-op measure the threshold gates (any captured unit, e.g. ns/decision)")
+		threshold = flag.Float64("threshold", 0, "in -cmp mode, fail if a gated metric regresses beyond this percent or allocs/op grow (0 = report only)")
+		metric    = flag.String("metric", "ns/op", "in -cmp mode, comma-separated per-op measures the threshold gates (any captured units, e.g. ns/decision,allocs/op)")
 	)
 	flag.Parse()
 
@@ -250,7 +261,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if compare(os.Stdout, oldDoc, newDoc, *threshold, *metric) {
+		metrics := strings.Split(*metric, ",")
+		for i := range metrics {
+			metrics[i] = strings.TrimSpace(metrics[i])
+		}
+		if compare(os.Stdout, oldDoc, newDoc, *threshold, metrics) {
 			os.Exit(1)
 		}
 		return

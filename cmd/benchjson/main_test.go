@@ -73,11 +73,11 @@ func TestCompare(t *testing.T) {
 		"BenchmarkNew": {NsPerOp: 5, Allocs: 1},  // only in new: never fails
 	}}
 	var buf strings.Builder
-	if failed := compare(&buf, oldDoc, newDoc, 0, "ns/op"); failed {
+	if failed := compare(&buf, oldDoc, newDoc, 0, []string{"ns/op"}); failed {
 		t.Fatal("threshold 0 must be report-only")
 	}
 	buf.Reset()
-	if failed := compare(&buf, oldDoc, newDoc, 20, "ns/op"); !failed {
+	if failed := compare(&buf, oldDoc, newDoc, 20, []string{"ns/op"}); !failed {
 		t.Fatalf("60%% regression must fail a 20%% threshold:\n%s", buf.String())
 	}
 	if !strings.Contains(buf.String(), "FAIL") {
@@ -88,7 +88,7 @@ func TestCompare(t *testing.T) {
 	newDoc.Benchmarks["BenchmarkA"] = Result{NsPerOp: 90, Allocs: 1}
 	newDoc.Benchmarks["BenchmarkB"] = Result{NsPerOp: 50, Allocs: 2}
 	buf.Reset()
-	if failed := compare(&buf, oldDoc, newDoc, 20, "ns/op"); !failed {
+	if failed := compare(&buf, oldDoc, newDoc, 20, []string{"ns/op"}); !failed {
 		t.Fatalf("alloc increase must fail:\n%s", buf.String())
 	}
 }
@@ -106,7 +106,7 @@ func TestCompareCustomMetric(t *testing.T) {
 		"BenchmarkOther":       {NsPerOp: 500}, // no ns/decision: not gated
 	}}
 	var buf strings.Builder
-	if failed := compare(&buf, oldDoc, newDoc, 20, "ns/decision"); !failed {
+	if failed := compare(&buf, oldDoc, newDoc, 20, []string{"ns/decision"}); !failed {
 		t.Fatalf("+38%% ns/decision must fail a 20%% threshold even though ns/op improved:\n%s", buf.String())
 	}
 	if !strings.Contains(buf.String(), "ns/decision regressed") {
@@ -115,13 +115,68 @@ func TestCompareCustomMetric(t *testing.T) {
 
 	newDoc.Benchmarks["BenchmarkServerAdmit"] = Result{NsPerOp: 39000, Metrics: map[string]float64{"ns/decision": 300}}
 	buf.Reset()
-	if failed := compare(&buf, oldDoc, newDoc, 20, "ns/decision"); failed {
+	if failed := compare(&buf, oldDoc, newDoc, 20, []string{"ns/decision"}); failed {
 		t.Fatalf("+3.4%% ns/decision within a 20%% threshold must pass:\n%s", buf.String())
 	}
 
 	// ns/op falls back to the typed field when absent from the Metrics map.
 	buf.Reset()
-	if failed := compare(&buf, oldDoc, newDoc, 20, "ns/op"); !failed {
+	if failed := compare(&buf, oldDoc, newDoc, 20, []string{"ns/op"}); !failed {
 		t.Fatalf("BenchmarkOther's 5x ns/op regression must still gate under the default metric:\n%s", buf.String())
+	}
+}
+
+// TestCompareMultiMetric pins the comma-separated -metric path: every
+// listed measure is thresholded independently, allocs/op fails on any
+// increase whether listed or not, and a measure absent on one side is
+// shown but never gated.
+func TestCompareMultiMetric(t *testing.T) {
+	oldDoc := &Doc{Benchmarks: map[string]Result{
+		"BenchmarkSim": {NsPerOp: 650000, Allocs: 8, Metrics: map[string]float64{"ns/op": 650000, "allocs/op": 8}},
+		"BenchmarkOdd": {NsPerOp: 100, Allocs: 0},
+	}}
+	pass := &Doc{Benchmarks: map[string]Result{
+		"BenchmarkSim": {NsPerOp: 700000, Allocs: 8, Metrics: map[string]float64{"ns/op": 700000, "allocs/op": 8}},
+		"BenchmarkOdd": {NsPerOp: 105, Allocs: 0},
+	}}
+	var buf strings.Builder
+	if failed := compare(&buf, oldDoc, pass, 20, []string{"ns/op", "allocs/op"}); failed {
+		t.Fatalf("+7.7%% ns/op with flat allocs must pass both gates:\n%s", buf.String())
+	}
+
+	// Second listed metric trips on any increase (allocs/op is absolute).
+	allocUp := &Doc{Benchmarks: map[string]Result{
+		"BenchmarkSim": {NsPerOp: 640000, Allocs: 9, Metrics: map[string]float64{"ns/op": 640000, "allocs/op": 9}},
+		"BenchmarkOdd": {NsPerOp: 100, Allocs: 0},
+	}}
+	buf.Reset()
+	if failed := compare(&buf, oldDoc, allocUp, 20, []string{"ns/op", "allocs/op"}); !failed {
+		t.Fatalf("+1 alloc/op must fail even at 12%% under threshold on time:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "allocs/op increased") {
+		t.Fatalf("failure must name allocs/op:\n%s", buf.String())
+	}
+
+	// The allocs backstop holds when allocs/op is not listed at all.
+	buf.Reset()
+	if failed := compare(&buf, oldDoc, allocUp, 20, []string{"ns/op"}); !failed {
+		t.Fatalf("unlisted allocs/op increase must still fail:\n%s", buf.String())
+	}
+
+	// First listed metric trips on the percent threshold.
+	timeUp := &Doc{Benchmarks: map[string]Result{
+		"BenchmarkSim": {NsPerOp: 900000, Allocs: 8, Metrics: map[string]float64{"ns/op": 900000, "allocs/op": 8}},
+		"BenchmarkOdd": {NsPerOp: 100, Allocs: 0},
+	}}
+	buf.Reset()
+	if failed := compare(&buf, oldDoc, timeUp, 20, []string{"ns/op", "allocs/op"}); !failed {
+		t.Fatalf("+38%% ns/op must fail a 20%% threshold:\n%s", buf.String())
+	}
+
+	// A metric only one benchmark reports gates that benchmark alone;
+	// BenchmarkOdd (no allocs metric beyond the typed 0) never trips.
+	buf.Reset()
+	if failed := compare(&buf, oldDoc, pass, 20, []string{"ns/op", "widgets/op"}); failed {
+		t.Fatalf("a measure absent everywhere must never gate:\n%s", buf.String())
 	}
 }

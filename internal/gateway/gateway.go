@@ -972,12 +972,7 @@ func (g *Gateway) recomputeLocked(s *shard) {
 		g.rotScratch = append(g.rotScratch, e.rate)
 	}
 	sort.Float64s(g.rotScratch)
-	var sumRate, sumSq float64
-	for _, r := range g.rotScratch {
-		sumRate += r
-		sumSq += r * r
-	}
-	s.sumRate, s.sumSq = sumRate, sumSq
+	s.sumRate, s.sumSq = estimator.FoldRates(g.rotScratch)
 }
 
 // setDegraded and clearDegraded maintain the degradation bitmask with CAS

@@ -167,6 +167,22 @@ func (l *Link) SetLoad(t, load float64, flows int) {
 	l.flows = flows
 }
 
+// AccumulateBatch applies a run of load changes that all happen at the same
+// instant t — an admission burst — as one state change. It is equivalent to
+// calling SetLoad(t, loads[i], flows[i]) for each i in order: the
+// intermediate states occupy zero time, so only the final one can ever be
+// integrated or sampled, and the batch advances once and keeps the last
+// entry. The simulation engine uses it to issue one link call per event
+// instead of one per admitted flow. Empty batches are no-ops.
+func (l *Link) AccumulateBatch(t float64, loads []float64, flows []int) {
+	if len(loads) == 0 {
+		return
+	}
+	l.AdvanceTo(t)
+	l.load = loads[len(loads)-1]
+	l.flows = flows[len(flows)-1]
+}
+
 // Report is a snapshot of the link's accumulated statistics.
 type Report struct {
 	Duration float64 // observed (post-warm-up) time

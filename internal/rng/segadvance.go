@@ -1,0 +1,118 @@
+// Batched segment-chain advancement: the innermost kernel of the columnar
+// traffic engine, located here so the whole per-segment path — generator
+// step, ziggurat accept, logarithm — is one straight-line loop body with no
+// calls on the fast path. See SegmentAdvance.
+package rng
+
+import "math"
+
+// segLanes is the number of chains advanced in interleaved lanes. Each
+// chain's draws are serially dependent (the generator state and the
+// log/divide latency chain), but different chains are independent, so the
+// out-of-order window overlaps up to segLanes chains and the per-segment
+// cost approaches arithmetic throughput instead of chain latency. Measured
+// on the benchmarked hardware, 4 lanes saturate the window; more only adds
+// tail cleanup and register pressure.
+const segLanes = 4
+
+// SegmentAdvance advances a set of independent renewal chains to time t.
+// Slot j in [lo, hi) is a chain with its own generator str[j], current value
+// rate[j] and current segment end time end[j]; every chain with end[j] <= t
+// draws successive segments — value from N(mu, sigma²) conditioned on
+// >= floor, duration exponential with mean durMean — until its segment end
+// exceeds t, exactly as per-chain calls of SegmentSample(mu, sigma, floor,
+// durMean) in a `for end <= t` loop would, consuming the same draws from
+// str[j] and storing the same final (rate, end). Chains with end[j] > t are
+// untouched.
+//
+// This is SegmentSample's loop form: one call per batch instead of one call
+// per segment, with the sample body (ziggurat fast path, msun log) inlined
+// into the lane loop. TestSegmentAdvanceMatchesSegmentSample pins the
+// equivalence draw for draw.
+func SegmentAdvance(str []PCG, rate, end []float64, lo, hi int, mu, sigma, floor, durMean, t float64) {
+	if hi > len(str) || hi > len(rate) || hi > len(end) {
+		panic("rng: SegmentAdvance window exceeds column length")
+	}
+	// Reslice to the window so the scan and retire indices (always < hi)
+	// carry no bounds checks.
+	str, rate, end = str[:hi], rate[:hi], end[:hi]
+	var rs [segLanes]*PCG
+	var idx [segLanes]int32
+	var le [segLanes]float64
+	next := lo
+	active := 0
+	for l := 0; l < segLanes; l++ {
+		for next < hi {
+			j := next
+			next++
+			if end[j] <= t {
+				rs[l], idx[l], le[l] = &str[j], int32(j), end[j]
+				active++
+				break
+			}
+		}
+	}
+	for active > 0 {
+		for l := 0; l < segLanes; l++ {
+			r := rs[l]
+			if r == nil {
+				continue
+			}
+			// SegmentSample(mu, sigma, floor, durMean), inlined: identical
+			// operations in identical order, so the draws are bit-equal.
+			b := r.Uint64()
+			i := b & (zigLayers - 1)
+			z := float64(int64(b>>11)) * zigXS[i]
+			var n float64
+			if z < zigX[i+1] {
+				n = math.Float64frombits(math.Float64bits(z) | (b&(1<<8))<<55)
+			} else {
+				n = r.normalSlow(b, z)
+			}
+			x := mu + sigma*n
+			if x < floor {
+				x = r.truncatedNormalSlow(mu, sigma, floor)
+			}
+			var d float64
+			u := float64(int64(r.Uint64()>>11)) / (1 << 53)
+			if u == 0 {
+				d = r.expResample(durMean)
+			} else {
+				ub := math.Float64bits(u)
+				um := ub & 0x000FFFFFFFFFFFFF
+				var adj uint64
+				if um < 0x6A09E667F3BCD {
+					adj = 1
+				}
+				f := math.Float64frombits(um|(0x3FE+adj)<<52) - 1
+				k := float64(int(ub>>52)&0x7FF - 0x3FE - int(adj))
+				sf := f / (2 + f)
+				s2 := sf * sf
+				s4 := s2 * s2
+				t1 := s2 * (l1 + s4*(l3+s4*(l5+s4*l7)))
+				t2 := s4 * (l2 + s4*(l4+s4*l6))
+				hfsq := 0.5 * f * f
+				d = -durMean * (k*ln2Hi - ((hfsq - (sf*(hfsq+(t1+t2)) + k*ln2Lo)) - f))
+			}
+			e := le[l] + d
+			if e > t { // segment covers t: retire the chain, refill the lane
+				fi := idx[l]
+				rate[fi], end[fi] = x, e
+				rs[l] = nil
+				for next < hi {
+					j := next
+					next++
+					if end[j] <= t {
+						rs[l], idx[l], le[l] = &str[j], int32(j), end[j]
+						break
+					}
+				}
+				if rs[l] == nil {
+					active--
+				}
+			} else {
+				le[l] = e
+			}
+		}
+	}
+}

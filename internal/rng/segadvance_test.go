@@ -1,0 +1,83 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSegmentAdvanceMatchesSegmentSample pins the batched kernel to its
+// scalar definition: advancing a column of chains with SegmentAdvance must
+// consume the same draws and store the same (rate, end) values as advancing
+// each chain alone with SegmentSample calls, bit for bit, for any order the
+// lanes interleave the chains in.
+func TestSegmentAdvanceMatchesSegmentSample(t *testing.T) {
+	const nChains = 23 // not a lane multiple: exercises tail lanes
+	const mu, sigma, floor, durMean = 1.0, 0.3, 0.0, 1.0
+
+	master := New(99, 7)
+	str := make([]PCG, nChains)
+	ref := make([]PCG, nChains)
+	for i := range str {
+		master.SplitInto(uint64(i), &str[i])
+		ref[i] = str[i]
+	}
+	rate := make([]float64, nChains)
+	end := make([]float64, nChains)
+	refRate := make([]float64, nChains)
+	refEnd := make([]float64, nChains)
+
+	// Mark some chains already past the first probe time: they must not be
+	// touched (nor their generators advanced) until a later probe passes them.
+	end[3], end[11] = 7.25, 9.5
+	refEnd[3], refEnd[11] = 7.25, 9.5
+
+	for _, probe := range []float64{0, 0.5, 3, 8, 8, 20} {
+		SegmentAdvance(str, rate, end, 0, nChains, mu, sigma, floor, durMean, probe)
+		for i := range ref {
+			for refEnd[i] <= probe {
+				x, d := ref[i].SegmentSample(mu, sigma, floor, durMean)
+				refRate[i] = x
+				refEnd[i] += d
+			}
+		}
+		for i := range ref {
+			if math.Float64bits(rate[i]) != math.Float64bits(refRate[i]) ||
+				math.Float64bits(end[i]) != math.Float64bits(refEnd[i]) {
+				t.Fatalf("probe %g chain %d: batched (%v, %v) != scalar (%v, %v)",
+					probe, i, rate[i], end[i], refRate[i], refEnd[i])
+			}
+			if str[i] != ref[i] {
+				t.Fatalf("probe %g chain %d: generator state diverged", probe, i)
+			}
+		}
+	}
+}
+
+// TestSegmentAdvanceSubrange checks the [lo, hi) window: chains outside it
+// stay untouched even when their end time is past the probe.
+func TestSegmentAdvanceSubrange(t *testing.T) {
+	const n = 10
+	master := New(5, 5)
+	str := make([]PCG, n)
+	for i := range str {
+		master.SplitInto(uint64(i), &str[i])
+	}
+	rate := make([]float64, n)
+	end := make([]float64, n)
+	before := make([]PCG, n)
+	copy(before, str)
+
+	SegmentAdvance(str, rate, end, 2, 7, 1, 0.3, 0, 1, 4)
+	for i := 0; i < n; i++ {
+		inside := i >= 2 && i < 7
+		if inside {
+			if end[i] <= 4 {
+				t.Fatalf("chain %d inside window not advanced past probe", i)
+			}
+			continue
+		}
+		if end[i] != 0 || rate[i] != 0 || str[i] != before[i] {
+			t.Fatalf("chain %d outside [2,7) was touched", i)
+		}
+	}
+}

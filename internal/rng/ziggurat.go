@@ -25,6 +25,12 @@ var (
 	zigR float64                // tail cut point r (≈ 3.6542 for 256 layers)
 	zigX [zigLayers + 1]float64 // layer right edges; zigX[0] is the base pseudo-width v/f(r), zigX[256] = 0
 	zigY [zigLayers + 1]float64 // f at the layer boundaries; zigY[0] = 0, zigY[256] = 1
+	// zigXS[i] = zigX[i]·2⁻⁵³: the per-layer candidate scale, prefolded so
+	// the fast path forms its candidate with one multiply instead of two.
+	// The fold is exact — 2⁻⁵³ only shifts the exponent — and the 53-bit
+	// integer converts to float64 exactly, so u·zigXS[i] rounds once, at the
+	// same place (u·2⁻⁵³)·zigX[i] rounds, and the candidates are bit-equal.
+	zigXS [zigLayers]float64
 )
 
 // zigF is the unnormalized standard normal density.
@@ -76,24 +82,21 @@ func init() {
 	zigR = hi // the residual is ≤ 0 at hi: layers never overshoot the peak
 	zigBuild(zigR, &zigX, &zigY)
 	zigX[zigLayers], zigY[zigLayers] = 0, 1
+	for i := range zigXS {
+		zigXS[i] = zigX[i] * 0x1p-53
+	}
 }
 
-// normalZiggurat draws one standard normal sample.
-func (p *PCG) normalZiggurat() float64 {
+// normalSlow finishes a ziggurat draw whose candidate (b, x) missed the
+// all-under-the-curve fast region handled inline in Normal: the tail layer
+// and the wedge test, looping over fresh candidates on rejection. The draw
+// consumption is exactly the single-loop implementation's — Normal performs
+// one Uint64 and the fast accept, this function the rest — so the output
+// stream is unchanged by the fast-path split.
+func (p *PCG) normalSlow(b uint64, x float64) float64 {
 	for {
-		b := p.Uint64()
-		i := b & (zigLayers - 1)      // bits 0..7: layer
-		neg := b&(1<<8) != 0          // bit 8: sign
-		u := float64(b>>11) * 0x1p-53 // bits 11..63: uniform [0,1)
-		x := u * zigX[i]
-		if x < zigX[i+1] {
-			// Inside the part of the rectangle fully under the curve —
-			// for layer 0 this is x < r, the base strip.
-			if neg {
-				return -x
-			}
-			return x
-		}
+		i := b & (zigLayers - 1) // bits 0..7: layer
+		neg := b&(1<<8) != 0     // bit 8: sign
 		if i == 0 {
 			// Tail beyond r: Marsaglia's exact exponential-rejection tail.
 			for {
@@ -111,6 +114,17 @@ func (p *PCG) normalZiggurat() float64 {
 		// reaches into the layer.
 		if zigY[i]+(zigY[i+1]-zigY[i])*p.Float64() < zigF(x) {
 			if neg {
+				return -x
+			}
+			return x
+		}
+		// Rejected: draw the next candidate, replaying Normal's fast accept
+		// here so the loop matches the historical draw order bit for bit.
+		b = p.Uint64()
+		j := b & (zigLayers - 1)                // bits 0..7: layer
+		x = float64(b>>11) * 0x1p-53 * zigX[j]  // bits 11..63: uniform [0,1)
+		if x < zigX[j+1] {
+			if b&(1<<8) != 0 {
 				return -x
 			}
 			return x

@@ -31,7 +31,7 @@ func TestSplitIntoMatchesSplit(t *testing.T) {
 	a := New(7, 3)
 	b := New(7, 3)
 	var dst PCG
-	dst.seed(1, 1)
+	dst.Seed(1, 1)
 	dst.NormalPolar() // dirty the spare cache to prove seed clears it
 	for tag := uint64(0); tag < 4; tag++ {
 		want := a.Split(tag)

@@ -5,6 +5,8 @@ import (
 	"fmt"
 
 	"repro/internal/qos"
+	"repro/internal/rng"
+	"repro/internal/sim"
 	"repro/internal/theory"
 )
 
@@ -32,23 +34,40 @@ type Result struct {
 func (r *Result) Matched() bool { return r.Verdict == r.Config.Expect }
 
 // Run executes the scenario's seed x arm matrix and grades it. The matrix
-// runs seed-major, arm-minor; every cell is deterministic in (seed, arm),
-// so the whole Result — and the reports rendered from it — is reproducible
-// byte for byte.
+// is ordered seed-major, arm-minor; every cell is deterministic in
+// (seed, arm), so the whole Result — and the reports rendered from it — is
+// reproducible byte for byte.
+//
+// Cells execute in parallel on the shared replication pool (sim.Replicated,
+// one cell per stripe) but land in the slice by matrix index, so the
+// collected order — and therefore every rendered report — is byte-identical
+// to the historical sequential loop. The pool's substreams go unused: each
+// cell derives all of its randomness from its own (seed, arm) pair, which
+// is what makes the parallel schedule invisible in the output.
 func Run(ctx context.Context, cfg *Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	res := &Result{Config: cfg, Sqrt2Law: theory.ImpulsiveOverflow(cfg.Gateway.PQ)}
-	for _, seed := range cfg.Seeds {
-		for _, arm := range cfg.Arms {
-			cell, err := runCell(ctx, cfg, arm, seed)
-			if err != nil {
-				return nil, fmt.Errorf("scenario %s: seed %d arm %q: %w", cfg.Name, seed, arm.Name, err)
-			}
-			res.Cells = append(res.Cells, cell)
-		}
+	nArms := len(cfg.Arms)
+	cells := make([]CellResult, len(cfg.Seeds)*nArms)
+	pool := sim.Replicated{
+		Replications: len(cells),
+		Stripes:      len(cells), // one cell per stripe: full matrix parallelism
 	}
+	err := pool.Run(ctx, func(_, rep int, _ *rng.PCG) error {
+		seed, arm := cfg.Seeds[rep/nArms], cfg.Arms[rep%nArms]
+		cell, err := runCell(ctx, cfg, arm, seed)
+		if err != nil {
+			return fmt.Errorf("scenario %s: seed %d arm %q: %w", cfg.Name, seed, arm.Name, err)
+		}
+		cells[rep] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Cells = cells
 	grade(res)
 	return res, nil
 }

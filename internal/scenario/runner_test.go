@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestRunParallelMatchesSequential pins the parallel matrix schedule to its
+// sequential definition: Run farms the seed x arm cells out to the
+// replication pool, but every cell is deterministic in (seed, arm) and
+// collected by matrix index, so the Result — cells, verdict, notes, and the
+// rendered reports — must be byte-identical to the plain seed-major,
+// arm-minor loop Run replaced.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	cfg, err := Load(filepath.Join("..", "..", "scenarios", "flash-crowd.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The historical sequential runner, inlined.
+	seq := &Result{Config: cfg, Sqrt2Law: par.Sqrt2Law}
+	for _, seed := range cfg.Seeds {
+		for _, arm := range cfg.Arms {
+			cell, err := runCell(context.Background(), cfg, arm, seed)
+			if err != nil {
+				t.Fatalf("seed %d arm %q: %v", seed, arm.Name, err)
+			}
+			seq.Cells = append(seq.Cells, cell)
+		}
+	}
+	grade(seq)
+
+	if len(par.Cells) != len(seq.Cells) {
+		t.Fatalf("cell count: parallel %d, sequential %d", len(par.Cells), len(seq.Cells))
+	}
+	for i := range seq.Cells {
+		if !reflect.DeepEqual(par.Cells[i], seq.Cells[i]) {
+			t.Errorf("cell %d (seed %d/%s) diverges:\nparallel:   %+v\nsequential: %+v",
+				i, seq.Cells[i].Seed, seq.Cells[i].Arm, par.Cells[i], seq.Cells[i])
+		}
+	}
+	if par.Verdict != seq.Verdict || !reflect.DeepEqual(par.Notes, seq.Notes) || par.Effect != seq.Effect {
+		t.Errorf("grading diverges: parallel (%s, %q), sequential (%s, %q)",
+			par.Verdict, par.Effect, seq.Verdict, seq.Effect)
+	}
+	if pm, sm := par.Markdown(), seq.Markdown(); pm != sm {
+		t.Error("markdown reports differ between parallel and sequential runs")
+	}
+	pj, err1 := par.JSONVerdict()
+	sj, err2 := seq.JSONVerdict()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if string(pj) != string(sj) {
+		t.Error("JSON reports differ between parallel and sequential runs")
+	}
+}
+
+// TestRunPropagatesCellError checks the pool path still surfaces a cell
+// failure with the scenario/seed/arm context attached.
+func TestRunPropagatesCellError(t *testing.T) {
+	cfg, err := Load(filepath.Join("..", "..", "scenarios", "flash-crowd.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, cfg); err == nil {
+		t.Fatal("cancelled context must fail the run")
+	} else if s := fmt.Sprint(err); s == "" {
+		t.Fatal("empty error")
+	}
+}

@@ -1,0 +1,34 @@
+//go:build stat
+
+package sim
+
+import "testing"
+
+// TestStatColumnarDifferential is the stat-tier version of the columnar/
+// scalar equivalence check: larger ensembles (enough replications to span
+// several worker stripes and force arena recycling and column growth), more
+// seeds, and a finer probe grid, across every columnar traffic model. The
+// Makefile runs this tier under -race as well: the columnar path keeps
+// worker-local arenas alive across replications and hands scratch state
+// between stripes, exactly the sharing the race detector should see under
+// real load.
+func TestStatColumnarDifferential(t *testing.T) {
+	for name, model := range differentialModels(t) {
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 5; seed++ {
+				cfg := ImpulsiveConfig{
+					Capacity:     100,
+					Model:        model,
+					Controller:   mustCE(t, 1e-2),
+					MeasureCount: 100,
+					HoldingTime:  100,
+					Grid:         []float64{0.25, 0.5, 1, 2, 5, 10, 25, 50},
+					Replications: 200,
+					Seed:         seed,
+				}
+				scalar, columnar := runBothImpulsive(t, cfg)
+				assertImpulsiveEqual(t, scalar, columnar)
+			}
+		})
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/estimator"
@@ -173,12 +174,54 @@ type SeriesPoint struct {
 	Admissible float64 // the controller's M_t at the sample instant
 }
 
-// flowState is one active flow.
-type flowState struct {
-	src    traffic.Source
-	rate   float64
-	epoch  uint32
-	active bool
+// engineArena holds the engine's per-flow state as parallel columns indexed
+// by flow slot, plus the deferred-load run buffers — everything that scales
+// with flow count and would otherwise be reallocated per run. Arenas are
+// recycled through engineArenaPool: an experiment sweeping many short runs
+// (a scenario arm's seed matrix, the churn benchmark) reuses one arena's
+// capacity instead of regrowing the columns every run.
+//
+// Invariant: rates[i] is exactly 0 for every inactive slot, so the
+// renormalization fold can walk the whole column linearly (x + 0 == x for
+// every non-negative x) instead of branching on liveness per slot.
+type engineArena struct {
+	srcs    []traffic.Source
+	rates   []float64
+	epochs  []uint32
+	alive   []bool
+	streams []rng.PCG // per-slot RNG substream storage, split into in place
+	free    []int     // recycled slots
+
+	loadRun []float64 // deferred link updates: aggregate after each change
+	flowRun []int     // parallel flow counts
+}
+
+// engineArenaPool recycles arenas across Engine lifetimes.
+var engineArenaPool = sync.Pool{New: func() any { return new(engineArena) }}
+
+// reset readies a pooled arena: columns emptied (capacity kept) and every
+// stale source dropped so a recycled arena never pins a dead model.
+func (a *engineArena) reset() {
+	a.srcs = a.srcs[:cap(a.srcs)]
+	clear(a.srcs)
+	a.srcs = a.srcs[:0]
+	a.rates = a.rates[:0]
+	a.epochs = a.epochs[:0]
+	a.alive = a.alive[:0]
+	a.streams = a.streams[:0]
+	a.free = a.free[:0]
+	a.loadRun = a.loadRun[:0]
+	a.flowRun = a.flowRun[:0]
+}
+
+// grow appends one zeroed slot to every column and returns its index.
+func (a *engineArena) grow() int {
+	a.srcs = append(a.srcs, nil)
+	a.rates = append(a.rates, 0)
+	a.epochs = append(a.epochs, 0)
+	a.alive = append(a.alive, false)
+	a.streams = append(a.streams, rng.PCG{})
+	return len(a.rates) - 1
 }
 
 // Engine runs continuous-load simulations. Construct with New, run with
@@ -189,11 +232,11 @@ type Engine struct {
 	clock float64
 	seq   uint64
 
-	flows    []flowState
-	freeList []int
-	nActive  int
-	sumRate  float64
-	sumSq    float64
+	ar      *engineArena
+	renew   traffic.Renewer // cfg.Model's optional source recycling (may be nil)
+	nActive int
+	sumRate float64
+	sumSq   float64
 
 	events eventHeap
 	lnk    *link.Link
@@ -281,20 +324,28 @@ func New(cfg Config) (*Engine, error) {
 	if fa, ok := cfg.Estimator.(estimator.FlowAware); ok {
 		e.flowAware = fa
 	}
+	e.renew, _ = cfg.Model.(traffic.Renewer)
+	e.ar = engineArenaPool.Get().(*engineArena)
+	e.ar.reset()
 	return e, nil
 }
 
 // Run executes the simulation to completion and returns the result.
 func (e *Engine) Run() (Result, error) {
+	if e.ar == nil {
+		return Result{}, errors.New("sim: Engine is single-use; Run was already called")
+	}
 	cfg := e.cfg
 	e.cfg.Estimator.Reset(0)
-	e.syncEstimatorAndLink()
+	e.cfg.Estimator.Update(e.sumRate, e.sumSq, e.nActive)
+	e.pushLoad()
 	if cfg.ArrivalRate > 0 {
 		e.seq++
 		e.events.push(event{t: e.rng.Exp(1 / cfg.ArrivalRate), kind: evArrival, flow: -1, seq: e.seq})
 	} else {
 		e.tryAdmissions()
 	}
+	e.flushLoads()
 
 	nextCheck := cfg.Warmup + cfg.CheckEvery
 	horizon := cfg.Warmup + cfg.MaxTime
@@ -357,10 +408,18 @@ func (e *Engine) Run() (Result, error) {
 		case evArrival:
 			e.handleArrival()
 		}
-		e.syncEstimatorAndLink()
+		// Estimator updates stay per state change (controllers read it
+		// between admissions), but the link writes are deferred: every
+		// change at this instant is recorded in the run buffers and flushed
+		// as one batched link call below. Same-instant SetLoads are pure
+		// overwrites (a zero-length interval never integrates), so the
+		// collapse is bit-identical.
+		e.cfg.Estimator.Update(e.sumRate, e.sumSq, e.nActive)
+		e.pushLoad()
 		if cfg.ArrivalRate == 0 {
 			e.tryAdmissions()
 		}
+		e.flushLoads()
 		e.maybeRenormalize()
 	}
 	if !e.statsOn {
@@ -406,6 +465,11 @@ func (e *Engine) Run() (Result, error) {
 			res.StdAdmissible = math.Sqrt(variance)
 		}
 	}
+	// The engine is single-use: its arena (and every source in it) retires
+	// to the pool for the next engine.
+	e.ar.reset()
+	engineArenaPool.Put(e.ar)
+	e.ar = nil
 	return res, nil
 }
 
@@ -419,8 +483,7 @@ func (e *Engine) seriesLimit() int {
 
 // flowValid reports whether the event still refers to a live flow epoch.
 func (e *Engine) flowValid(ev event) bool {
-	f := &e.flows[ev.flow]
-	return f.active && f.epoch == ev.epoch
+	return e.ar.alive[ev.flow] && e.ar.epochs[ev.flow] == ev.epoch
 }
 
 // advanceTo moves simulation time forward, carrying the estimator and link
@@ -443,14 +506,27 @@ func (e *Engine) advanceTo(t float64) {
 	e.clock = t
 }
 
-// syncEstimatorAndLink pushes the current aggregates into the estimator and
-// the link after a state change at the current clock.
-func (e *Engine) syncEstimatorAndLink() {
-	e.cfg.Estimator.Update(e.sumRate, e.sumSq, e.nActive)
-	e.lnk.SetLoad(e.clock, e.sumRate, e.nActive)
+// pushLoad records the current aggregate in the deferred-load run; the
+// batched flush (flushLoads) hands the whole instant to the link at once.
+func (e *Engine) pushLoad() {
+	e.ar.loadRun = append(e.ar.loadRun, e.sumRate)
+	e.ar.flowRun = append(e.ar.flowRun, e.nActive)
+}
+
+// flushLoads issues the one batched link update for everything that changed
+// at the current instant. It must run before the clock next advances: the
+// collapse of a run of same-instant SetLoads into AccumulateBatch is exact
+// only while no time elapses between them.
+func (e *Engine) flushLoads() {
+	if len(e.ar.loadRun) == 0 {
+		return
+	}
+	e.lnk.AccumulateBatch(e.clock, e.ar.loadRun, e.ar.flowRun)
 	if e.buf != nil {
 		e.buf.SetLoad(e.clock, e.sumRate)
 	}
+	e.ar.loadRun = e.ar.loadRun[:0]
+	e.ar.flowRun = e.ar.flowRun[:0]
 }
 
 // measurement assembles the controller's view.
@@ -472,7 +548,9 @@ func (e *Engine) currentAdmissible() float64 {
 }
 
 // tryAdmissions admits waiting flows while the controller allows — the
-// continuous-load model's infinite backlog.
+// continuous-load model's infinite backlog. The estimator is updated after
+// every admission (controllers read it between admissions), the link once
+// per instant via the deferred-load run.
 func (e *Engine) tryAdmissions() {
 	for i := 0; i < e.cfg.MaxAdmitPerInstant; i++ {
 		m := e.currentAdmissible()
@@ -480,30 +558,42 @@ func (e *Engine) tryAdmissions() {
 			return
 		}
 		e.admitFlow()
-		e.syncEstimatorAndLink()
+		e.cfg.Estimator.Update(e.sumRate, e.sumSq, e.nActive)
+		e.pushLoad()
 	}
 }
 
 // admitFlow creates a flow with its own RNG substream and schedules its
-// first segment end and departure.
+// first segment end and departure. The substream is split in place into the
+// slot's stream column and the slot's previous source object is recycled
+// when the model supports it — no per-admission allocation in the steady
+// state. (Stream-column growth may reallocate; that is safe because live
+// sources keep drawing from their pointers into the old backing array.)
 func (e *Engine) admitFlow() {
 	e.admitted++
-	src := e.cfg.Model.New(e.rng.Split(uint64(e.admitted)))
+	ar := e.ar
+	var slot int
+	if k := len(ar.free); k > 0 {
+		slot = ar.free[k-1]
+		ar.free = ar.free[:k-1]
+	} else {
+		slot = ar.grow()
+	}
+	st := &ar.streams[slot]
+	e.rng.SplitInto(uint64(e.admitted), st)
+	var src traffic.Source
+	if old := ar.srcs[slot]; old != nil && e.renew != nil {
+		src = e.renew.Renew(old, st)
+	} else {
+		src = e.cfg.Model.New(st)
+	}
 	seg := src.Next()
 
-	var slot int
-	if k := len(e.freeList); k > 0 {
-		slot = e.freeList[k-1]
-		e.freeList = e.freeList[:k-1]
-	} else {
-		e.flows = append(e.flows, flowState{})
-		slot = len(e.flows) - 1
-	}
-	f := &e.flows[slot]
-	f.src = src
-	f.rate = seg.Rate
-	f.epoch++
-	f.active = true
+	ar.srcs[slot] = src
+	ar.rates[slot] = seg.Rate
+	ar.epochs[slot]++
+	ar.alive[slot] = true
+	epoch := ar.epochs[slot]
 
 	e.nActive++
 	e.sumRate += seg.Rate
@@ -513,7 +603,7 @@ func (e *Engine) admitFlow() {
 	}
 
 	e.seq++
-	e.events.push(event{t: e.clock + seg.Duration, kind: evSegment, flow: int32(slot), epoch: f.epoch, seq: e.seq})
+	e.events.push(event{t: e.clock + seg.Duration, kind: evSegment, flow: int32(slot), epoch: epoch, seq: e.seq})
 	var hold float64
 	switch {
 	case e.cfg.HoldingSampler != nil:
@@ -523,7 +613,7 @@ func (e *Engine) admitFlow() {
 	}
 	if hold > 0 {
 		e.seq++
-		e.events.push(event{t: e.clock + hold, kind: evDepart, flow: int32(slot), epoch: f.epoch, seq: e.seq})
+		e.events.push(event{t: e.clock + hold, kind: evDepart, flow: int32(slot), epoch: epoch, seq: e.seq})
 	}
 }
 
@@ -546,10 +636,10 @@ func (e *Engine) handleArrival() {
 // the RCBR renegotiation-failure books: a rate increase landing when the
 // link cannot fit it is a failed renegotiation.
 func (e *Engine) nextSegment(slot int) {
-	f := &e.flows[slot]
-	old := f.rate
-	seg := f.src.Next()
-	f.rate = seg.Rate
+	ar := e.ar
+	old := ar.rates[slot]
+	seg := ar.srcs[slot].Next()
+	ar.rates[slot] = seg.Rate
 	e.sumRate += seg.Rate - old
 	e.sumSq += seg.Rate*seg.Rate - old*old
 	if e.flowAware != nil {
@@ -562,42 +652,41 @@ func (e *Engine) nextSegment(slot int) {
 		}
 	}
 	e.seq++
-	e.events.push(event{t: e.clock + seg.Duration, kind: evSegment, flow: int32(slot), epoch: f.epoch, seq: e.seq})
+	e.events.push(event{t: e.clock + seg.Duration, kind: evSegment, flow: int32(slot), epoch: ar.epochs[slot], seq: e.seq})
 }
 
-// removeFlow departs a flow and recycles its slot.
+// removeFlow departs a flow and recycles its slot. The rate column is
+// zeroed (the arena's inactive-slot invariant); the source object stays in
+// its column for admitFlow to recycle.
 func (e *Engine) removeFlow(slot int) {
-	f := &e.flows[slot]
-	e.sumRate -= f.rate
-	e.sumSq -= f.rate * f.rate
+	ar := e.ar
+	rate := ar.rates[slot]
+	e.sumRate -= rate
+	e.sumSq -= rate * rate
 	if e.flowAware != nil {
 		e.flowAware.FlowDeparted(slot)
 	}
-	f.active = false
-	f.src = nil
-	f.epoch++ // invalidate queued segment events
+	ar.alive[slot] = false
+	ar.rates[slot] = 0
+	ar.epochs[slot]++ // invalidate queued segment events
 	e.nActive--
 	e.departed++
-	e.freeList = append(e.freeList, slot)
+	ar.free = append(ar.free, slot)
 }
 
 // maybeRenormalize recomputes the aggregates from scratch periodically to
 // stop floating-point drift from the incremental updates; over billions of
 // events the drift in sumSq would otherwise bias the variance estimate.
+// Inactive slots hold exactly 0, so the eq.-7 fold walks the whole rate
+// column linearly (x + 0 == x bitwise for the non-negative rates involved)
+// — same result as the historical skip-inactive loop, no branch per slot.
 func (e *Engine) maybeRenormalize() {
 	e.sinceRenorm++
 	if e.sinceRenorm < 1<<22 {
 		return
 	}
 	e.sinceRenorm = 0
-	var sr, ss float64
-	for i := range e.flows {
-		if e.flows[i].active {
-			sr += e.flows[i].rate
-			ss += e.flows[i].rate * e.flows[i].rate
-		}
-	}
-	e.sumRate, e.sumSq = sr, ss
+	e.sumRate, e.sumSq = estimator.FoldRates(e.ar.rates)
 }
 
 // checkStop applies the paper's stopping rule to the current statistics.

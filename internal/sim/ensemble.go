@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/estimator"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/traffic"
@@ -28,6 +29,12 @@ type ImpulsiveConfig struct {
 	Grid         []float64 // strictly increasing probe times (> 0) at which overflow is tested
 	Replications int
 	Seed         uint64
+
+	// Scalar forces the per-flow Source path even when the model supports
+	// the columnar engine (traffic.ColumnModel). The two paths are
+	// bit-identical by contract — Scalar exists for differential testing
+	// and debugging, the same pattern as the gateway's DisableFastPath.
+	Scalar bool
 }
 
 // ImpulsiveResult aggregates the ensemble.
@@ -67,7 +74,19 @@ type impulseScratch struct {
 	streams []rng.PCG        // per-flow substream storage for SplitInto
 	sources []traffic.Source // per-flow sources, recycled via traffic.Renewer
 	renew   traffic.Renewer  // cfg.Model's optional recycling capability (may be nil)
+
+	// Columnar-path arena: flow state as parallel columns plus the
+	// departure times. Owned by one worker at a time (same discipline as
+	// the slices above), recycled across replications, stripes, and — via
+	// impScratchPool — whole RunImpulsive calls.
+	cols    traffic.Columns
+	departs []float64
 }
+
+// impScratchPool recycles scratch arenas across RunImpulsive calls, so a
+// caller looping over ensembles (scenario grids, benchmarks) reaches a
+// steady state with zero per-replication and near-zero per-run allocation.
+var impScratchPool = sync.Pool{New: func() any { return new(impulseScratch) }}
 
 // newSource derives the next per-flow source: it splits a substream from r
 // with the given tag into the scratch backing array and binds a source to
@@ -133,20 +152,46 @@ func RunImpulsive(cfg ImpulsiveConfig) (*ImpulsiveResult, error) {
 		Seed:         cfg.Seed,
 		Tag:          0x696d_70, // stream tag "imp"
 	}
-	type stripeAcc struct {
-		m0   stats.Moments
-		pfAt []stats.Counter
+	ir := impRunPool.Get().(*impRun)
+	ir.begin(cfg, pool.NumStripes())
+	err := pool.Run(context.Background(), ir.bodyFn)
+	if err == nil {
+		for s := range ir.accs {
+			res.M0.Merge(&ir.accs[s].m0)
+			for gi := range res.PfAt {
+				res.PfAt[gi].Merge(&ir.accs[s].pfAt[gi])
+			}
+		}
 	}
-	stripes := pool.NumStripes()
-	accs := make([]stripeAcc, stripes)
-	renew, _ := cfg.Model.(traffic.Renewer)
-	// One backing array for every stripe's counters: the slices are disjoint
-	// (full-slice expressions), so stripes still own their rows exclusively.
-	pfBacking := make([]stats.Counter, stripes*len(cfg.Grid))
-	for i := range accs {
-		lo, hi := i*len(cfg.Grid), (i+1)*len(cfg.Grid)
-		accs[i].pfAt = pfBacking[lo:hi:hi]
+	ir.end()
+	impRunPool.Put(ir)
+	if err != nil {
+		return nil, err
 	}
+	return res, nil
+}
+
+// stripeAcc is one stripe's accumulator: owned exclusively by the stripe's
+// worker during a run, merged in stripe order afterwards.
+type stripeAcc struct {
+	m0   stats.Moments
+	pfAt []stats.Counter
+}
+
+// impRun is the reusable orchestration state of one RunImpulsive call:
+// per-stripe accumulators, the scratch-arena hand-off, and the pool body.
+// The body is bound once at construction (bodyFn), so a steady-state run
+// allocates nothing here — not even the closure a literal body would cost.
+type impRun struct {
+	cfg        ImpulsiveConfig
+	cm         traffic.ColumnModel
+	useColumns bool
+	renew      traffic.Renewer
+	stripes    int
+
+	accs      []stripeAcc
+	pfBacking []stats.Counter
+
 	// Scratch buffers are handed off between stripes through a free list
 	// rather than pinned one per stripe: a worker acquires a scratch at a
 	// stripe's first replication and releases it after the last, so at most
@@ -155,46 +200,104 @@ func RunImpulsive(cfg ImpulsiveConfig) (*ImpulsiveResult, error) {
 	// replications per stripe. Scratch identity cannot affect results:
 	// every buffer is fully overwritten per replication and Renew is
 	// output-identical to New.
-	var (
-		scMu   sync.Mutex
-		scFree []*impulseScratch
-	)
-	held := make([]*impulseScratch, stripes)
-	err := pool.Run(context.Background(), func(stripe, rep int, r *rng.PCG) error {
-		sc := held[stripe]
-		if sc == nil {
-			scMu.Lock()
-			if n := len(scFree); n > 0 {
-				sc, scFree = scFree[n-1], scFree[:n-1]
-			}
-			scMu.Unlock()
-			if sc == nil {
-				sc = &impulseScratch{renew: renew}
-			}
-			held[stripe] = sc
-		}
-		acc := &accs[stripe]
-		m0 := runOneImpulse(cfg, r, acc.pfAt, sc)
-		acc.m0.Add(float64(m0))
-		if rep+stripes >= cfg.Replications { // stripe's last replication
-			held[stripe] = nil
-			scMu.Lock()
-			scFree = append(scFree, sc)
-			scMu.Unlock()
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
+	scMu   sync.Mutex
+	scFree []*impulseScratch
+	held   []*impulseScratch
 
-	for s := range accs {
-		res.M0.Merge(&accs[s].m0)
-		for gi := range res.PfAt {
-			res.PfAt[gi].Merge(&accs[s].pfAt[gi])
+	bodyFn func(stripe, rep int, r *rng.PCG) error
+}
+
+// impRunPool recycles run state across RunImpulsive calls (the same
+// discipline as impScratchPool, one level up).
+var impRunPool = sync.Pool{New: func() any {
+	ir := new(impRun)
+	ir.bodyFn = ir.replicate
+	return ir
+}}
+
+// begin readies the run state for a fresh ensemble: accumulators sized and
+// zeroed, columnar capability resolved, no scratches held.
+func (ir *impRun) begin(cfg ImpulsiveConfig, stripes int) {
+	ir.cfg = cfg
+	ir.cm, ir.useColumns = traffic.ColumnModelOf(cfg.Model)
+	ir.useColumns = ir.useColumns && !cfg.Scalar
+	ir.renew, _ = cfg.Model.(traffic.Renewer)
+	ir.stripes = stripes
+
+	g := len(cfg.Grid)
+	if cap(ir.accs) < stripes {
+		ir.accs = make([]stripeAcc, stripes)
+	}
+	ir.accs = ir.accs[:stripes]
+	if cap(ir.pfBacking) < stripes*g {
+		ir.pfBacking = make([]stats.Counter, stripes*g)
+	}
+	ir.pfBacking = ir.pfBacking[:stripes*g]
+	clear(ir.pfBacking)
+	// One backing array for every stripe's counters: the slices are disjoint
+	// (full-slice expressions), so stripes still own their rows exclusively.
+	for i := range ir.accs {
+		lo, hi := i*g, (i+1)*g
+		ir.accs[i] = stripeAcc{pfAt: ir.pfBacking[lo:hi:hi]}
+	}
+	if cap(ir.held) < stripes {
+		ir.held = make([]*impulseScratch, stripes)
+	}
+	ir.held = ir.held[:stripes]
+	clear(ir.held)
+	ir.scFree = ir.scFree[:0]
+}
+
+// replicate is the pool body: one replication on this run's configuration.
+func (ir *impRun) replicate(stripe, rep int, r *rng.PCG) error {
+	sc := ir.held[stripe]
+	if sc == nil {
+		ir.scMu.Lock()
+		if n := len(ir.scFree); n > 0 {
+			sc, ir.scFree = ir.scFree[n-1], ir.scFree[:n-1]
+		}
+		ir.scMu.Unlock()
+		if sc == nil {
+			sc = impScratchPool.Get().(*impulseScratch)
+		}
+		sc.renew = ir.renew
+		ir.held[stripe] = sc
+	}
+	acc := &ir.accs[stripe]
+	var m0 int
+	if ir.useColumns {
+		m0 = runOneImpulseColumnar(ir.cfg, ir.cm, r, acc.pfAt, sc)
+	} else {
+		m0 = runOneImpulse(ir.cfg, r, acc.pfAt, sc)
+	}
+	acc.m0.Add(float64(m0))
+	if rep+ir.stripes >= ir.cfg.Replications { // stripe's last replication
+		ir.held[stripe] = nil
+		ir.scMu.Lock()
+		ir.scFree = append(ir.scFree, sc)
+		ir.scMu.Unlock()
+	}
+	return nil
+}
+
+// end retires the run's scratch arenas to the process-wide pool and drops
+// every model reference so pooled state never pins a dead model. Scratches
+// still held (a run stopped by an error) retire too.
+func (ir *impRun) end() {
+	for i, sc := range ir.held {
+		if sc != nil {
+			ir.scFree = append(ir.scFree, sc)
+			ir.held[i] = nil
 		}
 	}
-	return res, nil
+	for _, sc := range ir.scFree {
+		sc.renew = nil
+		impScratchPool.Put(sc)
+	}
+	ir.scFree = ir.scFree[:0]
+	ir.cfg = ImpulsiveConfig{}
+	ir.cm = nil
+	ir.renew = nil
 }
 
 // runOneImpulse performs a single replication, recording overflow
@@ -284,6 +387,100 @@ func runOneImpulse(cfg ImpulsiveConfig, r *rng.PCG, pfAt []stats.Counter, sc *im
 			agg += f.rate
 			i++
 		}
+		pfAt[gi].Add(agg > cfg.Capacity)
+	}
+	return m0
+}
+
+// runOneImpulseColumnar is runOneImpulse on the columnar engine: flow state
+// lives in parallel columns (traffic.Columns) instead of per-flow Source
+// objects, segment redraws land straight into the columns through the
+// model's lane-interleaved AdvanceColumn, and the eq.-7 estimate folds the
+// rate column in one batched call. Bit-identity with the scalar path holds
+// step by step:
+//
+//   - the per-flow substreams carry the same tags, and splitting them all
+//     before the first-segment draws reorders only draws on *different*
+//     streams (scalar interleaves split_i with flow i's draws);
+//   - the master-stream draw order is preserved exactly — for extra flows
+//     beyond MeasureCount, split_i and departs_i stay interleaved per flow;
+//   - per probe time, compacting departed flows first reproduces the scalar
+//     loop's swap-to-tail sequence (which depends only on departure times),
+//     and the surviving flows' advances commute because each flow draws
+//     from its own substream; the aggregate then folds in index order over
+//     exactly the arrangement the scalar loop summed.
+//
+// TestImpulsiveColumnarMatchesScalar pins the equivalence end to end.
+func runOneImpulseColumnar(cfg ImpulsiveConfig, cm traffic.ColumnModel, r *rng.PCG, pfAt []stats.Counter, sc *impulseScratch) int {
+	c := &sc.cols
+	n := cfg.MeasureCount
+	c.Grow(n)
+	for i := 0; i < n; i++ {
+		r.SplitInto(uint64(i), &c.Str[i])
+	}
+	cm.InitColumn(c, 0, n)
+	sumRate, sumSq := estimator.FoldRates(c.Rate[:n])
+	nm := float64(n)
+	mu := sumRate / nm
+	variance := (sumSq - sumRate*mu) / (nm - 1)
+	if variance < 0 {
+		variance = 0
+	}
+
+	meas := core.Measurement{
+		Capacity:      cfg.Capacity,
+		Flows:         0,
+		AggregateRate: sumRate,
+		Mu:            mu,
+		Sigma:         math.Sqrt(variance),
+		OK:            true,
+	}
+	m0 := int(cfg.Controller.Admissible(meas))
+	if m0 < 0 {
+		m0 = 0
+	}
+
+	// Departure times for the admitted flows, in the scalar path's exact
+	// master-stream order: measured flows draw only departs; extras draw
+	// split-then-departs per flow. The extras' first segments (their own
+	// substreams) batch afterwards.
+	if m0 > n {
+		c.Grow(m0)
+	}
+	if cap(sc.departs) < m0 {
+		sc.departs = make([]float64, m0)
+	}
+	departs := sc.departs[:m0]
+	for i := 0; i < m0; i++ {
+		if i >= n {
+			r.SplitInto(uint64(cfg.MeasureCount+i), &c.Str[i])
+		}
+		if cfg.HoldingTime > 0 {
+			departs[i] = r.Exp(cfg.HoldingTime)
+		} else {
+			departs[i] = math.Inf(1)
+		}
+	}
+	if m0 > n {
+		cm.InitColumn(c, n, m0)
+	}
+
+	// Probe the aggregate at each grid time: compact departures to the
+	// tail, advance the survivors in lanes, fold the rate column.
+	alive := m0
+	for gi, t := range cfg.Grid {
+		for i := 0; i < alive; {
+			if departs[i] <= t {
+				last := alive - 1
+				departs[i], departs[last] = departs[last], departs[i]
+				c.Swap(i, last)
+				alive--
+				continue
+			}
+			i++
+		}
+		cm.AdvanceColumn(c, alive, t)
+		agg, _ := estimator.FoldRates(c.Rate[:alive])
 		pfAt[gi].Add(agg > cfg.Capacity)
 	}
 	return m0

@@ -94,70 +94,92 @@ func (p Replicated) Run(ctx context.Context, body func(stripe, rep int, r *rng.P
 	if body == nil {
 		return fmt.Errorf("sim: nil pool body")
 	}
-	stripes := p.NumStripes()
+	// All run state lives in one heap object shared by the workers, and the
+	// workers are methods rather than closures: a Run costs one allocation,
+	// which matters to callers that execute many small ensembles (scenario
+	// grids, benchmarks).
+	run := &poolRun{
+		replications: p.Replications,
+		stripes:      p.NumStripes(),
+		body:         body,
+		ctx:          ctx,
+		// Done() is nil for contexts that can never be cancelled
+		// (Background), letting the per-replication check skip the Err()
+		// call entirely.
+		done: ctx.Done(),
+	}
 	// The master generator is never advanced by the workers: each stripe
 	// derives its substreams lazily from a private copy. SplitN(n)[rep]
 	// consumes exactly two parent draws per split, so positioning the copy
 	// 2·rep draws ahead (O(log rep) via Jump) and splitting once reproduces
 	// the historical up-front materialization bit-for-bit with O(1) setup
 	// memory instead of O(Replications) pointers.
-	base := rng.New(p.Seed, p.Tag)
-
-	var (
-		wg      sync.WaitGroup
-		errMu   sync.Mutex
-		bodyErr error
-		stop    atomic.Bool  // set on the first body error
-		next    atomic.Int64 // stripe claim counter
-	)
-	fail := func(err error) {
-		errMu.Lock()
-		if bodyErr == nil {
-			bodyErr = err
-		}
-		errMu.Unlock()
-		stop.Store(true)
-	}
-	// Done() is nil for contexts that can never be cancelled (Background),
-	// letting the per-replication check skip the Err() call entirely.
-	done := ctx.Done()
-	stopped := func() bool {
-		return stop.Load() || (done != nil && ctx.Err() != nil)
-	}
+	run.base.Seed(p.Seed, p.Tag)
 	for w := 0; w < p.numWorkers(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var stream rng.PCG // reseeded in place per replication
-			for {
-				s := int(next.Add(1)) - 1
-				if s >= stripes || stopped() {
-					return
-				}
-				cur := *base
-				cur.Jump(2 * uint64(s))
-				for rep := s; rep < p.Replications; rep += stripes {
-					if stopped() {
-						return
-					}
-					cur.SplitInto(uint64(rep), &stream)
-					if err := body(s, rep, &stream); err != nil {
-						fail(err)
-						return
-					}
-					// SplitInto consumed 2 of the 2·stripes draws separating
-					// this replication's parent position from the next one in
-					// the stripe.
-					cur.Jump(2 * uint64(stripes-1))
-				}
-			}
-		}()
+		run.wg.Add(1)
+		go run.worker()
 	}
-	wg.Wait()
-	errMu.Lock()
-	defer errMu.Unlock()
-	if bodyErr != nil {
-		return bodyErr
+	run.wg.Wait()
+	run.errMu.Lock()
+	defer run.errMu.Unlock()
+	if run.bodyErr != nil {
+		return run.bodyErr
 	}
 	return ctx.Err()
+}
+
+// poolRun is the shared state of one Run call.
+type poolRun struct {
+	replications int
+	stripes      int
+	base         rng.PCG
+	body         func(stripe, rep int, r *rng.PCG) error
+	ctx          context.Context
+	done         <-chan struct{}
+
+	wg      sync.WaitGroup
+	errMu   sync.Mutex
+	bodyErr error
+	stop    atomic.Bool  // set on the first body error
+	next    atomic.Int64 // stripe claim counter
+}
+
+func (run *poolRun) fail(err error) {
+	run.errMu.Lock()
+	if run.bodyErr == nil {
+		run.bodyErr = err
+	}
+	run.errMu.Unlock()
+	run.stop.Store(true)
+}
+
+func (run *poolRun) stopped() bool {
+	return run.stop.Load() || (run.done != nil && run.ctx.Err() != nil)
+}
+
+func (run *poolRun) worker() {
+	defer run.wg.Done()
+	var stream rng.PCG // reseeded in place per replication
+	for {
+		s := int(run.next.Add(1)) - 1
+		if s >= run.stripes || run.stopped() {
+			return
+		}
+		cur := run.base
+		cur.Jump(2 * uint64(s))
+		for rep := s; rep < run.replications; rep += run.stripes {
+			if run.stopped() {
+				return
+			}
+			cur.SplitInto(uint64(rep), &stream)
+			if err := run.body(s, rep, &stream); err != nil {
+				run.fail(err)
+				return
+			}
+			// SplitInto consumed 2 of the 2·stripes draws separating
+			// this replication's parent position from the next one in
+			// the stripe.
+			cur.Jump(2 * uint64(run.stripes-1))
+		}
+	}
 }
