@@ -34,6 +34,11 @@
 #              end-to-end soak (client -> server -> gateway, open loop,
 #              concurrent, graceful drain) under -race, then bench-cmp so
 #              the serving layer can't regress the admission hot path
+#   cluster  — multi-gateway routing tier (build tag "cluster"): the
+#              4-instance skewed-arrival soak (per-instance sqrt2-law
+#              audits) and the concurrent drain/failover soak under -race,
+#              then both serving-path perf guards — the routing layer must
+#              not tax the single-gateway budget it multiplexes
 #   scenario — declarative scenario suite (build tag "scenario"): every
 #              config under scenarios/ runs its seed x arm matrix and must
 #              grade to its declared Confirmed/Refuted verdict — including
@@ -45,7 +50,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-stat bench bench-json bench-cmp bench-server-json bench-server-cmp bench-sim-json bench-sim-cmp fuzz golden vet test-chaos test-net test-scenario scenarios
+.PHONY: all build test race test-stat bench bench-json bench-cmp bench-server-json bench-server-cmp bench-sim-json bench-sim-cmp fuzz golden vet test-chaos test-net test-cluster test-scenario scenarios
 
 all: build test
 
@@ -136,6 +141,7 @@ vet:
 	$(GO) run ./cmd/vetenum -dir internal/fault -type Mode
 	$(GO) run ./cmd/vetenum -dir internal/wire -type Op,Status,Refusal
 	$(GO) run ./cmd/vetenum -dir internal/scenario -type Verdict,HypothesisKind,InvariantKind,Metric,Relation,IntervalMode
+	$(GO) run ./cmd/vetenum -dir internal/cluster -type PlacementPolicy,InstanceState
 
 # Chaos tier: seeded fault-injection soaks under the race detector, then
 # the serving-path perf guard — leases and degradation must not tax the
@@ -150,6 +156,16 @@ test-chaos:
 # its own per-decision budget.
 test-net:
 	$(GO) test -tags net -race -run 'TestSoak|TestSharded' -v ./internal/loadgen
+	$(MAKE) bench-cmp
+	$(MAKE) bench-server-cmp
+
+# Cluster tier: the multi-gateway soaks under the race detector — skewed
+# arrivals against per-instance sqrt2-law audits, and a drain/failover
+# storm with concurrent ticks and placements — then both serving-path
+# perf guards: routing, pinning and migration must not regress the
+# admission budget of the instances they front.
+test-cluster:
+	$(GO) test -tags cluster -race -run 'TestClusterSkewedSoak|TestClusterFailoverSoak' -v ./internal/cluster
 	$(MAKE) bench-cmp
 	$(MAKE) bench-server-cmp
 

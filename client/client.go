@@ -258,64 +258,93 @@ func (c *Client) roundTrip(ctx context.Context, enc func(dst []byte, reqID uint6
 }
 
 // poolConn is one pooled connection: a lazily dialed socket, a writer
-// mutex serializing encodes, and a reader goroutine routing replies to
-// pending calls by request id.
+// mutex serializing encode+write, and a reader goroutine routing replies
+// to pending calls by request id.
+//
+// Lock order: wmu is never held while waiting on the network with pmu
+// wanted — pmu guards only in-memory state (socket identity, pending
+// calls, generation), so retire/Close always complete immediately. The
+// socket write itself happens outside pmu against a captured *net.Conn;
+// a concurrent retire closes the socket, which fails the blocked write
+// instead of waiting for it.
 type poolConn struct {
 	client *Client
 
-	mu      sync.Mutex
-	nc      net.Conn
-	enc     []byte // encode scratch, guarded by mu
-	nextReq uint64
+	wmu sync.Mutex // serializes encode+write; owns enc
+	enc []byte     // encode scratch, guarded by wmu
 
-	pmu     sync.Mutex
+	pmu     sync.Mutex // guards nc, pending, gen, nextReq; never held across I/O
+	nc      net.Conn
+	nextReq uint64 // monotone across redials, so reqIDs never collide between sockets
 	pending map[uint64]*call
-	gen     uint64 // bumped on retire so a stale reader can't touch a redial
+	gen     uint64 // bumped on retire so a stale reader or writer can't touch a redial
 }
 
 // send dials if needed, registers a call, and writes the request frame.
-func (p *poolConn) send(ctx context.Context, enc func([]byte, uint64) []byte) (*call, uint64, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+func (p *poolConn) send(ctx context.Context, encode func([]byte, uint64) []byte) (*call, uint64, error) {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+
+	p.pmu.Lock()
+	if p.client.closed.Load() {
+		p.pmu.Unlock()
+		return nil, 0, ErrClosed
+	}
 	if p.nc == nil {
-		if err := p.dialLocked(ctx); err != nil {
+		// Dial outside pmu so Close/retire never waits on the network;
+		// wmu keeps concurrent senders from double-dialing this slot.
+		p.pmu.Unlock()
+		nc, err := p.dial(ctx)
+		if err != nil {
 			return nil, 0, err
 		}
+		p.pmu.Lock()
+		if p.client.closed.Load() {
+			p.pmu.Unlock()
+			nc.Close()
+			return nil, 0, ErrClosed
+		}
+		p.nc = nc
+		p.pending = make(map[uint64]*call)
+		go p.readLoop(nc, p.gen)
 	}
+	nc, gen := p.nc, p.gen
 	p.nextReq++
 	reqID := p.nextReq
 	cl := &call{done: make(chan struct{})}
-	p.pmu.Lock()
 	p.pending[reqID] = cl
 	p.pmu.Unlock()
-	p.enc = enc(p.enc[:0], reqID)
+
+	// Encode and write against the captured socket, with no lock a
+	// concurrent Close would need: Close closes the socket, which fails
+	// this write immediately.
+	p.enc = encode(p.enc[:0], reqID)
 	if d, ok := ctx.Deadline(); ok {
-		p.nc.SetWriteDeadline(d)
+		nc.SetWriteDeadline(d)
 	}
-	if _, err := p.nc.Write(p.enc); err != nil {
-		p.retireLocked(fmt.Errorf("client: write: %w", err))
-		return nil, 0, fmt.Errorf("client: write: %w", err)
+	if _, err := nc.Write(p.enc); err != nil {
+		err = fmt.Errorf("client: write: %w", err)
+		p.failConn(nc, gen, err)
+		if p.client.closed.Load() {
+			// The write lost to a concurrent Close (which already failed
+			// the registered call): surface the typed error, not the
+			// incidental socket error.
+			return nil, 0, ErrClosed
+		}
+		return nil, 0, err
 	}
 	return cl, reqID, nil
 }
 
-// dialLocked establishes the socket and starts its reader. Caller holds mu.
-func (p *poolConn) dialLocked(ctx context.Context) error {
-	if p.client.closed.Load() {
-		return ErrClosed
-	}
+// dial establishes a socket. No poolConn locks are required; the caller
+// installs the socket under pmu.
+func (p *poolConn) dial(ctx context.Context) (net.Conn, error) {
 	d := net.Dialer{Timeout: p.client.cfg.DialTimeout}
 	nc, err := d.DialContext(ctx, "tcp", p.client.cfg.Addr)
 	if err != nil {
-		return fmt.Errorf("client: dial %s: %w", p.client.cfg.Addr, err)
+		return nil, fmt.Errorf("client: dial %s: %w", p.client.cfg.Addr, err)
 	}
-	p.nc = nc
-	p.pmu.Lock()
-	p.pending = make(map[uint64]*call)
-	gen := p.gen
-	p.pmu.Unlock()
-	go p.readLoop(nc, gen)
-	return nil
+	return nc, nil
 }
 
 // forget abandons a call the caller stopped waiting for (context expiry);
@@ -327,26 +356,27 @@ func (p *poolConn) forget(reqID uint64) {
 }
 
 // retire fails all pending calls and closes the socket; the next send
-// redials.
+// redials. It takes only pmu, so it returns promptly even while a send is
+// blocked mid-write or mid-dial on this slot.
 func (p *poolConn) retire(err error) {
-	p.mu.Lock()
+	p.pmu.Lock()
 	p.retireLocked(err)
-	p.mu.Unlock()
+	p.pmu.Unlock()
 }
 
+// retireLocked closes the socket first — unblocking any in-flight write —
+// then fails every pending call. Caller holds pmu.
 func (p *poolConn) retireLocked(err error) {
 	if p.nc != nil {
 		p.nc.Close()
 		p.nc = nil
 	}
-	p.pmu.Lock()
-	p.gen++ // invalidate the reader that served this socket
+	p.gen++ // invalidate the reader/writer that served this socket
 	for id, cl := range p.pending {
 		delete(p.pending, id)
 		cl.err = err
 		close(cl.done)
 	}
-	p.pmu.Unlock()
 }
 
 // readLoop demultiplexes replies from one socket until it dies. gen ties
@@ -357,12 +387,12 @@ func (p *poolConn) readLoop(nc net.Conn, gen uint64) {
 	var f wire.Frame
 	for {
 		if err := rd.Next(&f); err != nil {
-			p.retireFor(nc, gen, readErr(err))
+			p.failConn(nc, gen, readErr(err))
 			return
 		}
 		if f.Op == wire.OpRefusal {
 			// Connection-scoped: the server is closing us for cause.
-			p.retireFor(nc, gen, &RefusedError{Refusal: f.Refusal})
+			p.failConn(nc, gen, &RefusedError{Refusal: f.Refusal})
 			return
 		}
 		p.pmu.Lock()
@@ -380,18 +410,15 @@ func (p *poolConn) readLoop(nc net.Conn, gen uint64) {
 	}
 }
 
-// retireFor retires the pool slot only if it still serves the socket this
-// reader was started for.
-func (p *poolConn) retireFor(nc net.Conn, gen uint64, err error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+// failConn retires the pool slot only if it still serves the generation
+// the caller observed — a stale reader or a send whose write lost to a
+// retire/redial cycle must not fail the new socket's calls.
+func (p *poolConn) failConn(nc net.Conn, gen uint64, err error) {
 	p.pmu.Lock()
-	stale := p.gen != gen
-	p.pmu.Unlock()
-	if stale {
-		return
+	if p.gen == gen && p.nc == nc {
+		p.retireLocked(err)
 	}
-	p.retireLocked(err)
+	p.pmu.Unlock()
 }
 
 // readErr normalizes reader errors into something actionable for callers.

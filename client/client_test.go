@@ -267,3 +267,67 @@ func TestConfigValidation(t *testing.T) {
 		t.Error("negative Conns accepted")
 	}
 }
+
+// TestCloseRaceAgainstPipelinedAdmits hammers Close against concurrent
+// pipelined admissions: every in-flight call must return promptly, and
+// every call that loses to Close must fail with the typed ErrClosed —
+// never hang on the writer path, never surface a raw socket error. Run
+// with -race: the whole point is the retire-vs-write interleaving.
+func TestCloseRaceAgainstPipelinedAdmits(t *testing.T) {
+	ctx := context.Background()
+	var id atomic.Uint64
+	for round := 0; round < 8; round++ {
+		_, addr := startServer(t, server.Config{})
+		c, err := New(Config{Addr: addr, Conns: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const workers = 8
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for w := 0; w < workers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				ids := make([]uint64, 4)
+				rates := make([]float64, 4)
+				for i := 0; ; i++ {
+					var err error
+					if (i+w)%2 == 0 {
+						for j := range ids {
+							ids[j] = id.Add(1)
+							rates[j] = 1
+						}
+						_, err = c.AdmitBatch(ctx, ids, rates)
+					} else {
+						_, err = c.Admit(ctx, id.Add(1), 1)
+					}
+					if err != nil {
+						if !errors.Is(err, ErrClosed) {
+							t.Errorf("round %d: call failed with %v, want ErrClosed", round, err)
+						}
+						return
+					}
+				}
+			}()
+		}
+		close(start)
+		time.Sleep(time.Duration(round) * 500 * time.Microsecond)
+		closed := time.Now()
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(closed); d > 2*time.Second {
+			t.Fatalf("round %d: Close blocked for %v", round, d)
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: workers still blocked after Close", round)
+		}
+	}
+}

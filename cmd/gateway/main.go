@@ -41,6 +41,15 @@
 // endpoint gains the mbac_server_* families and a /server JSON snapshot:
 //
 //	gateway -serve -addr :9000 -n 100 -svr 0.3 -pce 1e-2 -ttl 60 -listen :8080
+//
+// With -cluster N the served backend becomes a fleet of N gateway
+// instances — each with its own capacity -n, estimator and MBAC bound —
+// behind the headroom-scored router of internal/cluster (-placement
+// selects the policy). The wire protocol is unchanged: clients cannot
+// tell a cluster from a single gateway. The observability endpoint gains
+// the mbac_cluster_* families and a /cluster JSON snapshot:
+//
+//	gateway -serve -cluster 4 -placement least-loaded -addr :9000 -n 25 -ttl 60 -listen :8080
 package main
 
 import (
@@ -56,6 +65,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/estimator"
 	"repro/internal/fault"
@@ -117,6 +127,8 @@ func main() {
 		tickInterval = flag.Duration("tick-interval", 100*time.Millisecond, "wall-clock measurement tick period (with -serve)")
 		maxConns     = flag.Int("max-conns", 1024, "served connection limit (with -serve)")
 		frameRate    = flag.Int("frame-rate", 0, "per-connection frame-rate cap in frames/sec, 0 = off (with -serve)")
+		clusterN     = flag.Int("cluster", 0, "serve N gateway instances behind the headroom router, each with capacity -n (with -serve; 0 = single gateway)")
+		placement    = flag.String("placement", "least-loaded", "cluster placement policy: least-loaded, weighted or round-robin (with -cluster)")
 	)
 	flag.Parse()
 	if *workers < 1 || *tick <= 0 || *duration <= 0 || *lambda <= 0 {
@@ -127,6 +139,12 @@ func main() {
 	}
 	if *latsample < 0 {
 		fatal(fmt.Errorf("latsample %d must be non-negative", *latsample))
+	}
+	if *clusterN < 0 {
+		fatal(fmt.Errorf("cluster %d must be non-negative", *clusterN))
+	}
+	if *clusterN > 0 && !*serve {
+		fatal(fmt.Errorf("-cluster requires -serve"))
 	}
 
 	ctrl, err := core.NewCertaintyEquivalent(*pce, 1, *svr)
@@ -145,12 +163,13 @@ func main() {
 	if err := plan.Validate(); err != nil {
 		fatal(err)
 	}
-	var est estimator.Estimator
-	if *tm > 0 {
-		est = estimator.NewExponential(*tm)
-	} else {
-		est = estimator.NewMemoryless()
+	newEstimator := func() estimator.Estimator {
+		if *tm > 0 {
+			return estimator.NewExponential(*tm)
+		}
+		return estimator.NewMemoryless()
 	}
+	est := newEstimator()
 	// The fault wrapper sits between the gateway and the real estimator
 	// whenever a fault schedule is given, so injected NaN bursts and
 	// dropped updates exercise the gateway's hold-last-bound and
@@ -160,6 +179,34 @@ func main() {
 		faulty = fault.Wrap(est)
 		est = faulty
 	}
+	if *clusterN > 0 {
+		pol, err := cluster.ParsePlacementPolicy(*placement)
+		if err != nil {
+			fatal(err)
+		}
+		ccfg := cluster.Config{Policy: pol, TickInterval: *tickInterval}
+		for i := 0; i < *clusterN; i++ {
+			ccfg.Instances = append(ccfg.Instances, gateway.Config{
+				Capacity:       *n,
+				Controller:     ctrl,
+				Estimator:      newEstimator(),
+				Shards:         *shards,
+				TickInterval:   *tickInterval,
+				LatencySample:  *latsample,
+				OverflowWindow: *window,
+				FlowTTL:        *ttl,
+				StaleAfter:     *staleAfter,
+				Degraded:       policy,
+			})
+		}
+		cl, err := cluster.New(ccfg)
+		if err != nil {
+			fatal(err)
+		}
+		runServeCluster(cl, *addr, *listen, *maxConns, *frameRate, *lnShards)
+		return
+	}
+
 	g, err := gateway.New(gateway.Config{
 		Capacity:       *n,
 		Controller:     ctrl,
@@ -387,6 +434,89 @@ func runServe(g *gateway.Gateway, addr, listen string, maxConns, frameRate, lnSh
 		snap.Decisions, snap.Batches, snap.MeanBatch())
 	fmt.Printf("admission:  %d admitted, %d rejected, %d departed, %d expired, %d active at drain\n",
 		st.Admitted, st.Rejected, st.Departed, st.Expired, st.Active)
+}
+
+// runServeCluster is the -serve -cluster N mode: the wire protocol is
+// served over a fleet of gateway instances behind the headroom router.
+// The drain contract matches runServe — stop accepting, flush in-flight
+// decisions, depart nothing; instance drain/failover is an admin-plane
+// operation on the cluster, not part of process shutdown.
+func runServeCluster(cl *cluster.Cluster, addr, listen string, maxConns, frameRate, lnShards int) {
+	srv, err := cluster.NewServer(cl, server.Config{
+		MaxConns:  maxConns,
+		FrameRate: frameRate,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	lns, err := server.Listen(addr, lnShards)
+	if err != nil {
+		fatal(err)
+	}
+	var endpoint *obs.Endpoint
+	if listen != "" {
+		endpoint, err = obs.Start(obs.Config{Addr: listen, Gateway: cl.Gateway(0), Server: srv, Cluster: cl})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	tickDone := make(chan struct{})
+	go func() { defer close(tickDone); cl.Run(ctx) }()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(lns...) }()
+	fmt.Printf("serving:    admission protocol on %s across %d listener shard(s), %d-instance cluster (%s placement)\n",
+		lns[0].Addr(), len(lns), cl.Instances(), cl.Snapshot().Policy)
+	if endpoint != nil {
+		fmt.Printf("observing:  metrics/snapshot/cluster/pprof on %s\n", endpoint.Addr())
+	}
+
+	var obsErr <-chan error
+	if endpoint != nil {
+		obsErr = endpoint.Err()
+	}
+	select {
+	case <-ctx.Done():
+	case err := <-serveDone:
+		if err != nil {
+			fatal(fmt.Errorf("admission server: %w", err))
+		}
+	case err := <-obsErr:
+		if err != nil {
+			fatal(err)
+		}
+	}
+	stop()
+	<-tickDone
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "gateway: drain incomplete: %v\n", err)
+	}
+	if err := <-serveDone; err != nil {
+		fatal(fmt.Errorf("admission server: %w", err))
+	}
+	if endpoint != nil {
+		if err := endpoint.Shutdown(drainCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "gateway: observability shutdown: %v\n", err)
+		}
+	}
+	snap := srv.Snapshot()
+	st := cl.Stats()
+	cs := cl.Snapshot()
+	fmt.Printf("served:     %d conns (%d refused), %d frames, %d decisions in %d batches (mean %.2f)\n",
+		snap.ConnsAccepted, snap.ConnsRefused+snap.ConnsDrainRef, snap.Frames,
+		snap.Decisions, snap.Batches, snap.MeanBatch())
+	fmt.Printf("admission:  %d admitted, %d rejected, %d departed, %d expired, %d active at drain\n",
+		st.Admitted, st.Rejected, st.Departed, st.Expired, st.Active)
+	fmt.Printf("cluster:    %d pinned, %d placements, %d migrations (%d failed), %d drains\n",
+		cs.Pinned, cs.Placements, cs.Migrations, cs.MigrationFailures, cs.Drains)
+	for _, in := range cs.Instances {
+		fmt.Printf("instance %d: %s, bound %.4g, active %d, headroom %.4g, placed %d\n",
+			in.Index, in.State, in.Bound, in.Active, in.Headroom, in.Placements)
+	}
 }
 
 // schedule pregenerates the full event list: Poisson arrivals over

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Drain transitions instance i from active to draining and migrates its
+// pinned flows onto the rest of the fleet. The drain state machine is
+// deliberately small:
+//
+//	active --Drain--> draining --Reactivate--> active
+//
+// Draining stops new placements immediately (the router skips draining
+// instances before any policy runs); migration then walks the instance's
+// flow table in flow-ID order (deterministic under a virtual clock) and,
+// for each flow, admits it at the best non-draining instance FIRST, repins
+// it, and only then departs the source copy. That ordering means an
+// admitted flow is continuously admitted somewhere throughout the
+// migration — a failure at any step leaves it where it was — at the cost
+// of one flow's worth of transient double-occupancy. Flows the rest of the
+// fleet has no headroom for stay pinned to the draining instance and keep
+// being served there until they depart or lease-expire, so a drain never
+// strands or drops an admitted flow; the caller may retry Drain to migrate
+// stragglers as headroom opens up.
+//
+// Drain returns the number of flows migrated and the number left behind.
+// Draining an already-draining instance is an error; Drain(i) with i out
+// of range is an error.
+func (c *Cluster) Drain(i int) (migrated, left int, err error) {
+	if i < 0 || i >= len(c.instances) {
+		return 0, 0, fmt.Errorf("cluster: instance %d out of range [0, %d)", i, len(c.instances))
+	}
+	src := c.instances[i]
+	if !src.state.CompareAndSwap(int32(StateActive), int32(StateDraining)) {
+		return 0, 0, fmt.Errorf("cluster: instance %d is already draining", i)
+	}
+	c.drains.Add(1)
+	m, l := c.migrateFrom(i)
+	return m, l, nil
+}
+
+// Reactivate returns a draining instance to active placement rotation.
+func (c *Cluster) Reactivate(i int) error {
+	if i < 0 || i >= len(c.instances) {
+		return fmt.Errorf("cluster: instance %d out of range [0, %d)", i, len(c.instances))
+	}
+	if !c.instances[i].state.CompareAndSwap(int32(StateDraining), int32(StateActive)) {
+		return fmt.Errorf("cluster: instance %d is not draining", i)
+	}
+	return nil
+}
+
+// migrateFrom moves instance i's flows to the rest of the fleet,
+// admit-then-repin-then-depart per flow.
+func (c *Cluster) migrateFrom(i int) (migrated, left int) {
+	src := c.instances[i]
+	type flow struct {
+		id   uint64
+		rate float64
+	}
+	var flows []flow
+	src.g.ForEachFlow(func(id uint64, rate float64) {
+		flows = append(flows, flow{id, rate})
+	})
+	sort.Slice(flows, func(a, b int) bool { return flows[a].id < flows[b].id })
+	for _, f := range flows {
+		t := c.placeFor(i)
+		if t < 0 {
+			c.migrationFailures.Add(1)
+			left++
+			continue
+		}
+		tgt := c.instances[t]
+		d, err := tgt.g.Admit(f.id, f.rate)
+		if err != nil || !d.Admitted {
+			// No headroom (or the id reappeared at the target): the flow
+			// stays where it is, still pinned to the draining source.
+			c.migrationFailures.Add(1)
+			left++
+			continue
+		}
+		c.pins.set(f.id, t)
+		if derr := src.g.Depart(f.id); derr != nil {
+			// The client departed the flow through its old pin between our
+			// target admit and the repin: honor the departure by removing
+			// the fresh target copy instead of resurrecting the flow.
+			_ = tgt.g.Depart(f.id)
+			c.pins.delIf(f.id, t)
+			continue
+		}
+		src.migratedOut.Add(1)
+		tgt.migratedIn.Add(1)
+		c.migrations.Add(1)
+		migrated++
+	}
+	return migrated, left
+}

@@ -1,0 +1,128 @@
+package cluster
+
+import "sync"
+
+// pinTable maps flow ID → owning instance index, sharded by the same
+// SplitMix64 finalizer the gateway uses for its flow table so adjacent IDs
+// spread across lock domains. Pins are written on placement, rewritten on
+// migration, and removed on departure, on the not-active fast path, and by
+// the periodic reconciliation sweep.
+type pinTable struct {
+	shards []pinShard
+	mask   uint64
+}
+
+type pinShard struct {
+	mu sync.Mutex
+	m  map[uint64]int32
+	_  [40]byte // keep shards on separate cache lines
+}
+
+func newPinTable(shards int) pinTable {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	t := pinTable{shards: make([]pinShard, n), mask: uint64(n - 1)}
+	for i := range t.shards {
+		t.shards[i].m = make(map[uint64]int32)
+	}
+	return t
+}
+
+// pinMix is the SplitMix64 finalizer (the gateway's shardIndex mix).
+func pinMix(id uint64) uint64 {
+	z := id + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (t *pinTable) shardFor(id uint64) *pinShard {
+	return &t.shards[pinMix(id)&t.mask]
+}
+
+// get returns the pinned instance for id.
+func (t *pinTable) get(id uint64) (int, bool) {
+	s := t.shardFor(id)
+	s.mu.Lock()
+	idx, ok := s.m[id]
+	s.mu.Unlock()
+	return int(idx), ok
+}
+
+// putIfAbsent pins id to idx unless a pin already exists, returning the
+// winning instance and whether this call inserted it — racing placements
+// of the same flow agree on one owner, and only the inserting caller may
+// roll its tentative pin back.
+func (t *pinTable) putIfAbsent(id uint64, idx int) (int, bool) {
+	s := t.shardFor(id)
+	s.mu.Lock()
+	if cur, ok := s.m[id]; ok {
+		s.mu.Unlock()
+		return int(cur), false
+	}
+	s.m[id] = int32(idx)
+	s.mu.Unlock()
+	return idx, true
+}
+
+// set pins id to idx unconditionally (the migration repin).
+func (t *pinTable) set(id uint64, idx int) {
+	s := t.shardFor(id)
+	s.mu.Lock()
+	s.m[id] = int32(idx)
+	s.mu.Unlock()
+}
+
+// delIf removes id's pin only while it still points at idx, so a stale
+// unpin never clobbers a concurrent re-placement.
+func (t *pinTable) delIf(id uint64, idx int) {
+	s := t.shardFor(id)
+	s.mu.Lock()
+	if cur, ok := s.m[id]; ok && int(cur) == idx {
+		delete(s.m, id)
+	}
+	s.mu.Unlock()
+}
+
+// count returns the number of pinned flows.
+func (t *pinTable) count() int64 {
+	var n int64
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += int64(len(s.m))
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// countByInstance accumulates per-instance pin counts into dst.
+func (t *pinTable) countByInstance(dst []int64) {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for _, idx := range s.m {
+			if int(idx) < len(dst) {
+				dst[idx]++
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// sweep removes every pin for which alive reports false. alive is called
+// under the pin-shard lock; it must not call back into the pin table.
+func (t *pinTable) sweep(alive func(id uint64, idx int) bool) {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for id, idx := range s.m {
+			if !alive(id, int(idx)) {
+				delete(s.m, id)
+			}
+		}
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,376 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gateway"
+)
+
+// place chooses an instance for a new flow under the configured policy.
+// Returns -1 when no instance accepts placements (all draining).
+func (c *Cluster) place() int {
+	c.placeMu.Lock()
+	idx := c.placeLocked(-1, true)
+	c.placeMu.Unlock()
+	return idx
+}
+
+// placeFor chooses a migration target, excluding the draining source and
+// bypassing the preferred-instance hysteresis (a migration burst must not
+// install the drain target as the sticky preference).
+func (c *Cluster) placeFor(exclude int) int {
+	c.placeMu.Lock()
+	idx := c.placeLocked(exclude, false)
+	c.placeMu.Unlock()
+	return idx
+}
+
+// peek returns the incumbent preferred instance without advancing any
+// policy state — the target for requests that cannot result in an
+// admission (invalid rates) but still need an instance to phrase the
+// refusal.
+func (c *Cluster) peek() int {
+	c.placeMu.Lock()
+	p := c.preferred
+	c.placeMu.Unlock()
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// placeLocked implements the policies; the caller holds placeMu.
+//
+// Eligibility is tiered before any policy runs: draining instances never
+// receive placements, and degraded instances (the PR 4 validity detector)
+// are scored to the bottom — they form the fallback pool used only when no
+// healthy instance exists, rather than being ejected outright.
+func (c *Cluster) placeLocked(exclude int, usePreferred bool) int {
+	healthy, degraded := c.poolBuf[:0], c.degBuf[:0]
+	for i, in := range c.instances {
+		if i == exclude || InstanceState(in.state.Load()) != StateActive {
+			continue
+		}
+		if deg, _ := in.g.Degraded(); deg {
+			degraded = append(degraded, i)
+		} else {
+			healthy = append(healthy, i)
+		}
+	}
+	pool := healthy
+	if len(pool) == 0 {
+		pool = degraded
+	}
+	if len(pool) == 0 {
+		return -1
+	}
+
+	switch c.cfg.Policy {
+	case PlaceRoundRobin:
+		pick := pool[0]
+		for _, i := range pool {
+			if i > c.rr {
+				pick = i
+				break
+			}
+		}
+		c.rr = pick
+		return pick
+
+	case PlaceWeighted:
+		// Smooth weighted round-robin: credits grow by headroom (floored
+		// at one unit so a saturated instance still cycles) and the
+		// largest credit wins, paying back the round total.
+		total := 0.0
+		best, bestCredit := -1, math.Inf(-1)
+		for _, i := range pool {
+			w := c.instances[i].headroom()
+			if w < 0 {
+				w = 0
+			}
+			w++
+			c.credit[i] += w
+			total += w
+			if c.credit[i] > bestCredit {
+				best, bestCredit = i, c.credit[i]
+			}
+		}
+		c.credit[best] -= total
+		return best
+	}
+
+	// Least-loaded: among the pool, prefer the warmed tier (instances
+	// whose estimator has been valid for Warmup consecutive ticks) so a
+	// cold estimator's optimistic headroom doesn't siphon the fleet.
+	tier := pool
+	warmed := c.warmBuf[:0]
+	for _, i := range pool {
+		if c.instances[i].warm.Load() >= int64(c.cfg.Warmup) {
+			warmed = append(warmed, i)
+		}
+	}
+	if len(warmed) > 0 {
+		tier = warmed
+	}
+	best, bestScore := tier[0], c.instances[tier[0]].headroom()
+	for _, i := range tier[1:] {
+		if s := c.instances[i].headroom(); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	// Cold-start escape: an instance with no flows can never warm (the
+	// estimator needs at least two), so warmth gating alone would starve
+	// it forever. A cold instance takes the placement when its
+	// conservatively charged headroom (one capacity unit per flow) leads
+	// the warmed tier's best by more than the hysteresis margin — enough
+	// flows to start measuring, without letting an unmeasured estimator's
+	// optimism siphon the fleet.
+	if len(warmed) > 0 && len(warmed) < len(pool) {
+		margin := c.cfg.Hysteresis * c.instances[best].capacity
+		for _, i := range pool {
+			if c.instances[i].warm.Load() >= int64(c.cfg.Warmup) {
+				continue
+			}
+			if s := c.instances[i].headroom(); s > bestScore+margin {
+				best, bestScore = i, s
+			}
+		}
+	}
+	if usePreferred {
+		if p := c.preferred; p >= 0 && p != best && contains(tier, p) {
+			// Hysteresis: the challenger must lead the incumbent by more
+			// than Hysteresis × (incumbent capacity) to displace it.
+			if bestScore-c.instances[p].headroom() <= c.cfg.Hysteresis*c.instances[p].capacity {
+				return p
+			}
+		}
+		c.preferred = best
+	}
+	return best
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Admit requests admission for one flow: route to the pinned owner if the
+// flow is already placed, otherwise place and pin it. The decision contract
+// matches gateway.Admit — a capacity refusal (including "every instance is
+// draining") is a Decision, not an error; errors indicate invalid input.
+func (c *Cluster) Admit(flowID uint64, rate float64) (gateway.Decision, error) {
+	if idx, ok := c.pins.get(flowID); ok {
+		return c.admitOn(idx, flowID, rate, false)
+	}
+	if !(rate > 0) || math.IsInf(rate, 0) {
+		return c.instances[c.peek()].g.Admit(flowID, rate)
+	}
+	idx := c.place()
+	if idx < 0 {
+		return gateway.Decision{Reason: gateway.ReasonCapacity}, nil
+	}
+	owner, inserted := c.pins.putIfAbsent(flowID, idx)
+	return c.admitOn(owner, flowID, rate, inserted)
+}
+
+// admitOn admits on one instance and settles the tentative pin: an
+// admission counts as a placement, and a failed admission rolls back a pin
+// this call inserted — unless the flow turns out to be active there after
+// all (a concurrent admit won).
+func (c *Cluster) admitOn(idx int, flowID uint64, rate float64, inserted bool) (gateway.Decision, error) {
+	in := c.instances[idx]
+	d, err := in.g.Admit(flowID, rate)
+	if d.Admitted {
+		in.placements.Add(1)
+	} else if inserted && !in.g.Contains(flowID) {
+		c.pins.delIf(flowID, idx)
+	}
+	return d, err
+}
+
+// batchScratch is the pooled target-resolution scratch for the batched
+// paths.
+type batchScratch struct {
+	targets  []int
+	inserted []bool
+}
+
+func (c *Cluster) getScratch(n int) *batchScratch {
+	sc, _ := c.batchPool.Get().(*batchScratch)
+	if sc == nil {
+		sc = new(batchScratch)
+	}
+	if cap(sc.targets) < n {
+		sc.targets = make([]int, 0, n)
+		sc.inserted = make([]bool, 0, n)
+	}
+	sc.targets, sc.inserted = sc.targets[:0], sc.inserted[:0]
+	return sc
+}
+
+// AdmitBatch decides a batch of admission requests, appending one Decision
+// per request to dst and returning the extended slice — the cluster face
+// of gateway.AdmitBatch. Targets are resolved per item (pin, else place
+// and tentatively pin), then contiguous same-instance runs are flushed
+// through the owning instance's AdmitBatch, so a cluster of one forwards
+// the whole batch in a single call and is decision- and
+// instrumentation-identical to a bare gateway. Items that cannot be
+// admitted anywhere (every instance draining) are refused with
+// ReasonCapacity without touching an instance.
+func (c *Cluster) AdmitBatch(ids []uint64, rates []float64, dst []gateway.Decision) ([]gateway.Decision, error) {
+	if len(ids) != len(rates) {
+		return dst, fmt.Errorf("cluster: batch length mismatch: %d ids, %d rates", len(ids), len(rates))
+	}
+	if len(ids) == 0 {
+		return dst, nil
+	}
+	sc := c.getScratch(len(ids))
+	targets, inserted := sc.targets, sc.inserted
+	last := -1
+	for i, id := range ids {
+		idx, pinned := c.pins.get(id)
+		ins := false
+		switch {
+		case pinned:
+			// Route to the owner (which also detects duplicates).
+		case !(rates[i] > 0) || math.IsInf(rates[i], 0):
+			// Invalid rates decide nowhere; ride the current run so they
+			// don't split it (the instance emits the canonical
+			// invalid-rate decision wherever it lands).
+			if idx = last; idx < 0 {
+				idx = c.peek()
+			}
+		default:
+			if idx = c.place(); idx >= 0 {
+				idx, ins = c.pins.putIfAbsent(id, idx)
+			}
+		}
+		targets = append(targets, idx)
+		inserted = append(inserted, ins)
+		if idx >= 0 {
+			last = idx
+		}
+	}
+
+	base := len(dst)
+	var err error
+	for lo, i := 0, 1; i <= len(ids); i++ {
+		if i < len(ids) && targets[i] == targets[lo] {
+			continue
+		}
+		if t := targets[lo]; t < 0 {
+			for j := lo; j < i; j++ {
+				dst = append(dst, gateway.Decision{Reason: gateway.ReasonCapacity})
+			}
+		} else if dst, err = c.instances[t].g.AdmitBatch(ids[lo:i], rates[lo:i], dst); err != nil {
+			break
+		}
+		lo = i
+	}
+	if err == nil {
+		for i, id := range ids {
+			t := targets[i]
+			if t < 0 {
+				continue
+			}
+			if d := dst[base+i]; d.Admitted {
+				c.instances[t].placements.Add(1)
+			} else if inserted[i] && !c.instances[t].g.Contains(id) {
+				c.pins.delIf(id, t)
+			}
+		}
+	}
+	sc.targets, sc.inserted = targets, inserted
+	c.batchPool.Put(sc)
+	return dst, err
+}
+
+// UpdateRate routes a rate report to the flow's owning instance. Rates are
+// validated before routing so an invalid rate is never mistaken for a
+// not-active outcome.
+func (c *Cluster) UpdateRate(flowID uint64, rate float64) error {
+	if !(rate >= 0) || math.IsInf(rate, 0) {
+		return fmt.Errorf("cluster: rate %g must be non-negative and finite", rate)
+	}
+	idx, ok := c.pins.get(flowID)
+	if !ok {
+		return fmt.Errorf("cluster: flow %d is not active", flowID)
+	}
+	err := c.instances[idx].g.UpdateRate(flowID, rate)
+	if err != nil {
+		// The rate was pre-validated, so the instance no longer holds the
+		// flow (lease-expired): drop the stale pin.
+		c.pins.delIf(flowID, idx)
+	}
+	return err
+}
+
+// Touch routes a lease keepalive to the flow's owning instance.
+func (c *Cluster) Touch(flowID uint64) error {
+	idx, ok := c.pins.get(flowID)
+	if !ok {
+		return fmt.Errorf("cluster: flow %d is not active", flowID)
+	}
+	err := c.instances[idx].g.Touch(flowID)
+	if err != nil {
+		c.pins.delIf(flowID, idx)
+	}
+	return err
+}
+
+// Depart removes an active flow from its owning instance and unpins it.
+func (c *Cluster) Depart(flowID uint64) error {
+	idx, ok := c.pins.get(flowID)
+	if !ok {
+		return fmt.Errorf("cluster: flow %d is not active", flowID)
+	}
+	err := c.instances[idx].g.Depart(flowID)
+	c.pins.delIf(flowID, idx) // departed or stale: the pin is done either way
+	return err
+}
+
+// DepartBatch removes a batch of flows, appending one result per id to dst
+// (true = departed) and returning the extended slice — the cluster face of
+// gateway.DepartBatch. Contiguous same-owner runs are flushed through the
+// owning instance's DepartBatch; unpinned ids report not-active without
+// touching any instance.
+func (c *Cluster) DepartBatch(ids []uint64, dst []bool) []bool {
+	if len(ids) == 0 {
+		return dst
+	}
+	sc := c.getScratch(len(ids))
+	targets := sc.targets
+	for _, id := range ids {
+		idx, ok := c.pins.get(id)
+		if !ok {
+			idx = -1
+		}
+		targets = append(targets, idx)
+	}
+	for lo, i := 0, 1; i <= len(ids); i++ {
+		if i < len(ids) && targets[i] == targets[lo] {
+			continue
+		}
+		if t := targets[lo]; t < 0 {
+			for j := lo; j < i; j++ {
+				dst = append(dst, false)
+			}
+		} else {
+			dst = c.instances[t].g.DepartBatch(ids[lo:i], dst)
+		}
+		lo = i
+	}
+	for i, id := range ids {
+		if targets[i] >= 0 {
+			c.pins.delIf(id, targets[i])
+		}
+	}
+	sc.targets = targets
+	c.batchPool.Put(sc)
+	return dst
+}

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/gateway"
 	"repro/internal/qos"
 	"repro/internal/server"
@@ -37,6 +38,11 @@ type Config struct {
 	// Server, when non-nil, adds the serving-layer families to /metrics
 	// and a /server JSON snapshot.
 	Server *server.Server
+	// Cluster, when non-nil, adds the mbac_cluster_* families to /metrics
+	// and a /cluster JSON snapshot of the routing layer. Gateway stays
+	// required — point it at one instance (conventionally Cluster.Gateway(0))
+	// for the admission-layer routes.
+	Cluster *cluster.Cluster
 	// Audit and AuditMu, when non-nil, add the /audit report. The audit
 	// is single-writer; readers snapshot under AuditMu.
 	Audit   *qos.Audit
@@ -108,6 +114,9 @@ func newMux(cfg Config) *http.ServeMux {
 		if cfg.Server != nil {
 			cfg.Server.Snapshot().WritePrometheus(w)
 		}
+		if cfg.Cluster != nil {
+			cfg.Cluster.Snapshot().WritePrometheus(w)
+		}
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, cfg.Gateway.Snapshot())
@@ -115,6 +124,11 @@ func newMux(cfg Config) *http.ServeMux {
 	if cfg.Server != nil {
 		mux.HandleFunc("/server", func(w http.ResponseWriter, _ *http.Request) {
 			writeCanonicalJSON(w, cfg.Server.Snapshot())
+		})
+	}
+	if cfg.Cluster != nil {
+		mux.HandleFunc("/cluster", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, cfg.Cluster.Snapshot())
 		})
 	}
 	if cfg.Audit != nil && cfg.AuditMu != nil {

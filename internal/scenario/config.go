@@ -7,6 +7,7 @@ import (
 	"math"
 	"os"
 
+	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/qos"
 )
@@ -37,6 +38,9 @@ type Config struct {
 
 	Workload Workload `json:"workload"`
 	Gateway  Gateway  `json:"gateway"`
+	// Cluster, when set, fans the gateway out to a fleet of identical
+	// instances behind the headroom-scored router (internal/cluster).
+	Cluster *ClusterSpec `json:"cluster,omitempty"`
 	// Arms is the varied variable: each arm names an admission policy (and
 	// optionally a degraded policy) the whole workload is replayed
 	// against.
@@ -133,6 +137,31 @@ type Gateway struct {
 	FlowTTL        float64 `json:"flow_ttl,omitempty"`
 	StaleAfter     int     `json:"stale_after,omitempty"`
 	OverflowWindow int     `json:"overflow_window,omitempty"`
+}
+
+// ClusterSpec replaces the single cell gateway with a fleet: Instances
+// copies of the Gateway configuration (capacity is per instance) behind
+// the placement router, with churn events routed through headroom
+// scoring and flow pinning. The interval hypothesis then grades the
+// WORST instance's overflow audit — the per-instance claim, not the
+// fleet average. Cluster topologies require a churn workload on the
+// in-process target, and are incompatible with estimator fault windows
+// (those wrap a single estimator).
+type ClusterSpec struct {
+	// Instances is the fleet size (at least 2 — a cluster of one is just
+	// the plain churn cell).
+	Instances int `json:"instances"`
+	// Policy is "least-loaded" (default), "weighted" or "round-robin".
+	Policy string `json:"policy,omitempty"`
+	// Warmup and Hysteresis tune the router's churn guards; zero means
+	// the cluster package defaults.
+	Warmup     int     `json:"warmup,omitempty"`
+	Hysteresis float64 `json:"hysteresis,omitempty"`
+	// DrainAt, when positive, drains DrainInstance at that virtual time:
+	// placement stops there immediately and its pinned flows migrate to
+	// the rest of the fleet.
+	DrainAt       float64 `json:"drain_at,omitempty"`
+	DrainInstance int     `json:"drain_instance,omitempty"`
 }
 
 // Arm is one point of the varied variable: an admission policy plus the
@@ -283,7 +312,9 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("scenario: name is required")
 	}
 	if len(c.Seeds) == 0 {
-		return fmt.Errorf("scenario: %s: at least one seed is required", c.Name)
+		// Positional, like every other field error: an empty replication
+		// axis would make every hypothesis grade vacuously.
+		return fmt.Errorf("scenario: seeds: at least one seed is required")
 	}
 	seen := map[uint64]bool{}
 	for i, s := range c.Seeds {
@@ -308,7 +339,7 @@ func (c *Config) Validate() error {
 		return err
 	}
 	if len(c.Arms) == 0 {
-		return fmt.Errorf("scenario: at least one arm is required")
+		return fmt.Errorf("scenario: arms: at least one arm is required")
 	}
 	armNames := map[string]bool{}
 	for i := range c.Arms {
@@ -336,7 +367,55 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("scenario: faults: %w", err)
 		}
 	}
+	if c.Cluster != nil {
+		if err := c.Cluster.validate(c); err != nil {
+			return err
+		}
+	}
 	return c.Check.validate(c)
+}
+
+func (s *ClusterSpec) validate(c *Config) error {
+	if s.Instances < 2 {
+		return fmt.Errorf("scenario: cluster.instances: %d must be at least 2 (a cluster of one is the plain churn cell)", s.Instances)
+	}
+	if c.Workload.Kind != WorkloadChurn {
+		return fmt.Errorf("scenario: cluster: a cluster topology requires a churn workload")
+	}
+	if c.Target != TargetInProcess {
+		return fmt.Errorf("scenario: cluster: a cluster topology requires the in-process target")
+	}
+	if len(c.Faults) > 0 {
+		return fmt.Errorf("scenario: cluster: estimator fault windows are not supported with a cluster topology")
+	}
+	if s.Policy == "" {
+		s.Policy = cluster.PlaceLeastLoaded.String()
+	}
+	if _, err := cluster.ParsePlacementPolicy(s.Policy); err != nil {
+		return fmt.Errorf("scenario: cluster.policy: %w", err)
+	}
+	if s.Warmup < 0 {
+		return fmt.Errorf("scenario: cluster.warmup: %d must be non-negative", s.Warmup)
+	}
+	if err := finite("cluster.hysteresis", s.Hysteresis); err != nil {
+		return err
+	}
+	if s.Hysteresis < 0 {
+		return fmt.Errorf("scenario: cluster.hysteresis: %g must be non-negative", s.Hysteresis)
+	}
+	if err := finite("cluster.drain_at", s.DrainAt); err != nil {
+		return err
+	}
+	if s.DrainAt < 0 {
+		return fmt.Errorf("scenario: cluster.drain_at: %g must be non-negative", s.DrainAt)
+	}
+	if s.DrainAt > 0 && s.DrainAt >= c.Workload.Duration {
+		return fmt.Errorf("scenario: cluster.drain_at: %g must fall inside the schedule (duration %g)", s.DrainAt, c.Workload.Duration)
+	}
+	if s.DrainInstance < 0 || s.DrainInstance >= s.Instances {
+		return fmt.Errorf("scenario: cluster.drain_instance: %d out of range [0, %d)", s.DrainInstance, s.Instances)
+	}
+	return nil
 }
 
 func (w *Workload) validate() error {
@@ -625,11 +704,14 @@ func (h *Hypothesis) validate(c *Config) error {
 			return fmt.Errorf("scenario: check.invariant: at least one check or bound is required")
 		}
 		for i, k := range inv.Checks {
-			if k < InvLifecycle || k > InvSubstrateIdentity {
+			if k < InvLifecycle || k > InvMigratedFlows {
 				return fmt.Errorf("scenario: check.invariant.checks[%d]: unknown invariant %d", i, int(k))
 			}
 			if k == InvSubstrateIdentity && c.Target != TargetNetwork {
 				return fmt.Errorf("scenario: check.invariant.checks[%d]: substrate-identity requires the network target", i)
+			}
+			if k == InvMigratedFlows && c.Cluster == nil {
+				return fmt.Errorf("scenario: check.invariant.checks[%d]: migrated-flows requires a cluster topology", i)
 			}
 		}
 		for i, b := range inv.Bounds {

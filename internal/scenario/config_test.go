@@ -79,6 +79,30 @@ func TestParseRejections(t *testing.T) {
 				{"weight": 1, "model": {"kind": "constant", "rate": 1}}
 			]}`, 1),
 			"mixtures do not nest"},
+		{"cluster-of-one", strings.Replace(minimal(),
+			`"gateway": {"capacity": 10, "pq": 0.01}`,
+			`"gateway": {"capacity": 10, "pq": 0.01}, "cluster": {"instances": 1}`, 1),
+			"cluster.instances: 1 must be at least 2"},
+		{"cluster-unknown-policy", strings.Replace(minimal(),
+			`"gateway": {"capacity": 10, "pq": 0.01}`,
+			`"gateway": {"capacity": 10, "pq": 0.01}, "cluster": {"instances": 3, "policy": "dartboard"}`, 1),
+			"cluster.policy"},
+		{"cluster-drain-outside-schedule", strings.Replace(minimal(),
+			`"gateway": {"capacity": 10, "pq": 0.01}`,
+			`"gateway": {"capacity": 10, "pq": 0.01}, "cluster": {"instances": 3, "drain_at": 10}`, 1),
+			"cluster.drain_at"},
+		{"cluster-drain-instance-range", strings.Replace(minimal(),
+			`"gateway": {"capacity": 10, "pq": 0.01}`,
+			`"gateway": {"capacity": 10, "pq": 0.01}, "cluster": {"instances": 3, "drain_at": 5, "drain_instance": 3}`, 1),
+			"cluster.drain_instance: 3 out of range"},
+		{"cluster-with-faults", strings.Replace(minimal(),
+			`"gateway": {"capacity": 10, "pq": 0.01}`,
+			`"gateway": {"capacity": 10, "pq": 0.01}, "cluster": {"instances": 3}, "faults": [{"mode": "nan", "from": 1, "to": 2}]`, 1),
+			"fault windows are not supported with a cluster topology"},
+		{"migrated-flows-without-cluster", strings.Replace(minimal(),
+			`"check": {"kind": "interval", "interval": {"reference": "pq", "mode": "at-most"}}`,
+			`"check": {"kind": "invariant", "invariant": {"checks": ["migrated-flows"]}}`, 1),
+			"migrated-flows requires a cluster topology"},
 		{"dominance-unknown-arm", strings.Replace(strings.Replace(minimal(),
 			`"arms": [{"name": "a", "policy": "certainty-equivalent"}]`,
 			`"arms": [{"name": "a", "policy": "certainty-equivalent"}, {"name": "b", "policy": "peak-rate", "peak": 2}]`, 1),
@@ -170,7 +194,7 @@ func TestEnumRoundTrips(t *testing.T) {
 			t.Errorf("HypothesisKind %d: %v %v", k, got, err)
 		}
 	}
-	for k := InvLifecycle; k <= InvSubstrateIdentity; k++ {
+	for k := InvLifecycle; k <= InvMigratedFlows; k++ {
 		got, err := ParseInvariantKind(k.String())
 		if err != nil || got != k {
 			t.Errorf("InvariantKind %d: %v %v", k, got, err)
@@ -215,6 +239,18 @@ func FuzzScenarioConfig(f *testing.F) {
 	f.Add([]byte(`{"name": "x"}`))
 	f.Add([]byte(`{"workload": {"kind": "impulsive", "replications": -1}}`))
 	f.Add([]byte(`not json`))
+	// Empty replication/arm axes must be rejected at decode time — an
+	// accepted config with either would grade vacuously.
+	f.Add([]byte(strings.Replace(minimal(), `"seeds": [1]`, `"seeds": []`, 1)))
+	f.Add([]byte(`{"name": "x", "seeds": [1], "arms": []}`))
+	f.Add([]byte(`{"name": "x", "seeds": []}`))
+	// Cluster topology: valid fleet, and the degenerate cluster of one.
+	f.Add([]byte(strings.Replace(minimal(),
+		`"gateway": {"capacity": 10, "pq": 0.01}`,
+		`"gateway": {"capacity": 10, "pq": 0.01}, "cluster": {"instances": 3, "drain_at": 5}`, 1)))
+	f.Add([]byte(strings.Replace(minimal(),
+		`"gateway": {"capacity": 10, "pq": 0.01}`,
+		`"gateway": {"capacity": 10, "pq": 0.01}, "cluster": {"instances": 1}`, 1)))
 	paths, _ := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.json"))
 	for _, p := range paths {
 		if data, err := os.ReadFile(p); err == nil {

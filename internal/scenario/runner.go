@@ -82,8 +82,16 @@ func (r *Result) cellAt(seed uint64, arm string) *CellResult {
 	return nil
 }
 
-// grade applies the typed hypothesis to the finished matrix.
+// grade applies the typed hypothesis to the finished matrix. A matrix
+// with nothing to grade — no cells, or no comparison any grader could
+// complete — is Inconclusive, never vacuously Confirmed: a Confirmed
+// verdict must always be backed by at least one graded comparison.
 func grade(r *Result) {
+	if len(r.Cells) == 0 {
+		r.Verdict = Inconclusive
+		r.Notes = append(r.Notes, "no cells to grade — inconclusive")
+		return
+	}
 	switch r.Config.Check.Kind {
 	case HypDominance:
 		gradeDominance(r)
@@ -97,6 +105,7 @@ func grade(r *Result) {
 func gradeDominance(r *Result) {
 	d := r.Config.Check.Dominance
 	verdict := Confirmed
+	graded := 0
 	ratioSum, ratioN := 0.0, 0
 	for _, seed := range r.Config.Seeds {
 		a, b := r.cellAt(seed, d.A), r.cellAt(seed, d.B)
@@ -119,6 +128,7 @@ func gradeDominance(r *Result) {
 			ratioSum += va / vb
 			ratioN++
 		}
+		graded++
 		if !pass {
 			verdict = Refuted
 		}
@@ -127,6 +137,9 @@ func gradeDominance(r *Result) {
 	}
 	if ratioN > 0 {
 		r.Effect = fmt.Sprintf("mean %s ratio %s/%s = %.4g over %d seeds", d.Metric, d.A, d.B, ratioSum/float64(ratioN), ratioN)
+	}
+	if graded == 0 {
+		verdict = Inconclusive
 	}
 	r.Verdict = verdict
 }
@@ -146,6 +159,7 @@ func gradeInterval(r *Result) {
 		want, _ = qos.ParseVerdict(iv.QoSVerdict)
 	}
 	verdict := Confirmed
+	graded := 0
 	ratioSum, ratioN := 0.0, 0
 	for i := range r.Cells {
 		cell := &r.Cells[i]
@@ -174,6 +188,7 @@ func gradeInterval(r *Result) {
 			}
 			note += fmt.Sprintf(", qos %s (want %s)", cell.QoS, want)
 		}
+		graded++
 		if !pass {
 			verdict = Refuted
 		}
@@ -186,12 +201,16 @@ func gradeInterval(r *Result) {
 	if ratioN > 0 {
 		r.Effect = fmt.Sprintf("mean p_f / reference = %.4g over %d cells", ratioSum/float64(ratioN), ratioN)
 	}
+	if graded == 0 {
+		verdict = Inconclusive
+	}
 	r.Verdict = verdict
 }
 
 func gradeInvariant(r *Result) {
 	inv := r.Config.Check.Invariant
 	verdict := Confirmed
+	graded := 0
 	for i := range r.Cells {
 		cell := &r.Cells[i]
 		for _, check := range inv.Checks {
@@ -211,7 +230,11 @@ func gradeInvariant(r *Result) {
 			case InvSubstrateIdentity:
 				holds = cell.NetMatched
 				detail = fmt.Sprintf("in-process twin matched: %t", cell.NetMatched)
+			case InvMigratedFlows:
+				holds = cell.Migrations > 0
+				detail = fmt.Sprintf("migrated %d", cell.Migrations)
 			}
+			graded++
 			if !holds {
 				verdict = Refuted
 			}
@@ -223,12 +246,16 @@ func gradeInvariant(r *Result) {
 			// A zero metric means the substrate never produced it — the
 			// bound must fail rather than pass vacuously.
 			holds := v > 0 && v <= b.AtMost
+			graded++
 			if !holds {
 				verdict = Refuted
 			}
 			r.Notes = append(r.Notes, fmt.Sprintf("seed %d/%s: %s = %.4g in (0, %.4g]: %s",
 				cell.Seed, cell.Arm, b.Metric, v, b.AtMost, passString(holds)))
 		}
+	}
+	if graded == 0 {
+		verdict = Inconclusive
 	}
 	r.Verdict = verdict
 }

@@ -79,3 +79,35 @@ func TestRunPropagatesCellError(t *testing.T) {
 		t.Fatal("empty error")
 	}
 }
+
+// TestGradeEmptyIsInconclusive: a matrix with nothing to grade — no cells
+// at all, or cells none of the graders can complete a comparison on —
+// must grade Inconclusive, never vacuously Confirmed.
+func TestGradeEmptyIsInconclusive(t *testing.T) {
+	for _, kind := range []HypothesisKind{HypDominance, HypInterval, HypInvariant} {
+		r := &Result{Config: &Config{Check: Hypothesis{Kind: kind}}}
+		grade(r)
+		if r.Verdict != Inconclusive {
+			t.Errorf("%s over zero cells graded %s, want Inconclusive", kind, r.Verdict)
+		}
+	}
+	// An invariant hypothesis whose cells yield no checks or bounds has
+	// zero graded comparisons even with cells present.
+	r := &Result{
+		Config: &Config{Check: Hypothesis{Kind: HypInvariant, Invariant: &Invariant{}}},
+		Cells:  []CellResult{{Seed: 1, Arm: "a"}},
+	}
+	grade(r)
+	if r.Verdict != Inconclusive {
+		t.Errorf("invariant with no checks graded %s, want Inconclusive", r.Verdict)
+	}
+}
+
+// TestValidatePositionalAxisErrors pins the positional form of the empty
+// seeds/arms rejections.
+func TestValidatePositionalAxisErrors(t *testing.T) {
+	cfg := &Config{Name: "x"}
+	if err := cfg.Validate(); err == nil || err.Error() != "scenario: seeds: at least one seed is required" {
+		t.Errorf("empty seeds: %v", err)
+	}
+}

@@ -150,6 +150,11 @@ const (
 	// final gateway state identical to an in-process twin replaying the
 	// same schedule. Only valid with the network target.
 	InvSubstrateIdentity
+	// InvMigratedFlows: the drain actually moved flows between instances
+	// (Migrations > 0) — the check that a drain/failover scenario
+	// exercised migration rather than passing vacuously. Only valid with
+	// a cluster topology.
+	InvMigratedFlows
 )
 
 // String implements fmt.Stringer.
@@ -163,18 +168,20 @@ func (k InvariantKind) String() string {
 		return "rejected-flows"
 	case InvSubstrateIdentity:
 		return "substrate-identity"
+	case InvMigratedFlows:
+		return "migrated-flows"
 	}
 	return fmt.Sprintf("InvariantKind(%d)", int(k))
 }
 
 // ParseInvariantKind is the inverse of InvariantKind.String.
 func ParseInvariantKind(s string) (InvariantKind, error) {
-	for k := InvLifecycle; k <= InvSubstrateIdentity; k++ {
+	for k := InvLifecycle; k <= InvMigratedFlows; k++ {
 		if k.String() == s {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("scenario: unknown invariant %q (want lifecycle, expired-flows, rejected-flows or substrate-identity)", s)
+	return 0, fmt.Errorf("scenario: unknown invariant %q (want lifecycle, expired-flows, rejected-flows, substrate-identity or migrated-flows)", s)
 }
 
 // MarshalJSON encodes the kind as its string form.

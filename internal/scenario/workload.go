@@ -46,6 +46,12 @@ type CellResult struct {
 	ServedP50 float64 `json:"served_p50,omitempty"`
 	ServedP99 float64 `json:"served_p99,omitempty"`
 
+	// Instances is the fleet size and Migrations the flows moved off
+	// draining instances (cluster topology only). With a cluster, Stats
+	// is the fleet sum and Overflow/QoS grade the worst instance's audit.
+	Instances  int   `json:"instances,omitempty"`
+	Migrations int64 `json:"migrations,omitempty"`
+
 	// Replay is the driver-side decision accounting (churn only).
 	Replay loadgen.Stats `json:"replay"`
 	// Reps is the ensemble size (impulsive only).
@@ -184,6 +190,9 @@ func newCellGateway(cfg *Config, arm Arm, ctrl core.Controller, est estimator.Es
 func runCell(ctx context.Context, cfg *Config, arm Arm, seed uint64) (CellResult, error) {
 	if cfg.Workload.Kind == WorkloadImpulsive {
 		return runImpulsiveCell(ctx, cfg, arm, seed)
+	}
+	if cfg.Cluster != nil {
+		return runClusterCell(ctx, cfg, arm, seed)
 	}
 	return runChurnCell(ctx, cfg, arm, seed)
 }

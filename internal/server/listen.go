@@ -16,8 +16,14 @@ import (
 //
 // addr may carry port 0; the first bind picks the port and the remaining
 // shards bind to the resolved address, so every listener in the set
-// reports the same Addr. On any later failure the already-open listeners
-// are closed before returning.
+// reports the same Addr.
+//
+// Sharding is best-effort on every platform: if per-shard rebinding is
+// unavailable (no SO_REUSEPORT) or fails mid-set (a kernel that accepts
+// the socket option but refuses the second bind), Listen degrades to the
+// shared-listener set instead of erroring — shards > 1 never makes an
+// address that binds once fail to serve. Only the first bind's failure is
+// an error.
 func Listen(addr string, shards int) ([]net.Listener, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("server: Listen needs at least one shard, got %d", shards)
@@ -26,27 +32,45 @@ func Listen(addr string, shards int) ([]net.Listener, error) {
 	if err != nil {
 		return nil, err
 	}
+	rebind := listenShard
+	if !reusePortSupported {
+		rebind = nil
+	}
+	return assembleShards(first, shards, rebind), nil
+}
+
+// assembleShards builds the shards-long listener set over the first bind:
+// one independent rebind per extra shard when rebind is non-nil and every
+// rebind succeeds, else the first listener shared shards times (Accept is
+// safe for concurrent use). The fallback is all-or-nothing — a set mixing
+// private and shared accept queues would spread load unevenly — and any
+// partially-opened rebinds are closed before falling back. Both platform
+// paths (and their failure modes) funnel through here, so the assembly is
+// testable without build tags.
+func assembleShards(first net.Listener, shards int, rebind func(addr string) (net.Listener, error)) []net.Listener {
 	lns := []net.Listener{first}
 	if shards == 1 {
-		return lns, nil
+		return lns
 	}
-	if !reusePortSupported {
-		// Shared-listener fallback: Accept is safe for concurrent use.
+	if rebind != nil {
+		resolved := first.Addr().String() // pin the port the first bind chose
 		for i := 1; i < shards; i++ {
-			lns = append(lns, first)
-		}
-		return lns, nil
-	}
-	resolved := first.Addr().String() // pin the port the first bind chose
-	for i := 1; i < shards; i++ {
-		ln, err := listenShard(resolved)
-		if err != nil {
-			for _, l := range lns {
-				l.Close()
+			ln, err := rebind(resolved)
+			if err != nil {
+				for _, l := range lns[1:] {
+					l.Close()
+				}
+				lns = lns[:1]
+				break
 			}
-			return nil, fmt.Errorf("server: shard %d: %w", i, err)
+			lns = append(lns, ln)
 		}
-		lns = append(lns, ln)
+		if len(lns) == shards {
+			return lns
+		}
 	}
-	return lns, nil
+	for i := 1; i < shards; i++ {
+		lns = append(lns, first)
+	}
+	return lns
 }

@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"errors"
+	"net"
 	"testing"
 	"time"
 
@@ -100,5 +102,95 @@ func TestShardedServeSpreadsConnections(t *testing.T) {
 	}
 	if snap.ConnsAccepted != conns {
 		t.Fatalf("accepted %d, want %d", snap.ConnsAccepted, conns)
+	}
+}
+
+// TestAssembleShardsSharedFallback: with no rebind available (platforms
+// without SO_REUSEPORT), the set is the first listener shared across all
+// shards — same address, never an error.
+func TestAssembleShardsSharedFallback(t *testing.T) {
+	first, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	lns := assembleShards(first, 3, nil)
+	if len(lns) != 3 {
+		t.Fatalf("got %d listeners, want 3", len(lns))
+	}
+	for i, ln := range lns {
+		if ln != first {
+			t.Fatalf("shard %d is not the shared first listener", i)
+		}
+	}
+}
+
+// TestAssembleShardsDegradesOnRebindFailure: a rebind that fails mid-set
+// (a kernel that takes SO_REUSEPORT but refuses the second bind) must
+// degrade the whole set to the shared listener — closing the rebinds it
+// already opened — rather than failing Listen or mixing private and
+// shared accept queues.
+func TestAssembleShardsDegradesOnRebindFailure(t *testing.T) {
+	first, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	var opened []net.Listener
+	calls := 0
+	lns := assembleShards(first, 4, func(addr string) (net.Listener, error) {
+		calls++
+		if calls == 2 {
+			return nil, errors.New("bind refused")
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err == nil {
+			opened = append(opened, ln)
+		}
+		return ln, err
+	})
+	if len(lns) != 4 {
+		t.Fatalf("got %d listeners, want 4", len(lns))
+	}
+	for i, ln := range lns {
+		if ln != first {
+			t.Fatalf("shard %d is not the shared first listener after degrade", i)
+		}
+	}
+	for i, ln := range opened {
+		if err := ln.Close(); err == nil {
+			t.Errorf("partially-opened rebind %d was left open", i)
+		}
+	}
+	if first.Close() != nil {
+		t.Error("degrade closed the first listener")
+	}
+}
+
+// TestAssembleShardsAllRebindsSucceed: the happy path yields one
+// independent listener per shard, every one on the first bind's address.
+func TestAssembleShardsAllRebindsSucceed(t *testing.T) {
+	first, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	seen := map[net.Listener]bool{}
+	lns := assembleShards(first, 3, func(addr string) (net.Listener, error) {
+		// Stand-in for a SO_REUSEPORT rebind: any distinct listener works
+		// for the assembly contract under test.
+		return net.Listen("tcp", "127.0.0.1:0")
+	})
+	if len(lns) != 3 {
+		t.Fatalf("got %d listeners, want 3", len(lns))
+	}
+	for i, ln := range lns {
+		if seen[ln] {
+			t.Fatalf("shard %d reuses another shard's listener", i)
+		}
+		seen[ln] = true
+		if i > 0 {
+			defer ln.Close()
+		}
 	}
 }

@@ -76,12 +76,31 @@ import (
 	"repro/internal/wire"
 )
 
+// Backend is the admission surface the server fronts: the four
+// concurrent-safe decision methods the wire protocol needs, exactly as
+// gateway.Gateway implements them. A cluster router satisfies the same
+// shape, so the pooled client talks to a fleet transparently — the wire
+// protocol cannot tell one link from N.
+type Backend interface {
+	AdmitBatch(ids []uint64, rates []float64, dst []gateway.Decision) ([]gateway.Decision, error)
+	DepartBatch(ids []uint64, dst []bool) []bool
+	UpdateRate(flowID uint64, rate float64) error
+	Touch(flowID uint64) error
+}
+
+var _ Backend = (*gateway.Gateway)(nil)
+
 // Config parameterizes a Server.
 type Config struct {
-	// Gateway is the admission gateway the server fronts (required). The
-	// server only calls its concurrent-safe methods; ticking it (Run or
-	// a virtual clock) stays the owner's job.
+	// Gateway is the admission gateway the server fronts (required unless
+	// Backend is set). The server only calls its concurrent-safe methods;
+	// ticking it (Run or a virtual clock) stays the owner's job.
 	Gateway *gateway.Gateway
+
+	// Backend overrides Gateway as the admission surface — e.g. a cluster
+	// router fronting N gateways. Nil defaults to Gateway; at least one of
+	// the two is required. Ticking the backend stays the owner's job.
+	Backend Backend
 
 	// MaxConns caps concurrently served connections (default 1024). At
 	// the cap, accepted connections get a Refusal (overloaded) frame and
@@ -170,8 +189,11 @@ func servedLatencyBounds() []float64 { return metrics.ExpBounds(250e-9, 2, 18) }
 
 // New validates the configuration and returns a Server.
 func New(cfg Config) (*Server, error) {
-	if cfg.Gateway == nil {
-		return nil, fmt.Errorf("server: Gateway is required")
+	if cfg.Backend == nil {
+		if cfg.Gateway == nil {
+			return nil, fmt.Errorf("server: a Gateway or Backend is required")
+		}
+		cfg.Backend = cfg.Gateway
 	}
 	if cfg.MaxConns < 0 || cfg.MaxBatch < 0 || cfg.WriteBuffer < 0 || cfg.FrameRate < 0 {
 		return nil, fmt.Errorf("server: negative limits are invalid")
@@ -721,7 +743,7 @@ func (c *conn) allowFrames(n int) bool {
 // handle processes one decoded frame, appending responses to the arena.
 // It reports whether the connection must be shed for a full backlog.
 func (c *conn) handle(f *wire.Frame) (shed bool) {
-	g := c.srv.cfg.Gateway
+	g := c.srv.cfg.Backend
 	switch f.Op {
 	case wire.OpAdmit:
 		// The generic half of the micro-batch (fast path disabled, or a
@@ -830,7 +852,7 @@ func (c *conn) flushAdmits() bool {
 	if n == 0 {
 		return false
 	}
-	g := c.srv.cfg.Gateway
+	g := c.srv.cfg.Backend
 	t0 := time.Now()
 	c.decisions = c.decisions[:0]
 	var err error
@@ -861,7 +883,7 @@ func (c *conn) flushDeparts() bool {
 	if n == 0 {
 		return false
 	}
-	c.depOK = c.srv.cfg.Gateway.DepartBatch(c.dep.Flows, c.depOK[:0])
+	c.depOK = c.srv.cfg.Backend.DepartBatch(c.dep.Flows, c.depOK[:0])
 	for i, ok := range c.depOK {
 		st := wire.StatusOK
 		if !ok {
