@@ -39,6 +39,12 @@
 #              audits) and the concurrent drain/failover soak under -race,
 #              then both serving-path perf guards — the routing layer must
 #              not tax the single-gateway budget it multiplexes
+#   adaptive — adaptive measurement tier (build tag "adaptive"): the
+#              regime-shift soak (renegotiated RCBR whose correlation time
+#              collapses mid-run; the controller must track T̂_c, converge
+#              T_m to T̃_h and hold the eq. 41 masking level) under -race,
+#              then both serving-path perf guards — adaptation off must
+#              leave the admit fast path untouched
 #   scenario — declarative scenario suite (build tag "scenario"): every
 #              config under scenarios/ runs its seed x arm matrix and must
 #              grade to its declared Confirmed/Refuted verdict — including
@@ -50,7 +56,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-stat bench bench-json bench-cmp bench-server-json bench-server-cmp bench-sim-json bench-sim-cmp fuzz golden vet test-chaos test-net test-cluster test-scenario scenarios
+.PHONY: all build test race test-stat bench bench-json bench-cmp bench-server-json bench-server-cmp bench-sim-json bench-sim-cmp fuzz golden vet test-chaos test-net test-cluster test-adaptive test-scenario scenarios
 
 all: build test
 
@@ -125,6 +131,8 @@ FUZZTIME ?= 30s
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzExponentialEstimator -fuzztime $(FUZZTIME) ./internal/estimator
+	$(GO) test -run '^$$' -fuzz FuzzWindow -fuzztime $(FUZZTIME) ./internal/estimator
+	$(GO) test -run '^$$' -fuzz FuzzAggregateOnly -fuzztime $(FUZZTIME) ./internal/estimator
 	$(GO) test -run '^$$' -fuzz FuzzCertaintyEquivalent -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -run '^$$' -fuzz FuzzScenarioConfig -fuzztime $(FUZZTIME) ./internal/scenario
@@ -142,6 +150,8 @@ vet:
 	$(GO) run ./cmd/vetenum -dir internal/wire -type Op,Status,Refusal
 	$(GO) run ./cmd/vetenum -dir internal/scenario -type Verdict,HypothesisKind,InvariantKind,Metric,Relation,IntervalMode
 	$(GO) run ./cmd/vetenum -dir internal/cluster -type PlacementPolicy,InstanceState
+	$(GO) run ./cmd/vetenum -dir internal/theory -type Regime
+	$(GO) run ./cmd/vetenum -dir internal/estimator -type Mode
 
 # Chaos tier: seeded fault-injection soaks under the race detector, then
 # the serving-path perf guard — leases and degradation must not tax the
@@ -166,6 +176,17 @@ test-net:
 # admission budget of the instances they front.
 test-cluster:
 	$(GO) test -tags cluster -race -run 'TestClusterSkewedSoak|TestClusterFailoverSoak' -v ./internal/cluster
+	$(MAKE) bench-cmp
+	$(MAKE) bench-server-cmp
+
+# Adaptive tier: the regime-shift soak under the race detector — the
+# online time-scale controller retuning a live gateway's measurement
+# memory against concurrent admissions — then both serving-path perf
+# guards: with no Tuner attached the admit fast path must stay on the
+# committed budget (BenchmarkGatewayAdmitAdaptive in the gateway baseline
+# additionally pins the tuner-on tick cost).
+test-adaptive:
+	$(GO) test -tags adaptive -race -run 'TestAdaptiveRegimeShiftSoak' -v ./internal/adaptive
 	$(MAKE) bench-cmp
 	$(MAKE) bench-server-cmp
 

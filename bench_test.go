@@ -323,6 +323,53 @@ func BenchmarkGatewayAdmit(b *testing.B) {
 	}
 }
 
+// BenchmarkGatewayAdmitAdaptive is BenchmarkGatewayAdmit with the online
+// time-scale controller wired in (GatewayConfig.Tuner) but quiescent: the
+// tuner runs on the measurement-tick path only, so an adaptive gateway's
+// admission hot path must price identically to the fixed-memory baseline —
+// same ns/op envelope, zero allocations.
+func BenchmarkGatewayAdmitAdaptive(b *testing.B) {
+	ctrl, err := NewCertaintyEquivalent(1e-2, 1, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tuner, err := NewAdaptiveController(AdaptiveConfig{Capacity: 1e9, Th: 100, PQ: 1e-2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := NewGateway(GatewayConfig{
+		Capacity:      1e9,
+		Controller:    ctrl,
+		Estimator:     NewExponentialEstimator(100),
+		Shards:        64,
+		LatencySample: 8,
+		FlowTTL:       30,
+		Tuner:         tuner,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var nextID atomic.Uint64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id := nextID.Add(1)
+			if _, err := g.Admit(id, 1.0); err != nil {
+				b.Error(err)
+				return
+			}
+			if err := g.Depart(id); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	st := g.Stats()
+	if st.Active != 0 || st.Admitted != int64(nextID.Load()) {
+		b.Fatalf("counters drifted: %+v", st)
+	}
+}
+
 // BenchmarkGatewayAdmitInstrumented is BenchmarkGatewayAdmit under active
 // observation: a background goroutine polls Snapshot and renders the
 // Prometheus text the whole time, the situation a scraped production

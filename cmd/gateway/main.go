@@ -65,6 +65,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/adaptive"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/estimator"
@@ -100,6 +101,8 @@ func main() {
 		tc        = flag.Float64("tc", 1, "RCBR correlation time (mean segment length)")
 		th        = flag.Float64("th", 200, "mean flow holding time")
 		tm        = flag.Float64("tm", 0, "estimator memory window (0 = memoryless)")
+		estMode   = flag.String("estimator", "", "estimator: memoryless, exponential, window, aggregate or oracle (default: exponential when -tm > 0, else memoryless)")
+		adaptiveF = flag.Bool("adaptive", false, "retune estimator memory online toward the critical time-scale T~_h = th/sqrt(n) (Section 7; needs a memory-bearing -estimator)")
 		pce       = flag.Float64("pce", 1e-2, "certainty-equivalent target overflow probability")
 		lambda    = flag.Float64("lambda", 0.6, "Poisson flow arrival rate")
 		duration  = flag.Float64("duration", 2000, "virtual replay duration")
@@ -164,10 +167,66 @@ func main() {
 		fatal(err)
 	}
 	newEstimator := func() estimator.Estimator {
-		if *tm > 0 {
-			return estimator.NewExponential(*tm)
+		if *estMode == "" {
+			// Legacy behavior: -tm selects the filter.
+			if *tm > 0 {
+				return estimator.NewExponential(*tm)
+			}
+			return estimator.NewMemoryless()
 		}
-		return estimator.NewMemoryless()
+		mode, err := estimator.ParseMode(*estMode)
+		if err != nil {
+			fatal(err)
+		}
+		switch mode {
+		case estimator.ModeMemoryless:
+			return estimator.NewMemoryless()
+		case estimator.ModeExponential:
+			if *tm <= 0 {
+				fatal(fmt.Errorf("-estimator exponential requires -tm > 0"))
+			}
+			return estimator.NewExponential(*tm)
+		case estimator.ModeWindow:
+			if *tm <= 0 {
+				fatal(fmt.Errorf("-estimator window requires -tm > 0"))
+			}
+			return estimator.NewWindow(*tm)
+		case estimator.ModeAggregate:
+			// The variance memory T_v is structural: long enough to see
+			// fluctuation across ticks, short enough to track load shifts.
+			tv := *tm
+			if tv <= 0 {
+				tv = 8 * *tick
+			}
+			return estimator.NewAggregateOnly(*tm, tv)
+		case estimator.ModeOracle:
+			return &estimator.Oracle{Mu: 1, Sigma: *svr}
+		}
+		fatal(fmt.Errorf("unhandled estimator mode %q", *estMode))
+		return nil
+	}
+	// Each gateway instance gets its own time-scale controller: the
+	// controller's ACF ring and EWMA state are per-instance measurements.
+	var tuners []*adaptive.Controller
+	newTuner := func() gateway.Tuner {
+		if !*adaptiveF {
+			return nil
+		}
+		tcfg := adaptive.Config{Capacity: *n, Th: *th, PQ: *pce}
+		if *pq > 0 {
+			tcfg.PQ = *pq
+		}
+		t, err := adaptive.New(tcfg)
+		if err != nil {
+			fatal(err)
+		}
+		tuners = append(tuners, t)
+		return t
+	}
+	if *adaptiveF && len(faultWindows) > 0 {
+		// fault.Wrap interposes on the estimator and does not forward
+		// SetMemory, so the retune loop cannot reach the real filter.
+		fatal(fmt.Errorf("-adaptive cannot be combined with -faults"))
 	}
 	est := newEstimator()
 	// The fault wrapper sits between the gateway and the real estimator
@@ -197,13 +256,14 @@ func main() {
 				FlowTTL:        *ttl,
 				StaleAfter:     *staleAfter,
 				Degraded:       policy,
+				Tuner:          newTuner(),
 			})
 		}
 		cl, err := cluster.New(ccfg)
 		if err != nil {
 			fatal(err)
 		}
-		runServeCluster(cl, *addr, *listen, *maxConns, *frameRate, *lnShards)
+		runServeCluster(cl, *addr, *listen, *maxConns, *frameRate, *lnShards, tuners)
 		return
 	}
 
@@ -218,13 +278,14 @@ func main() {
 		FlowTTL:        *ttl,
 		StaleAfter:     *staleAfter,
 		Degraded:       policy,
+		Tuner:          newTuner(),
 	})
 	if err != nil {
 		fatal(err)
 	}
 
 	if *serve {
-		runServe(g, *addr, *listen, *maxConns, *frameRate, *lnShards)
+		runServe(g, *addr, *listen, *maxConns, *frameRate, *lnShards, tuners)
 		return
 	}
 
@@ -243,7 +304,7 @@ func main() {
 	// the main goroutine rather than exiting asynchronously mid-replay.
 	var endpoint *obs.Endpoint
 	if *listen != "" {
-		endpoint, err = obs.Start(obs.Config{Addr: *listen, Gateway: g, Audit: audit, AuditMu: &auditMu})
+		endpoint, err = obs.Start(obs.Config{Addr: *listen, Gateway: g, Audit: audit, AuditMu: &auditMu, Adaptive: tuners})
 		if err != nil {
 			fatal(err)
 		}
@@ -318,6 +379,11 @@ func main() {
 	fmt.Printf("measure:    mu^ %.4g, sigma^ %.4g (ok=%v), aggregate %.4g, %d ticks\n",
 		st.Mu, st.Sigma, st.MeasurementOK, st.AggregateRate, st.Ticks)
 	fmt.Printf("bound:      M = %.4g vs perfect-knowledge m* = %.4g\n", st.Admissible, mstar)
+	for _, t := range tuners {
+		as := t.Snapshot()
+		fmt.Printf("adaptive:   T_m %.4g -> target %.4g, T^_c %.4g, regime %s (p_f masking %.4g, repair %.4g), %d retunes\n",
+			as.Tm, as.Target, as.TcHat, as.Regime, as.PfMasking, as.PfRepair, as.Retunes)
+	}
 	if ticks > 0 {
 		fmt.Printf("steady:     mean active %.4g over the final %d ticks (m* = %.4g)\n",
 			activeSum/float64(ticks), ticks, mstar)
@@ -363,7 +429,7 @@ func main() {
 // wire protocol is served on addr, and SIGINT/SIGTERM trigger the
 // graceful drain — stop accepting, flush in-flight decisions, depart
 // nothing and let the flow leases reclaim what clients abandoned.
-func runServe(g *gateway.Gateway, addr, listen string, maxConns, frameRate, lnShards int) {
+func runServe(g *gateway.Gateway, addr, listen string, maxConns, frameRate, lnShards int, tuners []*adaptive.Controller) {
 	srv, err := server.New(server.Config{
 		Gateway:   g,
 		MaxConns:  maxConns,
@@ -378,7 +444,7 @@ func runServe(g *gateway.Gateway, addr, listen string, maxConns, frameRate, lnSh
 	}
 	var endpoint *obs.Endpoint
 	if listen != "" {
-		endpoint, err = obs.Start(obs.Config{Addr: listen, Gateway: g, Server: srv})
+		endpoint, err = obs.Start(obs.Config{Addr: listen, Gateway: g, Server: srv, Adaptive: tuners})
 		if err != nil {
 			fatal(err)
 		}
@@ -441,7 +507,7 @@ func runServe(g *gateway.Gateway, addr, listen string, maxConns, frameRate, lnSh
 // The drain contract matches runServe — stop accepting, flush in-flight
 // decisions, depart nothing; instance drain/failover is an admin-plane
 // operation on the cluster, not part of process shutdown.
-func runServeCluster(cl *cluster.Cluster, addr, listen string, maxConns, frameRate, lnShards int) {
+func runServeCluster(cl *cluster.Cluster, addr, listen string, maxConns, frameRate, lnShards int, tuners []*adaptive.Controller) {
 	srv, err := cluster.NewServer(cl, server.Config{
 		MaxConns:  maxConns,
 		FrameRate: frameRate,
@@ -455,7 +521,7 @@ func runServeCluster(cl *cluster.Cluster, addr, listen string, maxConns, frameRa
 	}
 	var endpoint *obs.Endpoint
 	if listen != "" {
-		endpoint, err = obs.Start(obs.Config{Addr: listen, Gateway: cl.Gateway(0), Server: srv, Cluster: cl})
+		endpoint, err = obs.Start(obs.Config{Addr: listen, Gateway: cl.Gateway(0), Server: srv, Cluster: cl, Adaptive: tuners})
 		if err != nil {
 			fatal(err)
 		}

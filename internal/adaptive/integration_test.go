@@ -1,0 +1,189 @@
+package adaptive_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adaptive"
+	"repro/internal/core"
+	"repro/internal/estimator"
+	"repro/internal/gateway"
+	"repro/internal/rng"
+)
+
+func newAdaptiveGateway(t *testing.T, est estimator.Estimator, cfg adaptive.Config) (*gateway.Gateway, *adaptive.Controller) {
+	t.Helper()
+	ctrl, err := core.NewCertaintyEquivalent(cfg.PQ, 1, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := adaptive.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gateway.New(gateway.Config{
+		Capacity:   cfg.Capacity,
+		Controller: ctrl,
+		Estimator:  est,
+		Shards:     4,
+		Tuner:      tuner,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, tuner
+}
+
+// TestTunerRequiresMemorySetter: attaching a tuner to an estimator that
+// cannot retune (Memoryless has no memory to set) must fail at New, not
+// panic at the first retune.
+func TestTunerRequiresMemorySetter(t *testing.T) {
+	ctrl, err := core.NewCertaintyEquivalent(1e-2, 1, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := adaptive.New(adaptive.Config{Capacity: 100, Th: 100, PQ: 1e-2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = gateway.New(gateway.Config{
+		Capacity:   100,
+		Controller: ctrl,
+		Estimator:  estimator.NewMemoryless(),
+		Tuner:      tuner,
+	})
+	if err == nil {
+		t.Fatal("gateway.New accepted a Tuner on a memoryless estimator")
+	}
+}
+
+// TestAggregateOnlyGatewayAdmitsWithoutPerFlowRates runs the full §7
+// deployment story: the gateway measures only the aggregate (AggregateOnly
+// discards per-flow cross-sections), the controller retunes T_m online,
+// and the gateway keeps publishing a usable admission bound — all without
+// a single UpdateRate call from any flow.
+func TestAggregateOnlyGatewayAdmitsWithoutPerFlowRates(t *testing.T) {
+	const capacity, th, tick = 100.0, 100.0, 0.5
+	g, tuner := newAdaptiveGateway(t, estimator.NewAggregateOnly(0.5, 4),
+		adaptive.Config{Capacity: capacity, Th: th, PQ: 1e-2, MaxLag: 16, Block: 64})
+
+	r := rng.New(42, 1)
+	var id uint64
+	active := make([]uint64, 0, 256)
+	admitted, rejected := 0, 0
+	for i := 0; i < 4000; i++ {
+		// Churn: one arrival and (roughly) one departure per tick keeps
+		// the load near 60 flows of unit rate against capacity 100.
+		if len(active) < 60 || r.Float64() < 0.5 {
+			id++
+			if _, err := g.Admit(id, 1.0); err == nil {
+				active = append(active, id)
+				admitted++
+			} else {
+				rejected++
+			}
+		}
+		if len(active) > 0 && r.Float64() < float64(len(active))/120 {
+			j := int(r.Float64() * float64(len(active)))
+			if err := g.Depart(active[j]); err != nil {
+				t.Fatal(err)
+			}
+			active[j] = active[len(active)-1]
+			active = active[:len(active)-1]
+		}
+		g.Tick(float64(i+1) * tick)
+	}
+	if admitted == 0 {
+		t.Fatal("no flows admitted")
+	}
+	st := g.Stats()
+	if !(st.Admissible > 0) || math.IsInf(st.Admissible, 0) {
+		t.Fatalf("aggregate-only gateway published bound %g", st.Admissible)
+	}
+	if st.Mu <= 0 || st.Sigma < 0 {
+		t.Fatalf("aggregate-only estimate (mu=%g, sigma=%g) unusable", st.Mu, st.Sigma)
+	}
+
+	// The controller must have pulled T_m from its 0.5 start toward
+	// T̃_h = Th/√(c/μ̂) and the gateway must report the retuned memory.
+	snap := tuner.Snapshot()
+	if snap.Retunes == 0 {
+		t.Fatal("controller never retuned")
+	}
+	if g.Snapshot().Tm != snap.Tm {
+		t.Fatalf("gateway memory %g diverged from controller %g", g.Snapshot().Tm, snap.Tm)
+	}
+	wantTarget := th / math.Sqrt(capacity/st.Mu)
+	if math.Abs(snap.Target-wantTarget) > 0.05*wantTarget {
+		t.Fatalf("target %g, want ~%g from μ̂=%g", snap.Target, wantTarget, st.Mu)
+	}
+	if math.Abs(snap.Tm-snap.Target) > 0.2*snap.Target {
+		t.Fatalf("T_m = %g did not track target %g", snap.Tm, snap.Target)
+	}
+}
+
+// TestRetuneAppliesAcrossEstimators: every MemorySetter estimator accepts
+// the tuned memory on the live tick path and reports it back via
+// Snapshot().Tm, keeping estimates finite throughout.
+func TestRetuneAppliesAcrossEstimators(t *testing.T) {
+	cases := []struct {
+		name string
+		est  estimator.Estimator
+	}{
+		{"exponential", estimator.NewExponential(0.5)},
+		{"window", estimator.NewWindow(0.5)},
+		{"aggregate", estimator.NewAggregateOnly(0.5, 4)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, tuner := newAdaptiveGateway(t, tc.est,
+				adaptive.Config{Capacity: 100, Th: 100, PQ: 1e-2, MaxLag: 8, Block: 32})
+			for i := 0; i < 40; i++ {
+				if _, err := g.Admit(uint64(i+1), 1.0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 800; i++ {
+				st := g.Tick(float64(i+1) * 0.5)
+				if math.IsNaN(st.Mu) || math.IsNaN(st.Sigma) || math.IsNaN(st.Admissible) {
+					t.Fatalf("tick %d: NaN estimate under retune: %+v", i, st)
+				}
+			}
+			snap := tuner.Snapshot()
+			if snap.Retunes == 0 {
+				t.Fatal("controller never retuned")
+			}
+			if got := g.Snapshot().Tm; got != snap.Tm {
+				t.Fatalf("gateway memory %g != controller memory %g", got, snap.Tm)
+			}
+			if snap.Tm == 0.5 {
+				t.Fatal("memory never moved from its initial value")
+			}
+		})
+	}
+}
+
+// TestTickAllocBudgetWithTuner: the adaptive hook lives on the tick path;
+// with the controller attached (and mostly quiescent) the tick must stay
+// inside the same ≤ 1 alloc budget the plain gateway holds.
+func TestTickAllocBudgetWithTuner(t *testing.T) {
+	g, _ := newAdaptiveGateway(t, estimator.NewExponential(10),
+		adaptive.Config{Capacity: 1e9, Th: 100, PQ: 1e-2})
+	for i := 0; i < 256; i++ {
+		if _, err := g.Admit(uint64(i+1), 0.5+float64(i%7)*0.2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now := 1.0
+	for i := 0; i < 600; i++ { // warm shard scratch and fill the first ACF blocks
+		now += 0.1
+		g.Tick(now)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		now += 0.1
+		g.Tick(now)
+	})
+	if allocs > 1 {
+		t.Fatalf("Tick with tuner allocates %.1f times per call, budget is 1", allocs)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/adaptive"
 	"repro/internal/core"
 	"repro/internal/estimator"
 	"repro/internal/gateway"
@@ -451,5 +452,90 @@ func TestClusterOfOneDifferential(t *testing.T) {
 
 	if fleet := clu.Stats(); fleet != bare.Stats() {
 		t.Errorf("fleet stats diverged from bare gateway:\nbare    %+v\ncluster %+v", bare.Stats(), fleet)
+	}
+}
+
+// TestClusterOfOneAggregateAdaptiveDifferential repeats the cluster-of-one
+// differential with the aggregate-only estimator and the online time-scale
+// controller attached: a one-instance fleet must stay byte-exact with a
+// bare gateway even while both are retuning T_m from measured traffic, and
+// neither side ever receives a per-flow rate update.
+func TestClusterOfOneAggregateAdaptiveDifferential(t *testing.T) {
+	const capacity, ttl = 30.0, 20.0
+	events, err := loadgen.Schedule(loadgen.Config{
+		Seed: 11, Lambda: 2, Hold: 5, SVR: 0.3, TC: 1, Duration: 60, ArrivalCV: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	aggCfg := func() gateway.Config {
+		cfg := testGatewayConfig(t, capacity, ttl)
+		cfg.Estimator = estimator.NewAggregateOnly(0.5, 4)
+		tuner, err := adaptive.New(adaptive.Config{
+			Capacity: capacity, Th: 20, PQ: 0.01, MaxLag: 8, Block: 32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Tuner = tuner
+		return cfg
+	}
+
+	run := func(tgt *recordingTarget, tick func(now float64) gateway.Stats) loadgen.Stats {
+		hook := func(now float64) { tick(now) }
+		rst, err := loadgen.Replay(context.Background(), tgt, events, 8, 0.5, hook)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= 50; i++ {
+			hook(60 + float64(i)*0.5)
+		}
+		return rst
+	}
+
+	bare, err := gateway.New(aggCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bareTgt := &recordingTarget{inner: &loadgen.GatewayTarget{G: bare}}
+	bareStats := run(bareTgt, bare.Tick)
+
+	clu, err := New(Config{Instances: []gateway.Config{aggCfg()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluTgt := &recordingTarget{inner: &ReplayTarget{C: clu}}
+	cluStats := run(cluTgt, func(now float64) gateway.Stats { return clu.Tick(now)[0] })
+
+	if bareStats != cluStats {
+		t.Errorf("replay accounting diverged:\nbare    %+v\ncluster %+v", bareStats, cluStats)
+	}
+	if len(bareTgt.decisions) != len(cluTgt.decisions) {
+		t.Fatalf("decision counts diverged: %d vs %d", len(bareTgt.decisions), len(cluTgt.decisions))
+	}
+	for i := range bareTgt.decisions {
+		if bareTgt.decisions[i] != cluTgt.decisions[i] {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, bareTgt.decisions[i], cluTgt.decisions[i])
+		}
+	}
+
+	bareSnap, err := json.Marshal(bare.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluSnap, err := json.Marshal(clu.Gateway(0).Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bareSnap) != string(cluSnap) {
+		t.Errorf("snapshots diverged:\nbare    %s\ncluster %s", bareSnap, cluSnap)
+	}
+	bareTm, cluTm := bare.Snapshot().Tm, clu.Gateway(0).Snapshot().Tm
+	if bareTm != cluTm {
+		t.Errorf("retuned memories diverged: %g vs %g", bareTm, cluTm)
+	}
+	if bareTm == 0.5 {
+		t.Error("controller never retuned: the differential would not exercise adaptation")
 	}
 }

@@ -65,6 +65,35 @@ func Memory(e Estimator) float64 {
 	return 0
 }
 
+// MemorySetter is implemented by estimators whose memory window T_m can be
+// retuned online — the seam the adaptive time-scale controller drives to
+// hold T_m ≈ T̃_h as the measured traffic dynamics move. Implementations
+// must ignore non-positive or non-finite values (the window must stay
+// valid no matter what the controller computes) and must keep the filtered
+// state continuous across a retune: only the forgetting rate changes, the
+// current estimates do not jump.
+type MemorySetter interface {
+	MemoryReporter
+	// SetMemory retunes the filter memory window T_m in time units.
+	SetMemory(tm float64)
+}
+
+// fclamp saturates ±Inf to ±MaxFloat64 and is the identity on every other
+// value. The window and aggregate-only estimators route their accumulated
+// state through it: once an Inf reaches stored state, the next subtraction
+// of the opposite sign manufactures a NaN that no amount of forgetting can
+// age out (found by FuzzAggregateOnly: Update(MaxFloat64, _, n) squares the
+// aggregate into +Inf and the variance readout returns Inf − Inf).
+func fclamp(x float64) float64 {
+	if math.IsInf(x, 1) {
+		return math.MaxFloat64
+	}
+	if math.IsInf(x, -1) {
+		return -math.MaxFloat64
+	}
+	return x
+}
+
 // crossSection converts instantaneous aggregates into the paper's
 // cross-sectional estimates: mu-hat = sumRate/n and the unbiased
 // sigma-hat^2 = (sumSq - sumRate^2/n)/(n-1).
@@ -156,6 +185,15 @@ func (e *Exponential) Name() string { return "exponential" }
 // Memory implements MemoryReporter.
 func (e *Exponential) Memory() float64 { return e.Tm }
 
+// SetMemory implements MemorySetter. Non-positive or non-finite windows
+// are ignored (Tm must stay > 0); the filtered state carries over so the
+// estimates stay continuous across a retune.
+func (e *Exponential) SetMemory(tm float64) {
+	if tm > 0 && !math.IsInf(tm, 0) {
+		e.Tm = tm
+	}
+}
+
 // Reset implements Estimator.
 func (e *Exponential) Reset(t float64) {
 	*e = Exponential{Tm: e.Tm, t: t}
@@ -169,7 +207,9 @@ func (e *Exponential) Advance(t float64) {
 	}
 	dt := t - e.t
 	e.t = t
-	if dt <= 0 || !e.initialized || e.n == 0 {
+	// !(dt > 0) rather than dt <= 0: a NaN dt (two successive +Inf
+	// times) must not reach the filter either.
+	if !(dt > 0) || !e.initialized || e.n == 0 {
 		return
 	}
 	e.aged = true
@@ -254,22 +294,40 @@ func (e *Window) Name() string { return "window" }
 // role of T_m.
 func (e *Window) Memory() float64 { return e.W }
 
+// SetMemory implements MemorySetter. Non-positive or non-finite windows
+// are ignored. Shrinking the window evicts immediately so the next
+// Estimate already reflects the new span.
+func (e *Window) SetMemory(w float64) {
+	if !(w > 0) || math.IsInf(w, 0) {
+		return
+	}
+	e.W = w
+	e.evict()
+}
+
 // Reset implements Estimator.
 func (e *Window) Reset(t float64) {
 	*e = Window{W: e.W, t: t}
 }
 
-// Advance implements Estimator.
+// Advance implements Estimator. A non-finite time is ignored: a NaN dt
+// would poison the window integrals, and an infinite one would evict the
+// entire buffered span into an Inf−Inf NaN. (The exponential filter only
+// needs the NaN guard because exp(−Inf) decays cleanly; the boxcar's
+// integrals do not.)
 func (e *Window) Advance(t float64) {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return
+	}
 	dt := t - e.t
-	if dt <= 0 {
+	if !(dt > 0) {
 		e.t = t
 		return
 	}
 	if e.initialized && e.n > 0 {
 		e.segs = append(e.segs, winSeg{start: e.t, end: t, u1: e.cur1, u2: e.cur2})
-		e.int1 += e.cur1 * dt
-		e.int2 += e.cur2 * dt
+		e.int1 = fclamp(e.int1 + e.cur1*dt)
+		e.int2 = fclamp(e.int2 + e.cur2*dt)
 	}
 	e.t = t
 	e.evict()
@@ -281,23 +339,28 @@ func (e *Window) evict() {
 	for len(e.segs) > 0 {
 		s := &e.segs[0]
 		if s.end <= cutoff {
-			e.int1 -= s.u1 * (s.end - s.start)
-			e.int2 -= s.u2 * (s.end - s.start)
+			e.int1 = fclamp(e.int1 - s.u1*(s.end-s.start))
+			e.int2 = fclamp(e.int2 - s.u2*(s.end-s.start))
 			e.segs = e.segs[1:]
 			continue
 		}
 		if s.start < cutoff {
 			trim := cutoff - s.start
-			e.int1 -= s.u1 * trim
-			e.int2 -= s.u2 * trim
+			e.int1 = fclamp(e.int1 - s.u1*trim)
+			e.int2 = fclamp(e.int2 - s.u2*trim)
 			s.start = cutoff
 		}
 		break
 	}
 }
 
-// Update implements Estimator.
+// Update implements Estimator. Non-finite aggregates or a negative count
+// (corrupted measurement input) are ignored, holding the buffered state —
+// the same poisoned-input contract as Exponential.Update.
 func (e *Window) Update(sumRate, sumSq float64, n int) {
+	if n < 0 || math.IsNaN(sumRate) || math.IsInf(sumRate, 0) || math.IsNaN(sumSq) || math.IsInf(sumSq, 0) {
+		return
+	}
 	e.n = n
 	if n == 0 {
 		return
@@ -318,7 +381,7 @@ func (e *Window) Estimate() (mu, sigma float64, ok bool) {
 	}
 	var u1, u2 float64
 	if span > 0 {
-		u1, u2 = e.int1/span, e.int2/span
+		u1, u2 = fclamp(e.int1/span), fclamp(e.int2/span)
 	} else {
 		u1, u2 = e.cur1, e.cur2
 	}
@@ -372,16 +435,32 @@ func (e *AggregateOnly) Name() string { return "aggregate-only" }
 // Memory implements MemoryReporter.
 func (e *AggregateOnly) Memory() float64 { return e.Tm }
 
+// SetMemory implements MemorySetter: it retunes the mean-estimate memory
+// Tm. The variance memory Tv is a structural constant of the estimator and
+// is not retuned. Non-positive or non-finite values are ignored.
+func (e *AggregateOnly) SetMemory(tm float64) {
+	if tm > 0 && !math.IsInf(tm, 0) {
+		e.Tm = tm
+	}
+}
+
 // Reset implements Estimator.
 func (e *AggregateOnly) Reset(t float64) {
 	*e = AggregateOnly{Tm: e.Tm, Tv: e.Tv, t: t}
 }
 
-// Advance implements Estimator.
+// Advance implements Estimator. A NaN time is ignored so a corrupted
+// clock cannot poison the filter state (the same guard as Exponential;
+// infinite times decay cleanly through exp).
 func (e *AggregateOnly) Advance(t float64) {
+	if math.IsNaN(t) {
+		return
+	}
 	dt := t - e.t
 	e.t = t
-	if dt <= 0 || !e.initialized {
+	// !(dt > 0) rather than dt <= 0: a NaN dt (two successive +Inf
+	// times) must not reach the filters either.
+	if !(dt > 0) || !e.initialized {
 		return
 	}
 	e.aged = true
@@ -394,13 +473,18 @@ func (e *AggregateOnly) Advance(t float64) {
 		e.fn = float64(e.n)
 	}
 	av := math.Exp(-dt / e.Tv)
-	e.m1 = av*e.m1 + (1-av)*e.curAgg
-	e.m2 = av*e.m2 + (1-av)*e.curAgg*e.curAgg
+	e.m1 = fclamp(av*e.m1 + (1-av)*e.curAgg)
+	e.m2 = fclamp(av*e.m2 + (1-av)*fclamp(e.curAgg*e.curAgg))
 }
 
 // Update implements Estimator. sumSq is ignored: this estimator sees only
-// the aggregate.
+// the aggregate. A non-finite aggregate or a negative count (corrupted
+// measurement input) is ignored, holding the filtered state — the same
+// poisoned-input contract as Exponential.Update.
 func (e *AggregateOnly) Update(sumRate, _ float64, n int) {
+	if n < 0 || math.IsNaN(sumRate) || math.IsInf(sumRate, 0) {
+		return
+	}
 	e.n = n
 	if n == 0 {
 		return
@@ -411,7 +495,7 @@ func (e *AggregateOnly) Update(sumRate, _ float64, n int) {
 		// advances (see Exponential.Update for why).
 		e.mean = sumRate
 		e.fn = float64(n)
-		e.m1, e.m2 = sumRate, sumRate*sumRate
+		e.m1, e.m2 = sumRate, fclamp(sumRate*sumRate)
 		e.initialized = true
 	}
 }

@@ -49,3 +49,102 @@ func FuzzExponentialEstimator(f *testing.F) {
 		}
 	})
 }
+
+// FuzzWindow applies the same adversarial protocol to the sliding-window
+// estimator, plus a mid-run SetMemory with an arbitrary (possibly invalid)
+// window — the retune seam the adaptive controller drives. The boxcar's
+// segment integrals are the fragile state here: a NaN or Inf timestamp
+// that reaches them can never be aged out.
+func FuzzWindow(f *testing.F) {
+	f.Add(100.0, 0.5, 10.0, 11.0, 10, 50.0, 1.0, 12.0, 15.0, 12)
+	f.Add(1.0, 0.0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 0.0, 0)
+	f.Add(1e-9, 1e300, 1e300, 1e308, 2, math.Inf(1), -5.0, -1.0, -2.0, -3)
+	f.Add(1000.0, math.Inf(1), math.Inf(1), math.NaN(), 7, math.NaN(), math.NaN(), 3.0, 9.0, 3)
+	f.Add(0.5, 1.0, math.MaxFloat64, math.MaxFloat64, 1000000, -1.0, 2.0, 1.0, 1.0, 2)
+	f.Fuzz(func(t *testing.T, w, t1, sr1, ss1 float64, n1 int, w2, t2, sr2, ss2 float64, n2 int) {
+		if !(w > 0) || math.IsInf(w, 0) || math.IsNaN(w) {
+			w = 1
+		}
+		e := NewWindow(w)
+		e.Reset(0)
+		check := func(stage string) {
+			mu, sigma, _ := e.Estimate()
+			if math.IsNaN(mu) || math.IsNaN(sigma) {
+				t.Fatalf("%s: NaN estimate (mu=%g sigma=%g)", stage, mu, sigma)
+			}
+			if sigma < 0 {
+				t.Fatalf("%s: negative sigma %g", stage, sigma)
+			}
+		}
+		e.Advance(t1)
+		e.Update(sr1, ss1, n1)
+		check("after adversarial step 1")
+		e.SetMemory(w2)
+		if !(e.W > 0) || math.IsInf(e.W, 0) || math.IsNaN(e.W) {
+			t.Fatalf("SetMemory(%g) left an invalid window %g", w2, e.W)
+		}
+		e.Advance(t2)
+		e.Update(sr2, ss2, n2)
+		check("after adversarial step 2")
+		// A subsequent well-formed measurement cycle must behave: the
+		// adversarial history may not have poisoned the buffered segments.
+		e.Advance(t2 + 1)
+		e.Update(7.5, 30.25, 5)
+		e.Advance(t2 + 2)
+		mu, sigma, _ := e.Estimate()
+		if math.IsNaN(mu) || math.IsNaN(sigma) || sigma < 0 {
+			t.Fatalf("poisoned state: recovery estimate (mu=%g, sigma=%g)", mu, sigma)
+		}
+	})
+}
+
+// FuzzAggregateOnly applies the adversarial protocol to the aggregate-only
+// estimator (Section 7): non-finite aggregates, negative counts, corrupt
+// clocks, and a mid-run SetMemory retune. Tm = 0 (memoryless mean) is a
+// legal configuration and is exercised by sanitizing invalid memories
+// to 0 rather than 1.
+func FuzzAggregateOnly(f *testing.F) {
+	f.Add(100.0, 10.0, 0.5, 10.0, 10, 50.0, 1.0, 12.0, 12)
+	f.Add(0.0, 1.0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 0)
+	f.Add(1e-9, 1e-9, 1e300, 1e300, 2, math.Inf(1), -5.0, -1.0, -3)
+	f.Add(1000.0, 5.0, math.Inf(1), math.NaN(), 7, math.NaN(), math.NaN(), 3.0, 3)
+	f.Add(0.5, 2.0, 1.0, math.MaxFloat64, 1000000, -1.0, 2.0, 1.0, 2)
+	f.Fuzz(func(t *testing.T, tm, tv, t1, sr1 float64, n1 int, tm2, t2, sr2 float64, n2 int) {
+		if !(tm >= 0) || math.IsInf(tm, 0) {
+			tm = 0
+		}
+		if !(tv > 0) || math.IsInf(tv, 0) || math.IsNaN(tv) {
+			tv = 1
+		}
+		e := NewAggregateOnly(tm, tv)
+		e.Reset(0)
+		check := func(stage string) {
+			mu, sigma, _ := e.Estimate()
+			if math.IsNaN(mu) || math.IsNaN(sigma) {
+				t.Fatalf("%s: NaN estimate (mu=%g sigma=%g)", stage, mu, sigma)
+			}
+			if sigma < 0 {
+				t.Fatalf("%s: negative sigma %g", stage, sigma)
+			}
+		}
+		e.Advance(t1)
+		e.Update(sr1, 0, n1)
+		check("after adversarial step 1")
+		e.SetMemory(tm2)
+		if math.IsNaN(e.Tm) || math.IsInf(e.Tm, 0) || e.Tm < 0 {
+			t.Fatalf("SetMemory(%g) left an invalid memory %g", tm2, e.Tm)
+		}
+		e.Advance(t2)
+		e.Update(sr2, 0, n2)
+		check("after adversarial step 2")
+		// A subsequent well-formed measurement cycle must behave: the
+		// adversarial history may not have poisoned the filters.
+		e.Advance(t2 + 1)
+		e.Update(7.5, 0, 5)
+		e.Advance(t2 + 2)
+		mu, sigma, _ := e.Estimate()
+		if math.IsNaN(mu) || math.IsNaN(sigma) || sigma < 0 {
+			t.Fatalf("poisoned state: recovery estimate (mu=%g, sigma=%g)", mu, sigma)
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package estimator
+
+import "fmt"
+
+// Mode names the estimator families a gateway can be configured with — the
+// vocabulary shared by the -estimator CLI flag, scenario configs, and
+// reports. It exists alongside the Estimator interface because the seams
+// that *construct* estimators (cmd/gateway, the scenario engine, cluster
+// instance specs) need a validated, serializable selector before any
+// workload statistics are known.
+type Mode int
+
+const (
+	// ModeMemoryless: the instantaneous cross-section (eq. 7/23).
+	ModeMemoryless Mode = iota
+	// ModeExponential: the exponentially-weighted filter with memory T_m
+	// (Section 4.3).
+	ModeExponential
+	// ModeWindow: the sliding boxcar window, the filter-ablation
+	// alternative to ModeExponential.
+	ModeWindow
+	// ModeAggregate: the aggregate-only estimator (Section 7), which
+	// needs no per-flow rate telemetry at all.
+	ModeAggregate
+	// ModeOracle: the perfect-knowledge baseline.
+	ModeOracle
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeMemoryless:
+		return "memoryless"
+	case ModeExponential:
+		return "exponential"
+	case ModeWindow:
+		return "window"
+	case ModeAggregate:
+		return "aggregate"
+	case ModeOracle:
+		return "oracle"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode is the inverse of Mode.String, for CLI flags and scenario
+// configs.
+func ParseMode(s string) (Mode, error) {
+	for m := ModeMemoryless; m <= ModeOracle; m++ {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("estimator: unknown mode %q (want memoryless, exponential, window, aggregate or oracle)", s)
+}

@@ -1,0 +1,39 @@
+package estimator
+
+import "testing"
+
+// TestModeStringGolden pins the wire vocabulary: these strings appear in
+// CLI flags, scenario JSON and reports, so renaming one is a compatibility
+// break, not a refactor.
+func TestModeStringGolden(t *testing.T) {
+	golden := map[Mode]string{
+		ModeMemoryless:  "memoryless",
+		ModeExponential: "exponential",
+		ModeWindow:      "window",
+		ModeAggregate:   "aggregate",
+		ModeOracle:      "oracle",
+	}
+	for m, want := range golden {
+		if got := m.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(m), got, want)
+		}
+	}
+	if got := Mode(99).String(); got != "Mode(99)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestParseModeRoundTrip(t *testing.T) {
+	for m := ModeMemoryless; m <= ModeOracle; m++ {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("ParseMode accepted bogus input")
+	}
+	if _, err := ParseMode(""); err == nil {
+		t.Error("ParseMode accepted empty input")
+	}
+}

@@ -238,6 +238,26 @@ type Config struct {
 	// freeze the last healthy bound (default), fall back to peak-rate
 	// allocation, or reject all arrivals until measurement recovers.
 	Degraded DegradedPolicy
+
+	// Tuner, when set, retunes the estimator's memory window online: the
+	// gateway feeds it one aggregate sample per measurement tick (under
+	// the measurement lock) and applies the returned memory before the
+	// next tick. The configured Estimator must implement
+	// estimator.MemorySetter. The admit hot path is untouched: the tuner
+	// runs on the tick path only.
+	Tuner Tuner
+}
+
+// Tuner is the adaptive-measurement seam (the paper's Section 7 online
+// time-scale adaptation): an online controller that observes each
+// measurement tick and steers the estimator memory T_m. ObserveTick
+// receives the tick time, the instantaneous aggregate rate and flow
+// count, the estimator's current estimates, and the memory in force; it
+// returns the memory to use from the next tick on, with retune true when
+// it differs. Implementations are called under the gateway's measurement
+// lock and must not call back into the gateway.
+type Tuner interface {
+	ObserveTick(now, aggregate float64, flows int, mu, sigma, tm float64) (newTm float64, retune bool)
 }
 
 // processStart anchors the default monotonic latency clock.
@@ -329,6 +349,10 @@ type Gateway struct {
 	ring *metrics.Ring
 	tm   float64
 
+	// setMemory is the cached MemorySetter of cfg.Estimator when a Tuner
+	// is configured (validated by New), nil otherwise.
+	setMemory estimator.MemorySetter
+
 	// measMu guards the estimator, the overflow window, the rotation
 	// recompute state, and the last-tick snapshot below.
 	measMu     sync.Mutex
@@ -414,6 +438,14 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.StaleAfter < 0 {
 		return nil, fmt.Errorf("gateway: StaleAfter %d must be non-negative", cfg.StaleAfter)
 	}
+	var setMemory estimator.MemorySetter
+	if cfg.Tuner != nil {
+		ms, ok := cfg.Estimator.(estimator.MemorySetter)
+		if !ok {
+			return nil, fmt.Errorf("gateway: Tuner requires an estimator implementing MemorySetter; %s does not", cfg.Estimator.Name())
+		}
+		setMemory = ms
+	}
 	g := &Gateway{
 		cfg:       cfg,
 		shards:    make([]shard, nshards),
@@ -424,6 +456,7 @@ func New(cfg Config) (*Gateway, error) {
 		overflow:  stats.NewSlidingCounter(cfg.OverflowWindow),
 		ttl:       cfg.FlowTTL,
 		trackPeak: cfg.Degraded == DegradedPeakRate,
+		setMemory: setMemory,
 	}
 	if cfg.LatencySample > 1 {
 		n := 1
@@ -931,6 +964,15 @@ func (g *Gateway) Tick(now float64) Stats {
 	g.lastMu, g.lastSigma, g.lastOK = mu, sigma, ok
 	g.lastAgg, g.lastFlows = sumRate, n
 	g.ticks++
+	if g.cfg.Tuner != nil {
+		// The retune applies from the next tick's Advance on: this tick's
+		// measurements were produced under the old memory, and the ring
+		// point above is tagged accordingly.
+		if newTm, retune := g.cfg.Tuner.ObserveTick(now, sumRate, n, mu, sigma, g.tm); retune {
+			g.setMemory.SetMemory(newTm)
+			g.tm = g.setMemory.Memory()
+		}
+	}
 	st := g.statsLocked()
 	g.measMu.Unlock()
 	return st

@@ -84,6 +84,24 @@ type Config struct {
 
 	// Crowd, when Factor > 1, is the flash-crowd window.
 	Crowd Crowd
+
+	// ShiftModel, when non-nil, replaces the rate model for flows arriving
+	// at or after ShiftAt: a mid-run change in the traffic's correlation
+	// structure (e.g. the RCBR correlation time T_c jumping) that the
+	// adaptive measurement tier must detect and retune for. Flows arriving
+	// before ShiftAt draw from the base model with exactly the historical
+	// RNG stream, so a schedule with a shift is bit-identical to the
+	// unshifted one up to the shift point.
+	ShiftAt    float64
+	ShiftModel traffic.Model
+
+	// Renegotiate, when true, walks each flow's segment process across its
+	// holding time and emits a KindUpdate event at every segment boundary —
+	// the paper's renegotiated-CBR dynamics, where an admitted flow's rate
+	// keeps fluctuating at the model's correlation time-scale instead of
+	// freezing at its admission draw. Off, schedules are bit-identical to
+	// the historical single-draw form.
+	Renegotiate bool
 }
 
 func (c Config) validate() error {
@@ -108,6 +126,10 @@ func (c Config) validate() error {
 		if math.IsNaN(c.Crowd.From) || math.IsNaN(c.Crowd.To) || !(c.Crowd.To > c.Crowd.From) {
 			return fmt.Errorf("loadgen: crowd window [%g, %g) is empty", c.Crowd.From, c.Crowd.To)
 		}
+	}
+	if c.ShiftModel != nil &&
+		(math.IsNaN(c.ShiftAt) || math.IsInf(c.ShiftAt, 0) || c.ShiftAt < 0) {
+		return fmt.Errorf("loadgen: shift time %g must be a non-negative finite value", c.ShiftAt)
 	}
 	return nil
 }
@@ -143,7 +165,16 @@ func Schedule(cfg Config) ([]Event, error) {
 	id := uint64(0)
 	for t := next(0); t < cfg.Duration; t += next(t) {
 		fr := r.Split(id)
-		rate := model.New(fr).Next().Rate
+		m := model
+		if cfg.ShiftModel != nil && t >= cfg.ShiftAt {
+			// The shifted model draws from the same split per-flow stream,
+			// so the arrival process (driven by r) is untouched and the
+			// pre-shift prefix of the schedule is bit-identical.
+			m = cfg.ShiftModel
+		}
+		src := m.New(fr)
+		seg := src.Next() // same two draws (rate, duration) as the historical single-draw form
+		rate := seg.Rate
 		hold := fr.Exp(cfg.Hold)
 		leak := false
 		if cfg.Plan.LeakP > 0 { // draw only when leaking is on: keeps old streams intact
@@ -158,6 +189,19 @@ func Schedule(cfg Config) ([]Event, error) {
 			// The measured rate follows the lying declaration immediately;
 			// the kind tie-break keeps it after the admit.
 			events = append(events, Event{T: t, Kind: KindUpdate, Flow: id, Rate: rate})
+		}
+		if cfg.Renegotiate {
+			// Renegotiated-CBR dynamics: the flow redraws its rate at every
+			// segment boundary until it departs. Updates carry the true rate
+			// — renegotiation models the measured path, not the declaration.
+			for ts := t + seg.Duration; ts < t+hold; {
+				seg = src.Next()
+				events = append(events, Event{T: ts, Kind: KindUpdate, Flow: id, Rate: seg.Rate})
+				if !(seg.Duration > 0) {
+					break // a non-advancing source cannot renegotiate further
+				}
+				ts += seg.Duration
+			}
 		}
 		if !leak {
 			events = append(events, Event{T: t + hold, Kind: KindDepart, Flow: id})

@@ -14,6 +14,7 @@ import (
 	"repro/internal/estimator"
 	"repro/internal/gateway"
 	"repro/internal/server"
+	"repro/internal/traffic"
 )
 
 func testConfig() Config {
@@ -345,5 +346,139 @@ func TestReplayUpdates(t *testing.T) {
 	if st.UpdateMissed != st.Rejected {
 		t.Fatalf("missed updates %d should equal rejections %d (updates arrive before any depart)",
 			st.UpdateMissed, st.Rejected)
+	}
+}
+
+// TestScheduleShift pins the mid-run model shift: the pre-shift prefix is
+// bit-identical to the unshifted schedule (same arrivals, same rates), and
+// flows arriving after the shift draw from the replacement model.
+func TestScheduleShift(t *testing.T) {
+	base := testConfig()
+	plain, err := Schedule(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := base
+	shifted.ShiftAt = 30
+	shifted.ShiftModel = traffic.NewRCBR(1, 0.3, 25) // same marginal, longer T_c
+	got, err := Schedule(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(plain) {
+		t.Fatalf("shift changed the event count: %d vs %d", len(got), len(plain))
+	}
+	// Same-marginal RCBR models draw the identical first segment rate from
+	// the per-flow stream, so with this shift model the whole schedule —
+	// arrival times, flow IDs, rates — must match the unshifted one.
+	for i := range got {
+		if got[i] != plain[i] {
+			t.Fatalf("event %d diverged under a same-marginal shift: %+v vs %+v", i, got[i], plain[i])
+		}
+	}
+	// A shift that changes the marginal must leave every pre-shift admit
+	// untouched and move at least one post-shift rate.
+	hot := base
+	hot.ShiftAt = 30
+	hot.ShiftModel = traffic.NewRCBR(2, 0.3, 1)
+	got2, err := Schedule(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for i := range got2 {
+		if got2[i].T < 30 {
+			if got2[i] != plain[i] {
+				t.Fatalf("pre-shift event %d diverged: %+v vs %+v", i, got2[i], plain[i])
+			}
+		} else if got2[i].Kind == KindAdmit && got2[i].Rate != plain[i].Rate {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("no post-shift admit drew from the replacement model")
+	}
+	if _, err := Schedule(Config{
+		Lambda: 1, Hold: 1, Duration: 1, SVR: 0.3, TC: 1,
+		ShiftAt: math.Inf(1), ShiftModel: traffic.NewRCBR(1, 0.3, 1),
+	}); err == nil {
+		t.Fatal("infinite shift time accepted")
+	}
+}
+
+// TestScheduleRenegotiate: with renegotiation on, every flow redraws its
+// rate at its model's segment boundaries — updates appear between admit
+// and depart, strictly inside the holding interval — while the admit and
+// depart events themselves keep the historical stream bit for bit.
+func TestScheduleRenegotiate(t *testing.T) {
+	base := testConfig()
+	plain, err := Schedule(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reneg := base
+	reneg.Renegotiate = true
+	got, err := Schedule(reneg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) <= len(plain) {
+		t.Fatalf("renegotiation added no updates: %d events vs %d", len(got), len(plain))
+	}
+	// Admits and departs are unchanged; updates land inside each flow's
+	// lifetime.
+	window := map[uint64][2]float64{}
+	var nonUpdates []Event
+	for _, ev := range got {
+		switch ev.Kind {
+		case KindAdmit:
+			w := window[ev.Flow]
+			window[ev.Flow] = [2]float64{ev.T, w[1]}
+			nonUpdates = append(nonUpdates, ev)
+		case KindDepart:
+			w := window[ev.Flow]
+			window[ev.Flow] = [2]float64{w[0], ev.T}
+			nonUpdates = append(nonUpdates, ev)
+		}
+	}
+	if len(nonUpdates) != len(plain) {
+		t.Fatalf("admit/depart count changed: %d vs %d", len(nonUpdates), len(plain))
+	}
+	for i := range nonUpdates {
+		if nonUpdates[i] != plain[i] {
+			t.Fatalf("admit/depart stream diverged at %d: %+v vs %+v", i, nonUpdates[i], plain[i])
+		}
+	}
+	updates := 0
+	for _, ev := range got {
+		if ev.Kind != KindUpdate {
+			continue
+		}
+		updates++
+		w := window[ev.Flow]
+		if ev.T < w[0] || (w[1] > 0 && ev.T >= w[1]) {
+			t.Fatalf("update for flow %d at %g outside its lifetime [%g, %g)", ev.Flow, ev.T, w[0], w[1])
+		}
+		if ev.Rate < 0 || math.IsNaN(ev.Rate) || math.IsInf(ev.Rate, 0) {
+			t.Fatalf("update rate %g invalid", ev.Rate)
+		}
+	}
+	// Mean segment length is TC=1 against mean hold 12: renegotiation
+	// should produce roughly hold/TC updates per flow, far more than one.
+	if updates < len(window)*3 {
+		t.Fatalf("only %d updates across %d flows — segment walk is not advancing", updates, len(window))
+	}
+	// Determinism: an identical config reproduces the identical schedule.
+	again, err := Schedule(reneg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(got) {
+		t.Fatalf("renegotiated schedule not deterministic: %d vs %d events", len(again), len(got))
+	}
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("renegotiated schedule diverged at event %d", i)
+		}
 	}
 }

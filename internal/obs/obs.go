@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/adaptive"
 	"repro/internal/cluster"
 	"repro/internal/gateway"
 	"repro/internal/qos"
@@ -43,6 +44,13 @@ type Config struct {
 	// required — point it at one instance (conventionally Cluster.Gateway(0))
 	// for the admission-layer routes.
 	Cluster *cluster.Cluster
+	// Adaptive, when non-empty, adds the mbac_adaptive_* families to
+	// /metrics and an /adaptive JSON route with one time-scale controller
+	// snapshot per instance. Entry 0 is the primary (conventionally the
+	// controller attached to Gateway); with more than one entry the
+	// instance-labelled fleet families are emitted as well, indexed in
+	// slice order to match the cluster's instance labels.
+	Adaptive []*adaptive.Controller
 	// Audit and AuditMu, when non-nil, add the /audit report. The audit
 	// is single-writer; readers snapshot under AuditMu.
 	Audit   *qos.Audit
@@ -117,6 +125,12 @@ func newMux(cfg Config) *http.ServeMux {
 		if cfg.Cluster != nil {
 			cfg.Cluster.Snapshot().WritePrometheus(w)
 		}
+		if len(cfg.Adaptive) > 0 {
+			cfg.Adaptive[0].Snapshot().WritePrometheus(w)
+			if len(cfg.Adaptive) > 1 {
+				adaptive.WriteFleetPrometheus(w, adaptiveSnapshots(cfg.Adaptive))
+			}
+		}
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, cfg.Gateway.Snapshot())
@@ -129,6 +143,11 @@ func newMux(cfg Config) *http.ServeMux {
 	if cfg.Cluster != nil {
 		mux.HandleFunc("/cluster", func(w http.ResponseWriter, _ *http.Request) {
 			writeJSON(w, cfg.Cluster.Snapshot())
+		})
+	}
+	if len(cfg.Adaptive) > 0 {
+		mux.HandleFunc("/adaptive", func(w http.ResponseWriter, _ *http.Request) {
+			writeCanonicalJSON(w, adaptiveSnapshots(cfg.Adaptive))
 		})
 	}
 	if cfg.Audit != nil && cfg.AuditMu != nil {
@@ -148,6 +167,17 @@ func newMux(cfg Config) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// adaptiveSnapshots materializes one consistent snapshot per controller;
+// each controller locks itself, so a scrape racing the tick path sees a
+// coherent (if slightly stale) view of every instance.
+func adaptiveSnapshots(cs []*adaptive.Controller) []adaptive.Snapshot {
+	snaps := make([]adaptive.Snapshot, len(cs))
+	for i, c := range cs {
+		snaps[i] = c.Snapshot()
+	}
+	return snaps
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/adaptive"
 	"repro/internal/core"
 	"repro/internal/estimator"
 	"repro/internal/gateway"
@@ -237,5 +238,72 @@ func TestStartRejectsBadConfig(t *testing.T) {
 	}
 	if _, err := Start(Config{Addr: "256.0.0.1:bad", Gateway: newGateway(t)}); err == nil {
 		t.Error("unbindable address accepted synchronously")
+	}
+}
+
+// TestAdaptiveRouteCanonicalGolden pins the /adaptive route's byte layout.
+// The controller is warmed by a fixed, deterministic tick sequence — a
+// constant aggregate has zero variance, so the ACF readout declines to
+// estimate T̂_c and the snapshot is a pure function of the drive loop:
+// target settles at T̃_h = Th/√(c/μ̂) = 10 and the regime stays
+// "intermediate" with no p_f extrapolation.
+func TestAdaptiveRouteCanonicalGolden(t *testing.T) {
+	ctrl, err := adaptive.New(adaptive.Config{Capacity: 100, Th: 100, PQ: 1e-2, MaxLag: 8, Block: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := 0.5
+	for i := 0; i < 320; i++ {
+		tm, _ = ctrl.ObserveTick(float64(i)*0.5, 90, 90, 1.0, 0.3, tm)
+	}
+	e := start(t, Config{Gateway: newGateway(t), Adaptive: []*adaptive.Controller{ctrl}})
+	got := []byte(get(t, e, "/adaptive"))
+
+	path := filepath.Join("..", "..", "results", "golden", "adaptive-snapshot.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("golden file missing (regenerate with -update-golden): %v", err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("/adaptive drifted from golden output.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+		}
+	}
+
+	var decoded []map[string]any
+	if err := json.Unmarshal(got, &decoded); err != nil {
+		t.Fatalf("/adaptive body is not a snapshot array: %v", err)
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("want 1 controller snapshot, got %d", len(decoded))
+	}
+	if out := get(t, e, "/metrics"); !strings.Contains(out, "mbac_adaptive_memory") {
+		t.Errorf("/metrics missing adaptive families:\n%s", out)
+	}
+}
+
+// TestAdaptiveFleetMetrics: more than one controller turns on the
+// instance-labelled fleet families.
+func TestAdaptiveFleetMetrics(t *testing.T) {
+	mk := func() *adaptive.Controller {
+		c, err := adaptive.New(adaptive.Config{Capacity: 100, Th: 100, PQ: 1e-2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	e := start(t, Config{Gateway: newGateway(t), Adaptive: []*adaptive.Controller{mk(), mk()}})
+	out := get(t, e, "/metrics")
+	for _, want := range []string{
+		`mbac_adaptive_instance_memory{instance="0"}`,
+		`mbac_adaptive_instance_memory{instance="1"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync/atomic"
 
+	"repro/internal/adaptive"
 	"repro/internal/cluster"
 	gw "repro/internal/gateway"
 	"repro/internal/loadgen"
@@ -64,16 +65,26 @@ func runClusterCell(ctx context.Context, cfg *Config, arm Arm, seed uint64) (Cel
 		Warmup:     spec.Warmup,
 		Hysteresis: spec.Hysteresis,
 	}
+	// Each instance measures its own traffic, so each gets its own
+	// time-scale controller when the arm is adaptive; the cell records
+	// instance 0's snapshot.
+	espec := cfg.effectiveGateway(arm)
+	tuners := make([]*adaptive.Controller, 0, spec.Instances)
 	for i := 0; i < spec.Instances; i++ {
 		ctrl, err := buildController(arm, cfg.Gateway, ts)
 		if err != nil {
 			return CellResult{}, err
 		}
+		tuner, err := buildTuner(cfg, espec)
+		if err != nil {
+			return CellResult{}, err
+		}
+		tuners = append(tuners, tuner)
 		lat := new(atomic.Int64) // per-instance deterministic latency clock
-		ccfg.Instances = append(ccfg.Instances, gw.Config{
+		icfg := gw.Config{
 			Capacity:       cfg.Gateway.Capacity,
 			Controller:     ctrl,
-			Estimator:      buildEstimator(cfg.Gateway, ts),
+			Estimator:      buildEstimator(espec, ts, w.Tick),
 			Shards:         4,
 			EstimateRing:   1,
 			LatencyClock:   func() int64 { return lat.Add(1) },
@@ -81,7 +92,11 @@ func runClusterCell(ctx context.Context, cfg *Config, arm Arm, seed uint64) (Cel
 			FlowTTL:        cfg.Gateway.FlowTTL,
 			StaleAfter:     cfg.Gateway.StaleAfter,
 			Degraded:       dp,
-		})
+		}
+		if tuner != nil {
+			icfg.Tuner = tuner
+		}
+		ccfg.Instances = append(ccfg.Instances, icfg)
 	}
 	cl, err := cluster.New(ccfg)
 	if err != nil {
@@ -103,6 +118,7 @@ func runClusterCell(ctx context.Context, cfg *Config, arm Arm, seed uint64) (Cel
 	var utilN int64
 	lastTick := 0.0
 	fleetCap := cfg.Gateway.Capacity * float64(spec.Instances)
+	gradeFrom := gradeAfter(cfg)
 	tick := func(now float64) {
 		lastTick = now
 		if spec.DrainAt > 0 && !drained && now >= spec.DrainAt {
@@ -116,7 +132,9 @@ func runClusterCell(ctx context.Context, cfg *Config, arm Arm, seed uint64) (Cel
 		anyDegraded := false
 		var agg float64
 		for i, st := range cl.Tick(now) {
-			audits[i].ObserveWith(st.AggregateRate > cfg.Gateway.Capacity, st.Degraded)
+			if now >= gradeFrom {
+				audits[i].ObserveWith(st.AggregateRate > cfg.Gateway.Capacity, st.Degraded)
+			}
 			agg += st.AggregateRate
 			anyDegraded = anyDegraded || st.Degraded
 		}
@@ -143,6 +161,10 @@ func runClusterCell(ctx context.Context, cfg *Config, arm Arm, seed uint64) (Cel
 	cell.Replay = rst
 	cell.Stats = cl.Stats()
 	cell.Migrations = cl.Snapshot().Migrations
+	if tuners[0] != nil {
+		snap := tuners[0].Snapshot()
+		cell.Adaptive = &snap
+	}
 
 	worst := audits[0].Report()
 	for _, a := range audits[1:] {

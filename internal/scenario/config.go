@@ -81,6 +81,23 @@ type Workload struct {
 	Crowd *CrowdSpec `json:"crowd,omitempty"`
 	// Clients is the misbehaving client population.
 	Clients *ClientSpec `json:"clients,omitempty"`
+	// Shift, when set, swaps the flow-rate model for flows arriving at or
+	// after Shift.At — a mid-run change in the traffic's correlation
+	// structure the adaptive measurement tier must detect (churn only).
+	Shift *ShiftSpec `json:"shift,omitempty"`
+	// Renegotiate turns on the paper's renegotiated-CBR dynamics: admitted
+	// flows keep redrawing their rate at the model's segment boundaries
+	// instead of freezing the admission draw, so the measured aggregate
+	// fluctuates at the model's correlation time-scale (churn only).
+	Renegotiate bool `json:"renegotiate,omitempty"`
+}
+
+// ShiftSpec is the JSON form of loadgen's mid-run model shift.
+type ShiftSpec struct {
+	// At is the virtual time from which arriving flows draw their rates
+	// from Model instead of the workload's base model.
+	At    float64   `json:"at"`
+	Model ModelSpec `json:"model"`
 }
 
 // CrowdSpec is the JSON form of loadgen.Crowd.
@@ -129,10 +146,20 @@ type Gateway struct {
 	// PQ is the QoS target p_q the controllers aim at and the audit grades
 	// against.
 	PQ float64 `json:"pq"`
-	// Estimator is "memoryless", "exponential", "window" or "oracle";
-	// Memory is T_m (exponential) or W (window).
+	// Estimator is "memoryless", "exponential", "window", "aggregate" or
+	// "oracle"; Memory is T_m (exponential/aggregate, where 0 means a
+	// memoryless mean) or W (window). The aggregate estimator decides from
+	// the aggregate rate alone — no per-flow rate input (Section 7).
 	Estimator string  `json:"estimator"`
 	Memory    float64 `json:"memory,omitempty"`
+	// Adaptive attaches the online time-scale controller: each cell
+	// gateway retunes its estimator memory toward the critical time-scale
+	// T~_h = Th/sqrt(n) measured from its own traffic (churn workloads
+	// with a memory-bearing estimator only).
+	Adaptive bool `json:"adaptive,omitempty"`
+	// Th is the mean holding time the adaptive controller targets
+	// (default: the churn workload's hold).
+	Th float64 `json:"th,omitempty"`
 
 	FlowTTL        float64 `json:"flow_ttl,omitempty"`
 	StaleAfter     int     `json:"stale_after,omitempty"`
@@ -180,6 +207,14 @@ type Arm struct {
 	// Degraded is the gateway's degraded policy for this arm: "freeze"
 	// (default), "peak-rate" or "reject-all".
 	Degraded string `json:"degraded,omitempty"`
+
+	// Estimator, Memory and Adaptive override the shared gateway's
+	// measurement configuration for this arm only, so a scenario can race
+	// a fixed-memory estimator against the adaptive controller on the same
+	// workload. Empty/zero/nil means "inherit".
+	Estimator string  `json:"estimator,omitempty"`
+	Memory    float64 `json:"memory,omitempty"`
+	Adaptive  *bool   `json:"adaptive,omitempty"`
 }
 
 // FaultWindow is the JSON form of fault.Window: a fault mode ("nan",
@@ -213,7 +248,9 @@ type Dominance struct {
 // reference level.
 type Interval struct {
 	// Reference is "sqrt2-law" (Q(alpha_q/sqrt2) for the configured p_q),
-	// "pq" (the target itself) or "value" (explicit Value).
+	// "pq" (the target itself), "masking" (eq. 41's (SVR*alpha_q + 1)*p_q
+	// from the churn workload's flow-rate marginal) or "value" (explicit
+	// Value).
 	Reference string       `json:"reference"`
 	Value     float64      `json:"value,omitempty"`
 	Mode      IntervalMode `json:"mode"`
@@ -222,6 +259,11 @@ type Interval struct {
 	// QoSVerdict, when set, additionally requires the qos.Audit verdict of
 	// every cell to equal it ("ok", "violates-target", ...).
 	QoSVerdict string `json:"qos_verdict,omitempty"`
+	// GradeAfter, when positive, excludes ticks before that virtual time
+	// from the graded overflow audit: the cell's p_f interval covers only
+	// the steady state after a warmup (or after a mid-run model shift),
+	// not the transient. Requires a churn workload.
+	GradeAfter float64 `json:"grade_after,omitempty"`
 }
 
 // Invariant asserts each named predicate over every cell.
@@ -343,13 +385,44 @@ func (c *Config) Validate() error {
 	}
 	armNames := map[string]bool{}
 	for i := range c.Arms {
-		if err := c.Arms[i].validate(fmt.Sprintf("arms[%d]", i)); err != nil {
+		path := fmt.Sprintf("arms[%d]", i)
+		if err := c.Arms[i].validate(path); err != nil {
 			return err
 		}
 		if armNames[c.Arms[i].Name] {
-			return fmt.Errorf("scenario: arms[%d]: duplicate arm name %q", i, c.Arms[i].Name)
+			return fmt.Errorf("scenario: %s: duplicate arm name %q", path, c.Arms[i].Name)
 		}
 		armNames[c.Arms[i].Name] = true
+		// The arm's effective measurement spec must stand on its own:
+		// overrides merge before validation, so a memory override on an
+		// inherited window estimator is checked against window's rules.
+		eff := c.effectiveGateway(c.Arms[i])
+		if c.Arms[i].Estimator != "" || c.Arms[i].Memory != 0 {
+			if err := validateEstimatorSpec(path, eff.Estimator, eff.Memory); err != nil {
+				return err
+			}
+		}
+		if eff.Adaptive {
+			if c.Workload.Kind != WorkloadChurn {
+				return fmt.Errorf("scenario: %s: adaptive measurement requires a churn workload", path)
+			}
+			switch eff.Estimator {
+			case "exponential", "window", "aggregate":
+			default:
+				return fmt.Errorf("scenario: %s: adaptive measurement requires a retunable estimator (exponential, window or aggregate), not %q", path, eff.Estimator)
+			}
+		}
+	}
+	if c.Gateway.Th != 0 {
+		adaptiveSomewhere := c.Gateway.Adaptive
+		for i := range c.Arms {
+			if c.effectiveGateway(c.Arms[i]).Adaptive {
+				adaptiveSomewhere = true
+			}
+		}
+		if !adaptiveSomewhere {
+			return fmt.Errorf("scenario: gateway.th: only valid with adaptive measurement on the gateway or an arm")
+		}
 	}
 	if len(c.Faults) > 0 {
 		if c.Workload.Kind != WorkloadChurn {
@@ -427,8 +500,8 @@ func (w *Workload) validate() error {
 		if err := positive("workload.svr", w.SVR); err != nil {
 			return err
 		}
-		if w.Lambda != 0 || w.Hold != 0 || w.Duration != 0 || w.Model != nil || w.Crowd != nil || w.Clients != nil {
-			return fmt.Errorf("scenario: workload: churn fields (lambda/hold/duration/model/crowd/clients) are not valid for an impulsive workload")
+		if w.Lambda != 0 || w.Hold != 0 || w.Duration != 0 || w.Model != nil || w.Crowd != nil || w.Clients != nil || w.Shift != nil || w.Renegotiate {
+			return fmt.Errorf("scenario: workload: churn fields (lambda/hold/duration/model/crowd/clients/shift/renegotiate) are not valid for an impulsive workload")
 		}
 	case WorkloadChurn:
 		if err := positive("workload.lambda", w.Lambda); err != nil {
@@ -494,6 +567,17 @@ func (w *Workload) validate() error {
 			}
 			if err := plan.Validate(); err != nil {
 				return fmt.Errorf("scenario: workload.clients: %w", err)
+			}
+		}
+		if w.Shift != nil {
+			if err := positive("workload.shift.at", w.Shift.At); err != nil {
+				return err
+			}
+			if w.Shift.At >= w.Duration {
+				return fmt.Errorf("scenario: workload.shift.at: %g must fall inside the schedule (duration %g)", w.Shift.At, w.Duration)
+			}
+			if err := w.Shift.Model.validate("workload.shift.model"); err != nil {
+				return err
 			}
 		}
 		if w.Replications != 0 {
@@ -573,16 +657,17 @@ func (g *Gateway) validate() error {
 	if g.PQ >= 0.5 {
 		return fmt.Errorf("scenario: gateway.pq: %g must be below 0.5", g.PQ)
 	}
-	switch g.Estimator {
-	case "":
+	if g.Estimator == "" {
 		g.Estimator = "memoryless"
-	case "memoryless", "oracle":
-	case "exponential", "window":
-		if err := positive("gateway.memory", g.Memory); err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("scenario: gateway.estimator: unknown estimator %q (want memoryless, exponential, window or oracle)", g.Estimator)
+	}
+	if err := validateEstimatorSpec("gateway", g.Estimator, g.Memory); err != nil {
+		return err
+	}
+	if err := finite("gateway.th", g.Th); err != nil {
+		return err
+	}
+	if g.Th < 0 {
+		return fmt.Errorf("scenario: gateway.th: %g must be non-negative", g.Th)
 	}
 	if err := finite("gateway.flow_ttl", g.FlowTTL); err != nil {
 		return err
@@ -597,6 +682,53 @@ func (g *Gateway) validate() error {
 		return fmt.Errorf("scenario: gateway.overflow_window: %d must be non-negative", g.OverflowWindow)
 	}
 	return nil
+}
+
+// validateEstimatorSpec checks one (estimator, memory) pair; path anchors
+// the error ("gateway" or "arms[i]"). The aggregate estimator accepts
+// memory 0 (a memoryless aggregate mean) because the adaptive controller
+// supplies the time-scale online.
+func validateEstimatorSpec(path, est string, memory float64) error {
+	switch est {
+	case "memoryless", "oracle":
+		if memory != 0 {
+			return fmt.Errorf("scenario: %s.memory: not valid for the %s estimator", path, est)
+		}
+	case "exponential", "window":
+		if err := positive(path+".memory", memory); err != nil {
+			return err
+		}
+	case "aggregate":
+		if err := finite(path+".memory", memory); err != nil {
+			return err
+		}
+		if memory < 0 {
+			return fmt.Errorf("scenario: %s.memory: %g must be non-negative", path, memory)
+		}
+	default:
+		return fmt.Errorf("scenario: %s.estimator: unknown estimator %q (want memoryless, exponential, window, aggregate or oracle)", path, est)
+	}
+	return nil
+}
+
+// effectiveGateway resolves the measurement configuration one arm's cell
+// runs under: the shared gateway spec with the arm's estimator/memory/
+// adaptive overrides applied. An arm that overrides the estimator kind
+// starts from memory 0 unless it sets its own, so a "window 5" base can
+// be raced against an "aggregate" arm without inheriting a nonsense W.
+func (c *Config) effectiveGateway(arm Arm) Gateway {
+	g := c.Gateway
+	if arm.Estimator != "" {
+		g.Estimator = arm.Estimator
+		g.Memory = 0
+	}
+	if arm.Memory != 0 {
+		g.Memory = arm.Memory
+	}
+	if arm.Adaptive != nil {
+		g.Adaptive = *arm.Adaptive
+	}
+	return g
 }
 
 func (a *Arm) validate(path string) error {
@@ -675,14 +807,23 @@ func (h *Hypothesis) validate(c *Config) error {
 			if iv.Value != 0 {
 				return fmt.Errorf("scenario: check.interval.value: only valid with reference \"value\"")
 			}
+		case "masking":
+			// Eq. 41's masking-regime prediction (SVR*alpha_q + 1) * p_q,
+			// computed from the churn workload's flow-rate marginal.
+			if iv.Value != 0 {
+				return fmt.Errorf("scenario: check.interval.value: only valid with reference \"value\"")
+			}
+			if c.Workload.Kind != WorkloadChurn {
+				return fmt.Errorf("scenario: check.interval.reference: the masking reference requires a churn workload")
+			}
 		case "value":
 			if err := positive("check.interval.value", iv.Value); err != nil {
 				return err
 			}
 		case "":
-			return fmt.Errorf("scenario: check.interval.reference is required (want sqrt2-law, pq or value)")
+			return fmt.Errorf("scenario: check.interval.reference is required (want sqrt2-law, pq, masking or value)")
 		default:
-			return fmt.Errorf("scenario: check.interval.reference: unknown reference %q (want sqrt2-law, pq or value)", iv.Reference)
+			return fmt.Errorf("scenario: check.interval.reference: unknown reference %q (want sqrt2-law, pq, masking or value)", iv.Reference)
 		}
 		if iv.Z == 0 {
 			iv.Z = 1.96
@@ -693,6 +834,17 @@ func (h *Hypothesis) validate(c *Config) error {
 		if iv.QoSVerdict != "" {
 			if _, err := qos.ParseVerdict(iv.QoSVerdict); err != nil {
 				return fmt.Errorf("scenario: check.interval.qos_verdict: %w", err)
+			}
+		}
+		if iv.GradeAfter != 0 {
+			if err := positive("check.interval.grade_after", iv.GradeAfter); err != nil {
+				return err
+			}
+			if c.Workload.Kind != WorkloadChurn {
+				return fmt.Errorf("scenario: check.interval.grade_after: requires a churn workload")
+			}
+			if iv.GradeAfter >= c.Workload.Duration {
+				return fmt.Errorf("scenario: check.interval.grade_after: %g must fall inside the schedule (duration %g)", iv.GradeAfter, c.Workload.Duration)
 			}
 		}
 	case HypInvariant:

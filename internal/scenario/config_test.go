@@ -103,6 +103,75 @@ func TestParseRejections(t *testing.T) {
 			`"check": {"kind": "interval", "interval": {"reference": "pq", "mode": "at-most"}}`,
 			`"check": {"kind": "invariant", "invariant": {"checks": ["migrated-flows"]}}`, 1),
 			"migrated-flows requires a cluster topology"},
+		{"memoryless-with-memory", strings.Replace(minimal(),
+			`"pq": 0.01`, `"pq": 0.01, "memory": 5`, 1),
+			"gateway.memory: not valid for the memoryless estimator"},
+		{"aggregate-negative-memory", strings.Replace(minimal(),
+			`"pq": 0.01`, `"pq": 0.01, "estimator": "aggregate", "memory": -1`, 1),
+			"gateway.memory: -1 must be non-negative"},
+		{"th-without-adaptive", strings.Replace(minimal(),
+			`"pq": 0.01`, `"pq": 0.01, "th": 5`, 1),
+			"gateway.th: only valid with adaptive measurement"},
+		{"adaptive-needs-retunable", strings.Replace(minimal(),
+			`"pq": 0.01`, `"pq": 0.01, "adaptive": true`, 1),
+			"adaptive measurement requires a retunable estimator"},
+		{"adaptive-needs-churn", `{
+			"name": "t", "seeds": [1],
+			"workload": {"kind": "impulsive", "replications": 10, "svr": 0.3},
+			"gateway": {"capacity": 10, "pq": 0.01, "estimator": "aggregate", "adaptive": true},
+			"arms": [{"name": "a", "policy": "certainty-equivalent"}],
+			"check": {"kind": "invariant", "invariant": {"checks": ["lifecycle"]}}
+		}`, "adaptive measurement requires a churn workload"},
+		{"arm-unknown-estimator", strings.Replace(minimal(),
+			`"policy": "certainty-equivalent"`,
+			`"policy": "certainty-equivalent", "estimator": "psychic"`, 1),
+			`arms[0].estimator: unknown estimator "psychic"`},
+		{"arm-memory-on-memoryless", strings.Replace(minimal(),
+			`"policy": "certainty-equivalent"`,
+			`"policy": "certainty-equivalent", "memory": 5`, 1),
+			"arms[0].memory: not valid for the memoryless estimator"},
+		{"shift-outside-schedule", strings.Replace(minimal(),
+			`"svr": 0.3`,
+			`"svr": 0.3, "shift": {"at": 20, "model": {"kind": "rcbr", "svr": 0.3}}`, 1),
+			"workload.shift.at: 20 must fall inside the schedule"},
+		{"shift-bad-model", strings.Replace(minimal(),
+			`"svr": 0.3`,
+			`"svr": 0.3, "shift": {"at": 5, "model": {"kind": "tarot"}}`, 1),
+			`workload.shift.model.kind: unknown model "tarot"`},
+		{"impulsive-with-shift", `{
+			"name": "t", "seeds": [1],
+			"workload": {"kind": "impulsive", "replications": 10, "svr": 0.3,
+				"shift": {"at": 5, "model": {"kind": "constant", "rate": 1}}},
+			"gateway": {"capacity": 10, "pq": 0.01},
+			"arms": [{"name": "a", "policy": "certainty-equivalent"}],
+			"check": {"kind": "invariant", "invariant": {"checks": ["lifecycle"]}}
+		}`, "churn fields"},
+		{"masking-needs-churn", `{
+			"name": "t", "seeds": [1],
+			"workload": {"kind": "impulsive", "replications": 10, "svr": 0.3},
+			"gateway": {"capacity": 10, "pq": 0.01},
+			"arms": [{"name": "a", "policy": "certainty-equivalent"}],
+			"check": {"kind": "interval", "interval": {"reference": "masking", "mode": "covers"}}
+		}`, "masking reference requires a churn workload"},
+		{"masking-with-value", strings.Replace(minimal(),
+			`{"reference": "pq", "mode": "at-most"}`,
+			`{"reference": "masking", "mode": "covers", "value": 0.5}`, 1),
+			`interval.value: only valid with reference "value"`},
+		{"grade-after-outside-schedule", strings.Replace(minimal(),
+			`{"reference": "pq", "mode": "at-most"}`,
+			`{"reference": "pq", "mode": "at-most", "grade_after": 10}`, 1),
+			"grade_after: 10 must fall inside the schedule"},
+		{"grade-after-negative", strings.Replace(minimal(),
+			`{"reference": "pq", "mode": "at-most"}`,
+			`{"reference": "pq", "mode": "at-most", "grade_after": -1}`, 1),
+			"check.interval.grade_after"},
+		{"grade-after-needs-churn", `{
+			"name": "t", "seeds": [1],
+			"workload": {"kind": "impulsive", "replications": 10, "svr": 0.3},
+			"gateway": {"capacity": 10, "pq": 0.01},
+			"arms": [{"name": "a", "policy": "certainty-equivalent"}],
+			"check": {"kind": "interval", "interval": {"reference": "pq", "mode": "at-most", "grade_after": 5}}
+		}`, "grade_after: requires a churn workload"},
 		{"dominance-unknown-arm", strings.Replace(strings.Replace(minimal(),
 			`"arms": [{"name": "a", "policy": "certainty-equivalent"}]`,
 			`"arms": [{"name": "a", "policy": "certainty-equivalent"}, {"name": "b", "policy": "peak-rate", "peak": 2}]`, 1),
@@ -143,6 +212,38 @@ func TestParseDefaultsIdempotent(t *testing.T) {
 	}
 	if !reflect.DeepEqual(cfg, again) {
 		t.Fatalf("round-trip drift:\nfirst  %+v\nsecond %+v", cfg, again)
+	}
+}
+
+// TestEffectiveGateway pins the arm-override merge: estimator overrides
+// reset the inherited memory, memory overrides apply on top of whichever
+// estimator is in effect, and adaptive toggles independently.
+func TestEffectiveGateway(t *testing.T) {
+	cfg, err := Parse([]byte(`{
+		"name": "t", "seeds": [1],
+		"workload": {"kind": "churn", "lambda": 1, "hold": 5, "duration": 10, "svr": 0.3},
+		"gateway": {"capacity": 10, "pq": 0.01, "estimator": "window", "memory": 5, "adaptive": true},
+		"arms": [
+			{"name": "inherit", "policy": "certainty-equivalent"},
+			{"name": "fixed", "policy": "certainty-equivalent", "memory": 0.5, "adaptive": false},
+			{"name": "agg", "policy": "certainty-equivalent", "estimator": "aggregate"}
+		],
+		"check": {"kind": "interval", "interval": {"reference": "masking", "mode": "covers"}}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inherit := cfg.effectiveGateway(cfg.Arms[0])
+	if inherit.Estimator != "window" || inherit.Memory != 5 || !inherit.Adaptive {
+		t.Fatalf("inherit arm drifted from the base spec: %+v", inherit)
+	}
+	fixed := cfg.effectiveGateway(cfg.Arms[1])
+	if fixed.Estimator != "window" || fixed.Memory != 0.5 || fixed.Adaptive {
+		t.Fatalf("fixed arm overrides not applied: %+v", fixed)
+	}
+	agg := cfg.effectiveGateway(cfg.Arms[2])
+	if agg.Estimator != "aggregate" || agg.Memory != 0 || !agg.Adaptive {
+		t.Fatalf("estimator override must reset inherited memory: %+v", agg)
 	}
 }
 

@@ -15,7 +15,7 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite the golden scenari
 // config and seeds reproduce the identical report on any machine, so any
 // diff here is either a real behavior change (regenerate deliberately with
 // -update-golden) or a lost determinism guarantee (a bug).
-var goldenScenarios = []string{"lease-leaky-clients", "flash-crowd", "cluster-skew", "cluster-drain"}
+var goldenScenarios = []string{"lease-leaky-clients", "flash-crowd", "cluster-skew", "cluster-drain", "masking-regime-adaptive", "tc-shift-fixed-vs-adaptive"}
 
 func TestGoldenScenarioReports(t *testing.T) {
 	for _, name := range goldenScenarios {

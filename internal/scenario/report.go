@@ -86,11 +86,24 @@ func (r *Result) writeDesign(b *strings.Builder) {
 		if w.Clients != nil {
 			fmt.Fprintf(b, "- **Clients**: leak probability %g, declared-rate factor %g\n", w.Clients.LeakP, w.Clients.Lie)
 		}
+		if w.Renegotiate {
+			b.WriteString("- **Renegotiation**: flows redraw their rate at every segment boundary (RCBR dynamics)\n")
+		}
+		if w.Shift != nil {
+			fmt.Fprintf(b, "- **Model shift**: flows arriving from t=%g draw from %s\n", w.Shift.At, modelLine(&w.Shift.Model))
+		}
 	}
 	g := cfg.Gateway
 	fmt.Fprintf(b, "- **Gateway**: capacity %g, target p_q %g, estimator %s", g.Capacity, g.PQ, g.Estimator)
 	if g.Memory > 0 {
 		fmt.Fprintf(b, " (memory %g)", g.Memory)
+	}
+	if g.Adaptive {
+		th := g.Th
+		if th == 0 {
+			th = cfg.Workload.Hold
+		}
+		fmt.Fprintf(b, ", adaptive time-scale (Th %g)", th)
 	}
 	if g.FlowTTL > 0 {
 		fmt.Fprintf(b, ", flow TTL %g", g.FlowTTL)
@@ -135,12 +148,24 @@ func (r *Result) writeDesign(b *strings.Builder) {
 		if a.Degraded != "" {
 			fmt.Fprintf(b, ", degraded policy %s", a.Degraded)
 		}
+		if a.Estimator != "" {
+			fmt.Fprintf(b, ", estimator %s", a.Estimator)
+		}
+		if a.Memory != 0 {
+			fmt.Fprintf(b, ", memory %g", a.Memory)
+		}
+		if a.Adaptive != nil {
+			fmt.Fprintf(b, ", adaptive %t", *a.Adaptive)
+		}
 		b.WriteString("\n")
 	}
 	fmt.Fprintf(b, "- **Controlled**: identical schedules, gateway configuration and PCG substreams across arms; seeds %s\n", seedList(cfg.Seeds))
 	fmt.Fprintf(b, "- **References**: sqrt2-law p_f = %.4g at p_q = %g", r.Sqrt2Law, g.PQ)
 	if r.Reference > 0 {
 		fmt.Fprintf(b, "; graded against %.4g", r.Reference)
+	}
+	if iv := cfg.Check.Interval; iv != nil && iv.GradeAfter > 0 {
+		fmt.Fprintf(b, "; graded from t=%g (transient excluded)", iv.GradeAfter)
 	}
 	b.WriteString("\n\n")
 }
@@ -197,6 +222,35 @@ func (r *Result) writeResults(b *strings.Builder) {
 				c.Seed, c.Arm, c.Stats.Admitted, c.Stats.Rejected, c.Stats.Departed,
 				c.Stats.Expired, c.Stats.Active, c.Overflow.P)
 		}
+	}
+	b.WriteString("\n")
+	r.writeAdaptive(b)
+}
+
+// writeAdaptive renders the time-scale controller table for cells that
+// ran with adaptive measurement; scenarios without adaptive arms emit
+// nothing, keeping their reports byte-identical.
+func (r *Result) writeAdaptive(b *strings.Builder) {
+	any := false
+	for _, c := range r.Cells {
+		if c.Adaptive != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	b.WriteString("### Adaptive time-scale controller\n\n")
+	b.WriteString("| seed | arm | T_m | target | T^_c | regime | retunes | blocks |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	for _, c := range r.Cells {
+		a := c.Adaptive
+		if a == nil {
+			continue
+		}
+		fmt.Fprintf(b, "| %d | %s | %.4g | %.4g | %.4g | %s | %d | %d |\n",
+			c.Seed, c.Arm, a.Tm, a.Target, a.TcHat, a.Regime, a.Retunes, a.Blocks)
 	}
 	b.WriteString("\n")
 }

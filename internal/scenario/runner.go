@@ -151,6 +151,18 @@ func gradeInterval(r *Result) {
 		r.Reference = r.Sqrt2Law
 	case "pq":
 		r.Reference = r.Config.Gateway.PQ
+	case "masking":
+		// Eq. 41: in the masking regime the admission-time estimation error
+		// is still present when the flow pool turns over, inflating the
+		// overflow probability to (SVR*alpha_q + 1) * p_q. The system's
+		// mu/sigma come from the churn workload's flow-rate marginal.
+		if m, err := buildModel(&r.Config.Workload); err == nil {
+			ts := m.Stats()
+			r.Reference = theory.MaskingOverflow(
+				theory.System{Mu: ts.Mean, Sigma: ts.StdDev()},
+				r.Config.Gateway.PQ,
+			)
+		}
 	case "value":
 		r.Reference = iv.Value
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/client"
+	"repro/internal/adaptive"
 	"repro/internal/core"
 	"repro/internal/estimator"
 	"repro/internal/fault"
@@ -51,6 +52,11 @@ type CellResult struct {
 	// is the fleet sum and Overflow/QoS grade the worst instance's audit.
 	Instances  int   `json:"instances,omitempty"`
 	Migrations int64 `json:"migrations,omitempty"`
+
+	// Adaptive is the time-scale controller's final snapshot when this
+	// cell's arm ran with adaptive measurement (instance 0's controller
+	// under a cluster topology).
+	Adaptive *adaptive.Snapshot `json:"adaptive,omitempty"`
 
 	// Replay is the driver-side decision accounting (churn only).
 	Replay loadgen.Stats `json:"replay"`
@@ -139,16 +145,44 @@ func buildController(arm Arm, g Gateway, ts traffic.Stats) (core.Controller, err
 	return nil, fmt.Errorf("scenario: arm %q: unknown policy %q", arm.Name, arm.Policy)
 }
 
-func buildEstimator(g Gateway, ts traffic.Stats) estimator.Estimator {
+// buildEstimator instantiates the effective measurement spec. tick sizes
+// the aggregate estimator's variance memory when no T_m is given (eight
+// measurement periods, matching cmd/gateway's default).
+func buildEstimator(g Gateway, ts traffic.Stats, tick float64) estimator.Estimator {
 	switch g.Estimator {
 	case "exponential":
 		return estimator.NewExponential(g.Memory)
 	case "window":
 		return estimator.NewWindow(g.Memory)
+	case "aggregate":
+		tv := g.Memory
+		if tv <= 0 {
+			tv = 8 * tick
+		}
+		return estimator.NewAggregateOnly(g.Memory, tv)
 	case "oracle":
 		return &estimator.Oracle{Mu: ts.Mean, Sigma: ts.StdDev()}
 	}
 	return estimator.NewMemoryless()
+}
+
+// buildTuner instantiates the online time-scale controller for one arm's
+// effective spec, or nil when the arm is not adaptive. Th defaults to the
+// churn workload's mean holding time — the horizon the critical
+// time-scale T~_h = Th/sqrt(n) scales down from.
+func buildTuner(cfg *Config, spec Gateway) (*adaptive.Controller, error) {
+	if !spec.Adaptive {
+		return nil, nil
+	}
+	th := spec.Th
+	if th == 0 {
+		th = cfg.Workload.Hold
+	}
+	return adaptive.New(adaptive.Config{
+		Capacity: spec.Capacity,
+		Th:       th,
+		PQ:       spec.PQ,
+	})
 }
 
 // auditZ returns the Wilson quantile the scenario grades with.
@@ -159,20 +193,35 @@ func auditZ(cfg *Config) float64 {
 	return 1.96
 }
 
+// gradeAfter returns the virtual time before which ticks are excluded
+// from the graded overflow audit (0 = grade the whole run).
+func gradeAfter(cfg *Config) float64 {
+	if cfg.Check.Interval != nil {
+		return cfg.Check.Interval.GradeAfter
+	}
+	return 0
+}
+
 // newCellGateway builds the gateway for one cell: deterministic latency
 // clock, small shard count (cells are single-threaded), overflow window
-// sized to hold the whole run.
-func newCellGateway(cfg *Config, arm Arm, ctrl core.Controller, est estimator.Estimator, overflowWindow int) (*gw.Gateway, error) {
+// sized to hold the whole run. When the arm's effective spec is adaptive
+// the returned controller is attached as the gateway's Tuner; callers
+// snapshot it into the cell after the replay.
+func newCellGateway(cfg *Config, arm Arm, ctrl core.Controller, est estimator.Estimator, overflowWindow int) (*gw.Gateway, *adaptive.Controller, error) {
 	dp := gw.DegradedFreeze
 	if arm.Degraded != "" {
 		var err error
 		dp, err = gw.ParseDegradedPolicy(arm.Degraded)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
+	tuner, err := buildTuner(cfg, cfg.effectiveGateway(arm))
+	if err != nil {
+		return nil, nil, err
+	}
 	var lat atomic.Int64
-	return gw.New(gw.Config{
+	gcfg := gw.Config{
 		Capacity:       cfg.Gateway.Capacity,
 		Controller:     ctrl,
 		Estimator:      est,
@@ -183,7 +232,17 @@ func newCellGateway(cfg *Config, arm Arm, ctrl core.Controller, est estimator.Es
 		FlowTTL:        cfg.Gateway.FlowTTL,
 		StaleAfter:     cfg.Gateway.StaleAfter,
 		Degraded:       dp,
-	})
+	}
+	if tuner != nil {
+		// Assign only a live controller: a typed-nil in the interface field
+		// would pass the gateway's nil check and panic on the first tick.
+		gcfg.Tuner = tuner
+	}
+	g, err := gw.New(gcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, tuner, nil
 }
 
 // runCell executes one (seed, arm) cell of the matrix.
@@ -220,7 +279,7 @@ func runImpulsiveCell(ctx context.Context, cfg *Config, arm Arm, seed uint64) (C
 		if err != nil {
 			return repOut{}, err
 		}
-		g, err := newCellGateway(cfg, arm, ctrl, buildEstimator(cfg.Gateway, ts), 8)
+		g, _, err := newCellGateway(cfg, arm, ctrl, buildEstimator(cfg.effectiveGateway(arm), ts, 1e-3), 8)
 		if err != nil {
 			return repOut{}, err
 		}
@@ -308,13 +367,14 @@ func runChurnCell(ctx context.Context, cfg *Config, arm Arm, seed uint64) (CellR
 func churnSchedule(cfg *Config, seed uint64) ([]loadgen.Event, error) {
 	w := cfg.Workload
 	lcfg := loadgen.Config{
-		Seed:      seed,
-		Lambda:    w.Lambda,
-		Hold:      w.Hold,
-		SVR:       w.SVR,
-		TC:        w.TC,
-		Duration:  w.Duration,
-		ArrivalCV: w.ArrivalCV,
+		Seed:        seed,
+		Lambda:      w.Lambda,
+		Hold:        w.Hold,
+		SVR:         w.SVR,
+		TC:          w.TC,
+		Duration:    w.Duration,
+		ArrivalCV:   w.ArrivalCV,
+		Renegotiate: w.Renegotiate,
 	}
 	if w.Model != nil {
 		m, err := w.Model.build()
@@ -322,6 +382,14 @@ func churnSchedule(cfg *Config, seed uint64) ([]loadgen.Event, error) {
 			return nil, err
 		}
 		lcfg.Model = m
+	}
+	if w.Shift != nil {
+		m, err := w.Shift.Model.build()
+		if err != nil {
+			return nil, err
+		}
+		lcfg.ShiftAt = w.Shift.At
+		lcfg.ShiftModel = m
 	}
 	if w.Crowd != nil {
 		lcfg.Crowd = loadgen.Crowd{Factor: w.Crowd.Factor, From: w.Crowd.From, To: w.Crowd.To}
@@ -348,7 +416,7 @@ func replayChurn(ctx context.Context, cfg *Config, arm Arm, events []loadgen.Eve
 	if err != nil {
 		return CellResult{}, gw.Stats{}, err
 	}
-	est := buildEstimator(cfg.Gateway, ts)
+	est := buildEstimator(cfg.effectiveGateway(arm), ts, w.Tick)
 	windows := cfg.FaultSchedule()
 	var faulty *fault.Estimator
 	if len(windows) > 0 {
@@ -366,7 +434,7 @@ func replayChurn(ctx context.Context, cfg *Config, arm Arm, events []loadgen.Eve
 	if overflowWindow == 0 {
 		overflowWindow = totalTicks
 	}
-	g, err := newCellGateway(cfg, arm, ctrl, est, overflowWindow)
+	g, tuner, err := newCellGateway(cfg, arm, ctrl, est, overflowWindow)
 	if err != nil {
 		return CellResult{}, gw.Stats{}, err
 	}
@@ -380,13 +448,16 @@ func replayChurn(ctx context.Context, cfg *Config, arm Arm, events []loadgen.Eve
 	prevDegraded := false
 	var utilN int64
 	lastTick := 0.0
+	gradeFrom := gradeAfter(cfg)
 	tick := func(now float64) {
 		lastTick = now
 		if faulty != nil {
 			faulty.SetMode(fault.ModeAt(windows, now))
 		}
 		st := g.Tick(now)
-		audit.ObserveWith(st.AggregateRate > cfg.Gateway.Capacity, st.Degraded)
+		if now >= gradeFrom {
+			audit.ObserveWith(st.AggregateRate > cfg.Gateway.Capacity, st.Degraded)
+		}
 		if st.Degraded {
 			cell.DegradedTicks++
 		}
@@ -456,6 +527,10 @@ func replayChurn(ctx context.Context, cfg *Config, arm Arm, events []loadgen.Eve
 	}
 	if utilN > 0 {
 		cell.UtilMean /= float64(utilN)
+	}
+	if tuner != nil {
+		snap := tuner.Snapshot()
+		cell.Adaptive = &snap
 	}
 	cell.Replay = rst
 	rep := audit.Report()

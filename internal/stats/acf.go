@@ -1,0 +1,180 @@
+package stats
+
+import "math"
+
+// Autocorrelation returns the biased empirical autocorrelation function
+// r[k] = (1/n)·Σ_t (x[t]−m)(x[t−k]−m) / var(x) for k = 0..maxLag, computed
+// directly in the time domain in O(n·maxLag). It is the reference the
+// streaming ACFRing is pinned bit-compatible against: both accumulate the
+// raw lag products in the same order (t outer ascending, k inner ascending)
+// and share the same mean-removal readout, so identical sample streams
+// produce identical float64 bits. r[0] == 1 unless the series is constant,
+// in which case all entries are 0 (the fft.Autocorrelation convention).
+func Autocorrelation(x []float64, maxLag int) []float64 {
+	n := len(x)
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if maxLag < 0 || n == 0 {
+		return nil
+	}
+	prods := make([]float64, maxLag+1)
+	sum := 0.0
+	for t, v := range x {
+		kMax := t
+		if kMax > maxLag {
+			kMax = maxLag
+		}
+		for k := 1; k <= kMax; k++ {
+			prods[k] += x[t-k] * v
+		}
+		prods[0] += v * v
+		sum += v
+	}
+	first := x[:min(n, maxLag)]
+	last := make([]float64, min(n, maxLag))
+	for j := range last {
+		last[j] = x[n-1-j]
+	}
+	return acfReadout(prods, sum, n, first, last)
+}
+
+// ACFRing is a streaming estimator of the empirical autocorrelation of a
+// sample stream up to a fixed maximum lag: O(maxLag) work per sample and
+// O(maxLag) memory, independent of stream length. It keeps the running lag
+// products Σ x[t]·x[t−k] over a ring of the most recent maxLag samples and
+// removes the mean only at readout, which makes the result bit-identical
+// to the offline Autocorrelation above on the same stream. It is the ACF
+// core of the adaptive time-scale controller, which cannot afford the
+// offline O(n·maxLag) batch recomputation per measurement tick.
+// Not safe for concurrent use; callers synchronize.
+type ACFRing struct {
+	ring  []float64 // last maxLag samples, ring[t % maxLag]
+	first []float64 // the first maxLag samples, for the prefix correction
+	prods []float64 // prods[k] = Σ_t x[t]·x[t−k]; prods[0] = Σ x²
+	sum   float64
+	n     int
+}
+
+// NewACFRing returns a streaming ACF accumulator for lags 0..maxLag
+// (maxLag >= 1).
+func NewACFRing(maxLag int) *ACFRing {
+	if maxLag < 1 {
+		maxLag = 1
+	}
+	return &ACFRing{
+		ring:  make([]float64, maxLag),
+		first: make([]float64, 0, maxLag),
+		prods: make([]float64, maxLag+1),
+	}
+}
+
+// MaxLag returns the largest lag tracked.
+func (a *ACFRing) MaxLag() int { return len(a.ring) }
+
+// N returns the number of samples absorbed since the last Reset.
+func (a *ACFRing) N() int { return a.n }
+
+// Reset discards all accumulated state.
+func (a *ACFRing) Reset() {
+	for i := range a.ring {
+		a.ring[i] = 0
+	}
+	a.first = a.first[:0]
+	for i := range a.prods {
+		a.prods[i] = 0
+	}
+	a.sum = 0
+	a.n = 0
+}
+
+// Add absorbs one sample. Non-finite samples are ignored: a NaN or Inf
+// burst from a faulted measurement path must not poison the lag products
+// (they have no forgetting factor to age the damage out).
+func (a *ACFRing) Add(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return
+	}
+	t, L := a.n, len(a.ring)
+	kMax := t
+	if kMax > L {
+		kMax = L
+	}
+	for k := 1; k <= kMax; k++ {
+		a.prods[k] += a.ring[(t-k)%L] * x
+	}
+	a.prods[0] += x * x
+	a.sum += x
+	a.ring[t%L] = x
+	if len(a.first) < L {
+		a.first = append(a.first, x)
+	}
+	a.n++
+}
+
+// ACF returns the empirical autocorrelation r[0..maxLag] of the samples
+// absorbed so far, clamped to the available lags (nil before the first
+// sample). The result is bit-identical to Autocorrelation on the same
+// stream.
+func (a *ACFRing) ACF() []float64 {
+	n, L := a.n, len(a.ring)
+	if n == 0 {
+		return nil
+	}
+	maxLag := L
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	m := min(n, maxLag)
+	last := make([]float64, m)
+	for j := range last {
+		last[j] = a.ring[(n-1-j)%L]
+	}
+	return acfReadout(a.prods[:maxLag+1], a.sum, n, a.first[:m], last)
+}
+
+// CorrTime estimates the integral correlation time-scale from the streamed
+// samples: the trapezoid sum of the ACF over positive lags until its first
+// zero crossing, times the sampling interval (the trace.CorrTime idiom).
+// It returns 0 for an empty or constant stream.
+func (a *ACFRing) CorrTime(interval float64) float64 {
+	acf := a.ACF()
+	if len(acf) == 0 || acf[0] == 0 {
+		return 0
+	}
+	sum := 0.5 // half weight at lag 0 (trapezoid)
+	for k := 1; k < len(acf); k++ {
+		if acf[k] <= 0 {
+			break
+		}
+		sum += acf[k]
+	}
+	return sum * interval
+}
+
+// acfReadout converts raw lag products into the mean-removed biased
+// autocorrelation. prods[k] = Σ_t x[t]·x[t−k], sum = Σ x[t], n = stream
+// length, first holds the first len(first) samples and last the most
+// recent (last[0] newest). The lag-k autocovariance expands as
+//
+//	c_k = prods[k] − m·(Σ_{t≥k} x[t] + Σ_{t≤n−1−k} x[t]) + (n−k)·m²
+//
+// where the two partial sums are the full sum minus the k-sample prefix
+// and suffix — exactly what first/last supply.
+func acfReadout(prods []float64, sum float64, n int, first, last []float64) []float64 {
+	m := sum / float64(n)
+	r := make([]float64, len(prods))
+	c0 := prods[0] - sum*m
+	if !(c0 > 0) {
+		return r // constant series: zero autocorrelation by convention
+	}
+	r[0] = 1
+	pref, tail := 0.0, 0.0
+	for k := 1; k < len(prods); k++ {
+		pref += first[k-1]
+		tail += last[k-1]
+		ck := prods[k] - m*((sum-tail)+(sum-pref)) + float64(n-k)*m*m
+		r[k] = ck / c0
+	}
+	return r
+}

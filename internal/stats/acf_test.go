@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fft"
+	"repro/internal/rng"
+)
+
+// streams returns a family of sample streams exercising the ACF paths:
+// white noise, an AR(1)-style correlated stream, a near-constant stream
+// with tiny jitter, short streams around the lag boundary, and streams
+// containing zeros and negative values.
+func acfStreams() map[string][]float64 {
+	r := rng.New(0x5eed, 7)
+	out := map[string][]float64{}
+
+	white := make([]float64, 512)
+	for i := range white {
+		white[i] = r.Normal()
+	}
+	out["white-512"] = white
+
+	ar := make([]float64, 777)
+	prev := 0.0
+	for i := range ar {
+		prev = 0.9*prev + 0.1*r.Normal()
+		ar[i] = 5 + prev
+	}
+	out["ar1-777"] = ar
+
+	jitter := make([]float64, 300)
+	for i := range jitter {
+		jitter[i] = 100 + 0.01*r.Normal()
+	}
+	out["near-constant-300"] = jitter
+
+	for _, n := range []int{1, 2, 3, 16, 17} {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = r.Float64()*4 - 2
+		}
+		out["short-"+string(rune('a'+n%26))] = s
+	}
+	return out
+}
+
+// TestACFRingBitCompatible is the property test the issue asks for: on
+// identical sample streams the streaming lag-ring must produce the same
+// float64 bits as the offline time-domain reference, for every lag and for
+// maxLag both below and above the stream length.
+func TestACFRingBitCompatible(t *testing.T) {
+	for name, xs := range acfStreams() {
+		for _, maxLag := range []int{1, 4, 16, 64} {
+			ring := NewACFRing(maxLag)
+			for _, x := range xs {
+				ring.Add(x)
+			}
+			got := ring.ACF()
+			want := Autocorrelation(xs, maxLag)
+			if len(got) != len(want) {
+				t.Fatalf("%s maxLag=%d: length %d != %d", name, maxLag, len(got), len(want))
+			}
+			for k := range got {
+				if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+					t.Errorf("%s maxLag=%d lag %d: streaming %v (bits %x) != offline %v (bits %x)",
+						name, maxLag, k, got[k], math.Float64bits(got[k]),
+						want[k], math.Float64bits(want[k]))
+				}
+			}
+		}
+	}
+}
+
+// TestAutocorrelationMatchesFFT pins the time-domain reference against the
+// existing O(n log n) spectral implementation within floating-point
+// tolerance — they compute the same biased mean-removed estimator.
+func TestAutocorrelationMatchesFFT(t *testing.T) {
+	for name, xs := range acfStreams() {
+		if len(xs) < 4 {
+			continue
+		}
+		maxLag := len(xs) / 4
+		got := Autocorrelation(xs, maxLag)
+		want := fft.Autocorrelation(xs, maxLag)
+		if len(got) != len(want) {
+			t.Fatalf("%s: length %d != %d", name, len(got), len(want))
+		}
+		// Tolerance is loose because the raw-moment accumulation loses
+		// ~mean²/var relative digits to cancellation when the mean
+		// dominates the fluctuations (the near-constant stream).
+		for k := range got {
+			if math.Abs(got[k]-want[k]) > 1e-4 {
+				t.Errorf("%s lag %d: time-domain %v != fft %v", name, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestACFRingConstantSeries(t *testing.T) {
+	ring := NewACFRing(8)
+	for i := 0; i < 100; i++ {
+		ring.Add(3.25)
+	}
+	for k, v := range ring.ACF() {
+		if v != 0 {
+			t.Errorf("constant series lag %d: got %v, want 0", k, v)
+		}
+	}
+	if ct := ring.CorrTime(0.5); ct != 0 {
+		t.Errorf("constant series CorrTime: got %v, want 0", ct)
+	}
+}
+
+func TestACFRingIgnoresNonFinite(t *testing.T) {
+	r := rng.New(42, 0)
+	clean := NewACFRing(16)
+	dirty := NewACFRing(16)
+	var xs []float64
+	for i := 0; i < 200; i++ {
+		x := r.Normal()
+		xs = append(xs, x)
+		clean.Add(x)
+		dirty.Add(x)
+		dirty.Add(math.NaN())
+		dirty.Add(math.Inf(1))
+		dirty.Add(math.Inf(-1))
+	}
+	got, want := dirty.ACF(), clean.ACF()
+	for k := range want {
+		if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+			t.Fatalf("lag %d: non-finite samples perturbed the ACF: %v != %v", k, got[k], want[k])
+		}
+	}
+	_ = xs
+}
+
+func TestACFRingReset(t *testing.T) {
+	ring := NewACFRing(8)
+	r := rng.New(9, 9)
+	for i := 0; i < 50; i++ {
+		ring.Add(r.Normal())
+	}
+	ring.Reset()
+	if ring.N() != 0 {
+		t.Fatalf("N after Reset: %d", ring.N())
+	}
+	if acf := ring.ACF(); acf != nil {
+		t.Fatalf("ACF after Reset: %v", acf)
+	}
+	xs := []float64{1, 2, 1, 3, 2, 4, 1, 0, 2, 3}
+	for _, x := range xs {
+		ring.Add(x)
+	}
+	got, want := ring.ACF(), Autocorrelation(xs, 8)
+	for k := range want {
+		if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+			t.Fatalf("post-Reset lag %d: %v != %v", k, got[k], want[k])
+		}
+	}
+}
+
+// TestACFRingCorrTimeRecoversTc checks the integral time-scale readout on a
+// discretized exponential-ACF process: an AR(1) with coefficient
+// a = exp(−dt/Tc) has integral correlation time ≈ Tc for fine sampling.
+func TestACFRingCorrTimeRecoversTc(t *testing.T) {
+	const (
+		tc = 2.0
+		dt = 0.1
+	)
+	a := math.Exp(-dt / tc)
+	r := rng.New(1234, 1)
+	ring := NewACFRing(512)
+	prev := 0.0
+	for i := 0; i < 200000; i++ {
+		prev = a*prev + math.Sqrt(1-a*a)*r.Normal()
+		ring.Add(prev)
+	}
+	got := ring.CorrTime(dt)
+	if got < 0.6*tc || got > 1.4*tc {
+		t.Fatalf("CorrTime: got %v, want ~%v", got, tc)
+	}
+}

@@ -34,6 +34,8 @@ func (r Regime) String() string {
 		return "masking"
 	case RegimeRepair:
 		return "repair"
+	case RegimeIntermediate:
+		return "intermediate"
 	default:
 		return "intermediate"
 	}

@@ -45,6 +45,7 @@ package mbac
 
 import (
 	"repro/client"
+	"repro/internal/adaptive"
 	"repro/internal/core"
 	"repro/internal/estimator"
 	"repro/internal/gateway"
@@ -323,6 +324,27 @@ type GatewayDecision = gateway.Decision
 
 // NewGateway validates the configuration and returns a ready gateway.
 func NewGateway(cfg GatewayConfig) (*Gateway, error) { return gateway.New(cfg) }
+
+// GatewayTuner is the adaptive-measurement seam (GatewayConfig.Tuner): an
+// online controller that observes each measurement tick and retunes the
+// estimator memory T_m.
+type GatewayTuner = gateway.Tuner
+
+// AdaptiveController is the Section 7 online time-scale controller: it
+// estimates the traffic correlation time T̂_c from a streaming ACF of the
+// aggregate rate and steers T_m toward the critical time-scale
+// T̃_h = Th/√(c/μ̂) with hysteresis and rate-of-change clamps. It
+// implements GatewayTuner.
+type AdaptiveController = adaptive.Controller
+
+// AdaptiveConfig parameterizes an AdaptiveController.
+type AdaptiveConfig = adaptive.Config
+
+// NewAdaptiveController validates the configuration and returns a
+// controller ready to plug into GatewayConfig.Tuner.
+func NewAdaptiveController(cfg AdaptiveConfig) (*AdaptiveController, error) {
+	return adaptive.New(cfg)
+}
 
 // GatewayReason classifies one admission outcome (GatewayDecision.Reason).
 type GatewayReason = gateway.Reason
